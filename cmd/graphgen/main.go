@@ -1,0 +1,66 @@
+// Command graphgen emits workload graphs as edge lists (one "u v" pair per
+// line, preceded by a "n m" header), for feeding external tools or
+// regression fixtures.
+//
+// Usage:
+//
+//	graphgen -graph powerlaw -n 1000 -seed 3 > powerlaw.txt
+//	graphgen -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"parcolor"
+)
+
+func main() {
+	var (
+		name = flag.String("graph", "gnp-sparse", "generator name")
+		n    = flag.Int("n", 1000, "approximate node count")
+		seed = flag.Uint64("seed", 1, "generator seed")
+		list = flag.Bool("list", false, "list generator names and exit")
+		stat = flag.Bool("stats", false, "print degree statistics instead of edges")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, g := range parcolor.GraphNames() {
+			fmt.Println(g)
+		}
+		return
+	}
+	g := parcolor.GenerateGraph(*name, *n, *seed)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *stat {
+		hist := map[int]int{}
+		maxD := 0
+		for v := int32(0); v < int32(g.N()); v++ {
+			d := g.Degree(v)
+			hist[d]++
+			if d > maxD {
+				maxD = d
+			}
+		}
+		fmt.Fprintf(w, "graph=%s n=%d m=%d maxDeg=%d\n", *name, g.N(), g.M(), maxD)
+		for d := 0; d <= maxD; d++ {
+			if hist[d] > 0 {
+				fmt.Fprintf(w, "deg %d: %d nodes\n", d, hist[d])
+			}
+		}
+		return
+	}
+	fmt.Fprintf(w, "%d %d\n", g.N(), g.M())
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				fmt.Fprintf(w, "%d %d\n", u, v)
+			}
+		}
+	}
+}

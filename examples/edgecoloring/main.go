@@ -1,0 +1,66 @@
+// (2Δ−1)-edge coloring via D1LC on the line graph — the reduction the
+// paper's introduction cites as a standard application of degree+1 list
+// coloring (edge-coloring algorithms use D1LC as a subroutine, [Kuh20]).
+//
+// An edge of G becomes a node of L(G) with degree deg(u)+deg(v)−2 ≤ 2Δ−2,
+// so trivial palettes on L(G) give every edge at most 2Δ−1 colors and a
+// proper list coloring of L(G) is a proper edge coloring of G.
+//
+//	go run ./examples/edgecoloring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parcolor"
+)
+
+func main() {
+	// A switch fabric: 12-regular random network on 300 nodes. Edge colors
+	// = communication rounds in which both endpoints are free.
+	g := parcolor.GenerateGraph("regular", 300, 11)
+	delta := g.MaxDegree()
+
+	in, edges := parcolor.EdgeColoringInstance(g)
+	fmt.Printf("network: %d nodes, %d links, max degree %d\n", g.N(), g.M(), delta)
+	fmt.Printf("line graph: %d nodes, bound 2Δ−1 = %d colors\n", in.G.N(), 2*delta-1)
+
+	res, err := parcolor.Solve(in, parcolor.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge coloring uses %d rounds of schedule (colors)\n", res.DistinctColors)
+	if res.DistinctColors > 2*delta-1 {
+		log.Fatalf("bound violated: %d > %d", res.DistinctColors, 2*delta-1)
+	}
+
+	// Validate directly against G: no two adjacent edges share a color.
+	colorOf := make(map[[2]int32]int32, len(edges))
+	for i, e := range edges {
+		colorOf[e] = res.Coloring.Colors[i]
+	}
+	perNode := make([]map[int32]bool, g.N())
+	for i := range perNode {
+		perNode[i] = map[int32]bool{}
+	}
+	for i, e := range edges {
+		c := res.Coloring.Colors[i]
+		for _, end := range e {
+			if perNode[end][c] {
+				log.Fatalf("node %d has two links in round %d", end, c)
+			}
+			perNode[end][c] = true
+		}
+	}
+	fmt.Println("verified: proper edge coloring — each node uses each round at most once")
+
+	// Schedule density: fraction of (node, round) slots actually used.
+	used := 0
+	for _, m := range perNode {
+		used += len(m)
+	}
+	total := g.N() * res.DistinctColors
+	fmt.Printf("schedule density: %.1f%% of node-round slots carry traffic\n",
+		100*float64(used)/float64(total))
+}

@@ -1,0 +1,103 @@
+package parcolor_test
+
+// End-to-end integration matrix: every algorithm × every workload × three
+// palette families × multiple seeds, each run verified. This is the
+// repository's broadest correctness sweep; the per-package tests pin the
+// pieces, this pins the composition.
+
+import (
+	"fmt"
+	"testing"
+
+	"parcolor"
+)
+
+func paletteFamilies(g *parcolor.Graph, seed uint64) map[string]*parcolor.Instance {
+	return map[string]*parcolor.Instance{
+		"trivial": parcolor.TrivialPalettes(g),
+		"delta+1": parcolor.DeltaPlus1Palettes(g),
+		"random":  parcolor.RandomPalettes(g, 2, 4*(g.MaxDegree()+2), seed),
+	}
+}
+
+func TestIntegrationMatrix(t *testing.T) {
+	algorithms := []parcolor.Algorithm{
+		parcolor.Deterministic,
+		parcolor.Randomized,
+		parcolor.GreedySequential,
+		parcolor.LowDegreeDeterministic,
+	}
+	for _, name := range parcolor.GraphNames() {
+		g := parcolor.GenerateGraph(name, 90, 3)
+		for pal, in := range paletteFamilies(g, 3) {
+			for _, alg := range algorithms {
+				t.Run(fmt.Sprintf("%s/%s/%s", name, pal, alg), func(t *testing.T) {
+					res, err := parcolor.Solve(in, parcolor.Options{Algorithm: alg, Seed: 11, SeedBits: 4})
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Solve verifies internally; double-check the count.
+					if res.Coloring.UncoloredCount() != 0 {
+						t.Fatal("incomplete coloring")
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestIntegrationDeterminismMatrix(t *testing.T) {
+	// The two deterministic algorithms must be bit-identical across runs
+	// and worker counts on every workload.
+	for _, name := range parcolor.GraphNames() {
+		in := parcolor.TrivialPalettes(parcolor.GenerateGraph(name, 80, 9))
+		for _, alg := range []parcolor.Algorithm{parcolor.Deterministic, parcolor.LowDegreeDeterministic} {
+			ref, err := parcolor.Solve(in, parcolor.Options{Algorithm: alg, SeedBits: 4, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3} {
+				got, err := parcolor.Solve(in, parcolor.Options{Algorithm: alg, SeedBits: 4, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range ref.Coloring.Colors {
+					if ref.Coloring.Colors[v] != got.Coloring.Colors[v] {
+						t.Fatalf("%s/%s: workers=%d diverged at node %d", name, alg, workers, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIntegrationRandomizedSeedSweep(t *testing.T) {
+	// The randomized solver must be correct across many seeds (its w.h.p.
+	// guarantees are backed by the greedy fallback, so correctness is
+	// unconditional; this sweep would catch any conflict-resolution bug).
+	in := parcolor.TrivialPalettes(parcolor.GenerateGraph("mixed", 150, 1))
+	for seed := uint64(0); seed < 12; seed++ {
+		if _, err := parcolor.Solve(in, parcolor.Options{Algorithm: parcolor.Randomized, Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestIntegrationLargerDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// One larger end-to-end deterministic run exercising sparsification
+	// (dense instance forces partitioning) with full verification.
+	in := parcolor.TrivialPalettes(parcolor.GenerateGraph("gnp-dense", 500, 2))
+	res, err := parcolor.Solve(in, parcolor.Options{SeedBits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sparsify == nil || res.Sparsify.Partitions == 0 {
+		t.Fatalf("dense 500-node instance should trigger sparsification: %+v", res.Sparsify)
+	}
+	if res.Sparsify.MaxDegreeRatio >= 1 {
+		t.Fatalf("Lemma 23 ratio %f", res.Sparsify.MaxDegreeRatio)
+	}
+}

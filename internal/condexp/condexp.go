@@ -1,0 +1,112 @@
+// Package condexp implements the method of conditional expectations used
+// by Lemma 10 (PRG seed selection) and Section 6 (hash selection for
+// LowSpacePartition).
+//
+// Both entry points operate on an integer-valued objective ("score":
+// e.g. the number of nodes failing the strong success property under a
+// given seed) over an enumerable seed space, and return a seed whose score
+// is at most the mean over the space — the exact guarantee the paper's
+// Lemma 10 derives from E[failures] ≤ nG/2 + nG·Δ^{−11τ}.
+//
+// SelectSeed scores every seed in parallel (the distributed enumeration
+// the paper performs across machines, each machine scoring its nodes for
+// each seed, aggregated by a converge-cast). SelectSeedBitwise fixes the
+// seed one bit at a time by comparing the conditional means of the two
+// branches; with exact branch evaluation it visits each seed at most once
+// per level, matching the classical description of the method. The two
+// must agree on the guarantee; tests check both.
+package condexp
+
+import (
+	"parcolor/internal/par"
+)
+
+// Scorer evaluates the objective for one seed. Implementations must be
+// safe for concurrent calls with distinct seeds and deterministic.
+type Scorer func(seed uint64) int64
+
+// Result reports the selected seed and the evidence for the guarantee.
+type Result struct {
+	Seed      uint64
+	Score     int64
+	SumScores int64 // over all seeds evaluated
+	NumSeeds  int
+	Evals     int // number of scorer invocations
+}
+
+// MeanUpper returns ⌈SumScores/NumSeeds⌉, an upper bound certificate:
+// Score ≤ mean ≤ MeanUpper.
+func (r Result) MeanUpper() int64 {
+	if r.NumSeeds == 0 {
+		return 0
+	}
+	return (r.SumScores + int64(r.NumSeeds) - 1) / int64(r.NumSeeds)
+}
+
+// SelectSeed enumerates seeds [0, numSeeds) in parallel and returns the
+// minimum-score seed (smallest seed on ties, independent of parallelism).
+func SelectSeed(numSeeds int, score Scorer) Result {
+	if numSeeds <= 0 {
+		panic("condexp: empty seed space")
+	}
+	scores := make([]int64, numSeeds)
+	par.For(numSeeds, func(i int) { scores[i] = score(uint64(i)) })
+	min, arg := par.ReduceMin(numSeeds, func(i int) int64 { return scores[i] })
+	var sum int64
+	for _, s := range scores {
+		sum += s
+	}
+	return Result{Seed: uint64(arg), Score: min, SumScores: sum, NumSeeds: numSeeds, Evals: numSeeds}
+}
+
+// SelectSeedBitwise fixes seed bits LSB-first. At each level it computes
+// the exact conditional mean of both branches (by enumerating completions)
+// and keeps the branch with the smaller mean, ties to bit 0. The final
+// seed's score is at most the global mean, by induction on levels: the
+// chosen branch's conditional mean never exceeds the current mean.
+//
+// The total number of scorer calls is Σ_{i=1..d} 2^{d-i+1} ≈ 2^{d+1}: the
+// same order as full enumeration, but structured exactly as the method of
+// conditional expectations, which is what the framework's distributed
+// implementation mirrors round by round.
+func SelectSeedBitwise(seedBits int, score Scorer) Result {
+	if seedBits <= 0 || seedBits > 30 {
+		panic("condexp: seedBits out of range")
+	}
+	d := seedBits
+	var prefix uint64
+	evals := 0
+	var totalSum int64
+	first := true
+	for level := 0; level < d; level++ {
+		rem := d - level - 1 // bits still free after fixing this one
+		sum0, sum1 := int64(0), int64(0)
+		n := 1 << rem
+		sums := make([]int64, 2)
+		for b := uint64(0); b <= 1; b++ {
+			base := prefix | b<<uint(level)
+			s := par.ReduceInt(n, func(i int) int64 {
+				return score(base | uint64(i)<<uint(level+1))
+			})
+			sums[b] = s
+			evals += n
+		}
+		sum0, sum1 = sums[0], sums[1]
+		if first {
+			totalSum = sum0 + sum1
+			first = false
+		}
+		if sum1 < sum0 {
+			prefix |= 1 << uint(level)
+		}
+	}
+	final := score(prefix)
+	evals++
+	return Result{Seed: prefix, Score: final, SumScores: totalSum, NumSeeds: 1 << d, Evals: evals}
+}
+
+// Guarantee checks the conditional-expectations certificate: the selected
+// score must be at most the ceiling of the mean.
+func (r Result) Guarantee() bool {
+	return r.Score <= r.MeanUpper()
+}

@@ -1,0 +1,119 @@
+package condexp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parcolor/internal/rng"
+)
+
+func TestSelectSeedFindsMinimum(t *testing.T) {
+	scores := []int64{9, 4, 7, 4, 12, 1, 3, 1}
+	r := SelectSeed(len(scores), func(s uint64) int64 { return scores[s] })
+	if r.Seed != 5 || r.Score != 1 {
+		t.Fatalf("got seed=%d score=%d", r.Seed, r.Score)
+	}
+	if r.SumScores != 41 || r.NumSeeds != 8 {
+		t.Fatalf("accounting wrong: %+v", r)
+	}
+	if !r.Guarantee() {
+		t.Fatal("guarantee violated")
+	}
+}
+
+func TestSelectSeedTieBreaksLow(t *testing.T) {
+	r := SelectSeed(16, func(s uint64) int64 { return int64(s % 4) })
+	if r.Seed != 0 {
+		t.Fatalf("tie not broken to smallest seed: %d", r.Seed)
+	}
+}
+
+func TestBitwiseMeetsGuaranteeProperty(t *testing.T) {
+	f := func(raw []uint8, saltRaw uint16) bool {
+		const d = 6
+		n := 1 << d
+		scores := make([]int64, n)
+		for i := range scores {
+			v := int64(0)
+			if len(raw) > 0 {
+				v = int64(raw[i%len(raw)])
+			}
+			scores[i] = v + int64(rng.Hash2(uint64(saltRaw), uint64(i))%32)
+		}
+		score := func(s uint64) int64 { return scores[s] }
+		r := SelectSeedBitwise(d, score)
+		if !r.Guarantee() {
+			return false
+		}
+		// Bitwise result can't beat the true minimum.
+		full := SelectSeed(n, score)
+		return r.Score >= full.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitwiseFindsExactMinOnUnimodal(t *testing.T) {
+	// Score = number of 1-bits: bitwise should find seed 0 exactly.
+	r := SelectSeedBitwise(8, func(s uint64) int64 {
+		c := int64(0)
+		for x := s; x != 0; x >>= 1 {
+			c += int64(x & 1)
+		}
+		return c
+	})
+	if r.Seed != 0 || r.Score != 0 {
+		t.Fatalf("got seed=%d score=%d", r.Seed, r.Score)
+	}
+}
+
+func TestBitwiseSumMatchesFullEnumeration(t *testing.T) {
+	const d = 5
+	score := func(s uint64) int64 { return int64((s*7 + 3) % 13) }
+	full := SelectSeed(1<<d, score)
+	bw := SelectSeedBitwise(d, score)
+	if bw.SumScores != full.SumScores {
+		t.Fatalf("sums differ: %d vs %d", bw.SumScores, full.SumScores)
+	}
+	if bw.NumSeeds != full.NumSeeds {
+		t.Fatal("seed counts differ")
+	}
+}
+
+func TestSelectSeedSingleton(t *testing.T) {
+	r := SelectSeed(1, func(uint64) int64 { return 42 })
+	if r.Seed != 0 || r.Score != 42 || !r.Guarantee() {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestMeanUpperCeil(t *testing.T) {
+	r := Result{SumScores: 10, NumSeeds: 3, Score: 4}
+	if r.MeanUpper() != 4 {
+		t.Fatalf("ceil(10/3)=%d", r.MeanUpper())
+	}
+	if !r.Guarantee() {
+		t.Fatal("4 ≤ ceil(10/3) should hold")
+	}
+	r.Score = 5
+	if r.Guarantee() {
+		t.Fatal("5 ≤ ceil(10/3) should fail")
+	}
+}
+
+func TestPanicsOnEmptySpace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SelectSeed(0, func(uint64) int64 { return 0 })
+}
+
+func BenchmarkSelectSeed4096(b *testing.B) {
+	score := func(s uint64) int64 { return int64(rng.Hash2(1, s) % 1000) }
+	for i := 0; i < b.N; i++ {
+		_ = SelectSeed(4096, score)
+	}
+}

@@ -1,0 +1,159 @@
+package d1lc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"parcolor/internal/graph"
+)
+
+// This file provides the D1LC instance exchange format used by the CLIs
+// and regression fixtures:
+//
+//	d1lc <n> <m>
+//	<edge lines: u v>                  (m lines)
+//	p <v> <c1> <c2> ...                (n palette lines, any order)
+//
+// and a coloring format: one "v c" line per node.
+
+// WriteInstance serializes in.
+func WriteInstance(w io.Writer, in *Instance) error {
+	bw := bufio.NewWriter(w)
+	g := in.G
+	if _, err := fmt.Fprintf(bw, "d1lc %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				fmt.Fprintf(bw, "%d %d\n", u, v)
+			}
+		}
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		fmt.Fprintf(bw, "p %d", v)
+		for _, c := range in.Palettes[v] {
+			fmt.Fprintf(bw, " %d", c)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadInstance parses the format written by WriteInstance and validates
+// the result with Check.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("d1lc: empty input")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(sc.Text(), "d1lc %d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("d1lc: bad header %q: %v", sc.Text(), err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("d1lc: negative header %d %d", n, m)
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("d1lc: expected %d edges, got %d", m, i)
+		}
+		var u, v int32
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("d1lc: edge line %d: %v", i, err)
+		}
+		if u < 0 || v < 0 || int(u) >= n || int(v) >= n {
+			return nil, fmt.Errorf("d1lc: edge %d-%d out of range n=%d", u, v, n)
+		}
+		b.AddEdge(u, v)
+	}
+	palettes := make([][]int32, n)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		var v int32
+		var rest string
+		if _, err := fmt.Sscanf(line, "p %d%s", &v, &rest); err != nil {
+			// rest may be empty for degree-0 with single color; re-parse
+			// manually below.
+			_ = err
+		}
+		fields := splitFields(line)
+		if len(fields) < 2 || fields[0] != "p" {
+			return nil, fmt.Errorf("d1lc: bad palette line %q", line)
+		}
+		var node int32
+		if _, err := fmt.Sscan(fields[1], &node); err != nil {
+			return nil, err
+		}
+		if node < 0 || int(node) >= n {
+			return nil, fmt.Errorf("d1lc: palette for out-of-range node %d", node)
+		}
+		pal := make([]int32, 0, len(fields)-2)
+		for _, f := range fields[2:] {
+			var c int32
+			if _, err := fmt.Sscan(f, &c); err != nil {
+				return nil, err
+			}
+			pal = append(pal, c)
+		}
+		palettes[node] = pal
+	}
+	in := &Instance{G: b.Build(), Palettes: palettes}
+	if err := in.Check(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' || s[i] == '\t' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
+
+// WriteColoring serializes a coloring as "v c" lines (-1 for uncolored).
+func WriteColoring(w io.Writer, col *Coloring) error {
+	bw := bufio.NewWriter(w)
+	for v, c := range col.Colors {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", v, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadColoring parses n "v c" lines.
+func ReadColoring(r io.Reader, n int) (*Coloring, error) {
+	col := NewColoring(n)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if sc.Text() == "" {
+			continue
+		}
+		var v, c int32
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d", &v, &c); err != nil {
+			return nil, fmt.Errorf("d1lc: bad coloring line %q", sc.Text())
+		}
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("d1lc: node %d out of range", v)
+		}
+		col.Colors[v] = c
+	}
+	return col, nil
+}

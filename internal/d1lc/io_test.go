@@ -1,0 +1,102 @@
+package d1lc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parcolor/internal/graph"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	for _, in := range []*Instance{
+		TrivialPalettes(graph.Gnp(60, 0.1, 1)),
+		RandomPalettes(graph.Cycle(9), 2, 20, 2),
+		TrivialPalettes(graph.Empty(4)),
+	} {
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadInstance(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.G.N() != in.G.N() || got.G.M() != in.G.M() {
+			t.Fatal("graph shape differs")
+		}
+		for v := range in.Palettes {
+			if len(got.Palettes[v]) != len(in.Palettes[v]) {
+				t.Fatalf("palette %d length differs", v)
+			}
+			for i := range in.Palettes[v] {
+				if got.Palettes[v][i] != in.Palettes[v][i] {
+					t.Fatalf("palette %d entry %d differs", v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestInstanceRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		in := RandomPalettes(graph.Gnp(n, 0.25, seed), 1, 3*n+3, seed)
+		var buf bytes.Buffer
+		if WriteInstance(&buf, in) != nil {
+			return false
+		}
+		got, err := ReadInstance(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Check() == nil && got.G.M() == in.G.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadInstanceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad-header":   "nope 3 1\n0 1\n",
+		"short-edges":  "d1lc 3 5\n0 1\n",
+		"bad-palette":  "d1lc 2 1\n0 1\np x 0 1\n",
+		"out-of-range": "d1lc 2 1\n0 1\np 7 0 1\n",
+		"invalid-inst": "d1lc 2 1\n0 1\np 0 0\np 1 0\n", // palettes too small
+	}
+	for name, in := range cases {
+		if _, err := ReadInstance(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestColoringRoundTrip(t *testing.T) {
+	col := NewColoring(5)
+	col.Colors = []int32{3, Uncolored, 0, 7, 1}
+	var buf bytes.Buffer
+	if err := WriteColoring(&buf, col); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadColoring(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range col.Colors {
+		if got.Colors[v] != col.Colors[v] {
+			t.Fatalf("node %d: %d vs %d", v, got.Colors[v], col.Colors[v])
+		}
+	}
+}
+
+func TestReadColoringErrors(t *testing.T) {
+	if _, err := ReadColoring(strings.NewReader("0 1\n9 2\n"), 3); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if _, err := ReadColoring(strings.NewReader("x y\n"), 3); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

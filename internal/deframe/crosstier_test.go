@@ -1,0 +1,77 @@
+package deframe
+
+// Cross-tier validation of Section 5.1's simulation argument: Lemma 10's
+// seed selection computed with shared-memory parallelism (DerandomizeStep)
+// must match the faithful distributed protocol on the MPC cluster
+// (mpc.DistributedSelectSeed) when each machine scores the nodes it hosts.
+
+import (
+	"testing"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+	"parcolor/internal/hknt"
+	"parcolor/internal/mpc"
+	"parcolor/internal/prg"
+)
+
+func TestSeedSelectionMatchesClusterProtocol(t *testing.T) {
+	g := graph.Gnp(40, 0.15, 3)
+	in := d1lc.TrivialPalettes(g)
+	st := hknt.NewState(in)
+	step := hknt.Step{
+		Name:         "trc",
+		Tau:          2,
+		Bits:         hknt.TryRandomColorBits(16),
+		Participants: func(st *hknt.State) []int32 { return st.LiveNodes(nil) },
+		Propose:      hknt.TryRandomColorPropose,
+		SSP: func(st *hknt.State, parts []int32, prop hknt.Proposal, v int32) bool {
+			return prop.Color[v] != d1lc.Uncolored
+		},
+	}
+	o := Options{SeedBits: 6}.withDefaults(g.MaxDegree())
+	chunkOf, numChunks, _ := chunkAssignment(g, o.ChunkRadius, o.MaxChunkGraphEdges)
+	parts := step.Participants(st)
+	gen := buildPRG(o, numChunks, step.Bits)
+
+	// Precompute per-(seed, node) failure indicators — the values each
+	// home machine would compute locally from its τ-hop ball.
+	numSeeds := 1 << o.SeedBits
+	fail := make([][]int64, numSeeds)
+	for seed := 0; seed < numSeeds; seed++ {
+		src, err := prg.NewChunkedSource(gen, uint64(seed), chunkOf, numChunks, step.Bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop := step.Propose(st, parts, src)
+		row := make([]int64, g.N())
+		for _, v := range parts {
+			if !step.SSP(st, parts, prop, v) {
+				row[v] = 1
+			}
+		}
+		fail[seed] = row
+	}
+
+	// Shared-memory path.
+	rep := DerandomizeStep(hknt.NewState(in), &step, chunkOf, numChunks, o)
+
+	// Distributed path: machine v hosts node v.
+	c, err := mpc.NewCluster(mpc.Config{Machines: g.N(), LocalSpace: 4096, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, score, rounds, err := mpc.DistributedSelectSeed(c, numSeeds, func(mid int, s uint64) int64 {
+		return fail[s][mid]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != rep.SeedChosen || score != rep.Score {
+		t.Fatalf("cluster picked (%d,%d), shared-memory picked (%d,%d)",
+			seed, score, rep.SeedChosen, rep.Score)
+	}
+	if rounds <= 0 || c.Metrics.Violations != 0 {
+		t.Fatalf("protocol accounting: rounds=%d violations=%d", rounds, c.Metrics.Violations)
+	}
+}

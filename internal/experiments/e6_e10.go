@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/deframe"
+	"parcolor/internal/graph"
+	"parcolor/internal/hknt"
+	"parcolor/internal/mis"
+	"parcolor/internal/mpc"
+	"parcolor/internal/par"
+	"parcolor/internal/stats"
+)
+
+func init() { register("E6", e6PRGAblation) }
+
+// e6PRGAblation sweeps the generator family and seed length: the
+// framework's correctness is seed-family independent (proper=yes in every
+// row); what moves is the deferral rate and rounds — the quantity the
+// paper's existential PRG would optimize.
+func e6PRGAblation(cfg Config) *stats.Table {
+	t := stats.New("E6", "PRG ablation (Lemma 10 randomness source)",
+		"correctness never depends on the PRG; deferral/rounds do",
+		"prg", "seedBits", "rounds", "maxDeferralFrac", "totalDeferred", "proper")
+	n := cfg.sizes()[0] * 2
+	in := instanceFor("gnp-dense", n, cfg.Seed)
+	type setting struct {
+		name string
+		opt  deframe.Options
+	}
+	settings := []setting{
+		{"kwise2", deframe.Options{KWiseK: 2, SeedBits: cfg.SeedBits}},
+		{"kwise4", deframe.Options{KWiseK: 4, SeedBits: cfg.SeedBits}},
+		{"kwise8", deframe.Options{KWiseK: 8, SeedBits: cfg.SeedBits}},
+		{"nisan", deframe.Options{PRG: deframe.PRGNisan, SeedBits: cfg.SeedBits}},
+		{"kwise4/d2", deframe.Options{KWiseK: 4, SeedBits: 2}},
+		{"kwise4/d10", deframe.Options{KWiseK: 4, SeedBits: 10}},
+	}
+	if cfg.Quick {
+		settings = settings[:4]
+	}
+	for _, s := range settings {
+		col, rep, err := deframe.Run(in, s.opt)
+		proper := err == nil && d1lc.Verify(in, col) == nil
+		total := rep.TotalDeferred()
+		for r := rep.Recursed; r != nil; r = r.Recursed {
+			total += r.TotalDeferred()
+		}
+		t.Add(s.name, s.opt.SeedBits, rep.TotalRounds(), rep.MaxDeferralFraction(), total, yesNo(proper))
+	}
+	return t
+}
+
+func init() { register("E7", e7SlackColorProgress) }
+
+// e7SlackColorProgress traces the SlackColor cascade: the fraction of live
+// participants should fall off steeply across the MultiTrial tower — the
+// O(log* n) progress shape of [HKNT22] / [SW10].
+func e7SlackColorProgress(cfg Config) *stats.Table {
+	t := stats.New("E7", "SlackColor progress trace",
+		"live counts per step; the mt-tower/geo steps should crush the live set",
+		"step", "participants", "colored", "sspFailures", "liveAfter")
+	n := cfg.sizes()[0] * 4
+	// Modest slack and high degree so the MultiTrial cascade does the
+	// work rather than the opening TryRandomColor rounds.
+	deg := 24
+	g := graph.RandomRegular(n, deg, cfg.Seed)
+	in := d1lc.RandomPalettes(g, 2, 3*deg, cfg.Seed)
+	st := hknt.NewState(in)
+	base := st.LiveNodes(nil)
+	tun := hknt.Tunables{TRCRounds: 1}.WithDefaults(n, deg)
+	steps := hknt.SlackColorSchedule("trace", base, 3*deg, tun)
+	for i := range steps {
+		step := &steps[i]
+		parts := step.Participants(st)
+		if len(parts) == 0 {
+			t.Add(step.Name, 0, 0, 0, 0)
+			continue
+		}
+		src := hknt.FreshSource{Root: cfg.Seed, Round: uint64(i), Bits: step.Bits}
+		prop := step.Propose(st, parts, src)
+		fails := len(step.Failures(st, parts, prop))
+		colored := st.Apply(prop)
+		t.Add(step.Name, len(parts), colored, fails, len(st.LiveNodes(nil)))
+	}
+	return t
+}
+
+func init() { register("E8", e8MIS) }
+
+// e8MIS compares randomized Luby against its framework derandomization
+// (the paper's Definition 5 worked example): rounds, set sizes, and the
+// conditional-expectations certificates.
+func e8MIS(cfg Config) *stats.Table {
+	t := stats.New("E8", "MIS: Luby vs derandomized Luby (Definition 5 example)",
+		"both must be independent+maximal; derandomized rounds comparable",
+		"graph", "n", "randRounds", "randSize", "detRounds", "detSize", "certOK", "valid")
+	for _, w := range []string{"gnp-sparse", "gnp-dense", "cycle", "mixed"} {
+		for _, n := range cfg.sizes()[:2] {
+			g, err := graph.Named(w, n, cfg.Seed)
+			if err != nil {
+				panic(err)
+			}
+			r := mis.Randomized(g, cfg.Seed, 400)
+			d := mis.Derandomized(g, mis.Options{SeedBits: cfg.SeedBits})
+			certOK := true
+			for _, c := range d.SeedReports {
+				if !c.Guarantee() {
+					certOK = false
+				}
+			}
+			valid := mis.IsIndependent(g, r.State) && mis.IsMaximal(g, r.State) &&
+				mis.IsIndependent(g, d.State) && mis.IsMaximal(g, d.State)
+			t.Add(w, n, r.Rounds, len(r.InSetNodes()), d.Rounds, len(d.InSetNodes()), yesNo(certOK), yesNo(valid))
+		}
+	}
+	return t
+}
+
+func init() { register("E9", e9SpaceAccounting) }
+
+// e9SpaceAccounting runs the communication-critical MPC primitives under
+// word-accurate space enforcement: local space s = n^φ must bound every
+// machine's storage and per-round traffic (Lemma 17's regime Δ ≤ √s).
+func e9SpaceAccounting(cfg Config) *stats.Table {
+	t := stats.New("E9", "MPC space accounting (Lemma 17 regime)",
+		"violations must be 0; ratios ≤ 1 certify the s = n^φ budget",
+		"n", "phi", "s", "maxDeg", "machines", "rounds", "storedRatio", "sentRatio", "recvRatio", "violations", "proper")
+	phis := []float64{0.5, 0.7}
+	for _, n := range cfg.sizes()[:2] {
+		for _, phi := range phis {
+			s := int(powF(float64(n), phi))
+			if s < 64 {
+				s = 64
+			}
+			// Keep Δ ≤ √s so the Lemma 17 subroutines are feasible.
+			d := intSqrt(s) / 2
+			if d < 3 {
+				d = 3
+			}
+			g := graph.RandomRegular(n, d, cfg.Seed)
+			in := d1lc.TrivialPalettes(g)
+			c, err := mpc.ClusterForGraph(g, s, false)
+			if err != nil {
+				t.Add(n, phi, s, d, 0, 0, 0.0, 0.0, 0.0, -1, "error")
+				continue
+			}
+			ok := mpc.LoadEdges(c, g) == nil &&
+				mpc.GatherNeighborhoods(c, g.N()) == nil &&
+				mpc.Gather2Hop(c, g) == nil
+			// One faithful TryRandomColor MPC round on top.
+			col := d1lc.NewColoring(g.N())
+			remaining := make([][]int32, g.N())
+			for v := range remaining {
+				remaining[v] = append([]int32(nil), in.Palettes[v]...)
+			}
+			for r := 0; r < 3 && ok; r++ {
+				ok = mpc.TryRandomColorRound(c, in, col, remaining, cfg.Seed, r) == nil
+			}
+			proper := ok && d1lc.VerifyPartial(in, col, false) == nil
+			m := c.Metrics
+			sf := float64(s)
+			t.Add(n, phi, s, g.MaxDegree(), len(c.Machines), m.Rounds,
+				float64(m.MaxStored)/sf, float64(m.MaxSent)/sf, float64(m.MaxReceived)/sf,
+				m.Violations, yesNo(proper))
+		}
+	}
+	return t
+}
+
+func init() { register("E10", e10Parallelism) }
+
+// e10Parallelism measures goroutine scaling of the seed-enumeration phase,
+// the dominant parallel workload (one independent Propose per seed).
+func e10Parallelism(cfg Config) *stats.Table {
+	t := stats.New("E10", "Worker scaling of seed enumeration",
+		"wall-clock per deterministic solve vs worker bound (1-CPU hosts show ≈1x)",
+		"workers", "millis", "speedupVs1")
+	n := cfg.sizes()[0] * 2
+	in := instanceFor("gnp-dense", n, cfg.Seed)
+	var base float64
+	for _, w := range []int{1, 2, 4, 8} {
+		prev := par.SetMaxWorkers(w)
+		start := time.Now()
+		_, _, err := deframe.Run(in, deframe.Options{SeedBits: cfg.SeedBits})
+		elapsed := time.Since(start).Seconds() * 1000
+		par.SetMaxWorkers(prev)
+		if err != nil {
+			t.Add(w, -1.0, 0.0)
+			continue
+		}
+		if w == 1 {
+			base = elapsed
+		}
+		speedup := 0.0
+		if elapsed > 0 {
+			speedup = base / elapsed
+		}
+		t.Add(w, elapsed, speedup)
+	}
+	return t
+}
+
+func powF(base, exp float64) float64 { return math.Pow(base, exp) }
+
+func intSqrt(n int) int { return int(math.Sqrt(float64(n))) }

@@ -1,0 +1,87 @@
+package graph
+
+// DegeneracyOrder computes a degeneracy ordering via the Matula–Beck
+// bucket algorithm: repeatedly remove a minimum-degree node. It returns
+// the removal order and the degeneracy (the largest minimum degree seen).
+// Greedy list coloring in *reverse* removal order needs at most
+// degeneracy+1 colors, the classical quality baseline the experiment
+// tables compare round-efficient algorithms against.
+func DegeneracyOrder(g *Graph) (order []int32, degeneracy int) {
+	n := g.N()
+	order = make([]int32, 0, n)
+	if n == 0 {
+		return order, 0
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(int32(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket queue by current degree.
+	buckets := make([][]int32, maxDeg+1)
+	pos := make([]int, n) // index of v within its bucket
+	for v := 0; v < n; v++ {
+		pos[v] = len(buckets[deg[v]])
+		buckets[deg[v]] = append(buckets[deg[v]], int32(v))
+	}
+	removed := make([]bool, n)
+	cur := 0
+	for len(order) < n {
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxDeg {
+			break
+		}
+		b := buckets[cur]
+		v := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[v] {
+			continue
+		}
+		removed[v] = true
+		order = append(order, v)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, u := range g.Neighbors(v) {
+			if removed[u] {
+				continue
+			}
+			// Move u down one bucket (lazy deletion: stale entries are
+			// skipped by the removed check; fresh position appended).
+			du := deg[u]
+			deg[u] = du - 1
+			bu := buckets[du]
+			// Swap-remove u's recorded slot if still valid.
+			if pos[u] < len(bu) && bu[pos[u]] == u {
+				last := bu[len(bu)-1]
+				bu[pos[u]] = last
+				if !removed[last] {
+					pos[last] = pos[u]
+				}
+				buckets[du] = bu[:len(bu)-1]
+			} else {
+				// Stale slot: scan (rare; keeps the algorithm simple).
+				for i, w := range bu {
+					if w == u {
+						last := bu[len(bu)-1]
+						bu[i] = last
+						pos[last] = i
+						buckets[du] = bu[:len(bu)-1]
+						break
+					}
+				}
+			}
+			pos[u] = len(buckets[du-1])
+			buckets[du-1] = append(buckets[du-1], u)
+			if du-1 < cur {
+				cur = du - 1
+			}
+		}
+	}
+	return order, degeneracy
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDegeneracyKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"complete-6", Complete(6), 5},
+		{"cycle-9", Cycle(9), 2},
+		{"path-5", Path(5), 1},
+		{"star-10", Star(10), 1},
+		{"tree(caterpillar legs=1 spine)", Caterpillar(6, 2), 1},
+		{"empty", Empty(4), 0},
+		{"grid-4x4", Grid(4, 4), 2},
+	}
+	for _, tc := range cases {
+		_, d := DegeneracyOrder(tc.g)
+		if d != tc.want {
+			t.Fatalf("%s: degeneracy %d want %d", tc.name, d, tc.want)
+		}
+	}
+}
+
+func TestDegeneracyOrderIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		g := Gnp(n, 0.2, seed)
+		order, _ := DegeneracyOrder(g)
+		if len(order) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range order {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegeneracyBackDegreeInvariant(t *testing.T) {
+	// Core property: in the removal order, each node has at most
+	// `degeneracy` neighbors among the *later* nodes.
+	f := func(seed uint64) bool {
+		g := Gnp(50, 0.25, seed)
+		order, d := DegeneracyOrder(g)
+		posOf := make([]int, g.N())
+		for i, v := range order {
+			posOf[v] = i
+		}
+		for i, v := range order {
+			later := 0
+			for _, u := range g.Neighbors(v) {
+				if posOf[u] > i {
+					later++
+				}
+			}
+			if later > d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegeneracyLowerBoundsMaxDegree(t *testing.T) {
+	g := PowerLaw(300, 4, 7)
+	_, d := DegeneracyOrder(g)
+	if d > g.MaxDegree() {
+		t.Fatalf("degeneracy %d exceeds Δ %d", d, g.MaxDegree())
+	}
+	if d == 0 && g.M() > 0 {
+		t.Fatal("nonzero edges need degeneracy ≥ 1")
+	}
+}
+
+func BenchmarkDegeneracyOrder(b *testing.B) {
+	g := Gnp(3000, 0.005, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = DegeneracyOrder(g)
+	}
+}

@@ -1,0 +1,363 @@
+// Package graph provides the compressed-sparse-row graph kernel shared by
+// every algorithm in the repository: construction, generators for the
+// workloads of the experiment suite, induced subgraphs (the self-reduction
+// step of Definition 11), line graphs (the (2Δ−1)-edge-coloring reduction),
+// bounded-radius power graphs (G^{4τ} for Lemma 10), and connected
+// components (the shattering experiment E5).
+//
+// Graphs are simple and undirected. Nodes are int32 indices [0, n).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"parcolor/internal/par"
+)
+
+// Graph is an immutable undirected simple graph in CSR form.
+// Adjacency lists are sorted ascending, which several algorithms rely on
+// (sorted-merge intersection in the ACD, binary-search adjacency tests).
+type Graph struct {
+	offsets []int32 // len n+1
+	adj     []int32 // len 2m, neighbor lists back to back
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u,v} is an edge, by binary search on the shorter
+// adjacency list.
+func (g *Graph) HasEdge(u, v int32) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}
+
+// MaxDegree returns Δ, the maximum degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	maxD := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		if d := g.Degree(v); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// Edges appends every edge {u,v} with u < v to dst and returns it.
+func (g *Graph) Edges(dst [][2]int32) [][2]int32 {
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				dst = append(dst, [2]int32{u, v})
+			}
+		}
+	}
+	return dst
+}
+
+// Validate checks structural invariants (sortedness, symmetry, no loops,
+// no duplicates) and returns a descriptive error on the first violation.
+// It is used by generator tests and by property-based tests.
+func (g *Graph) Validate() error {
+	n := int32(g.N())
+	for v := int32(0); v < n; v++ {
+		ns := g.Neighbors(v)
+		for i, u := range ns {
+			if u < 0 || u >= n {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", v, u)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if i > 0 && ns[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted at %d", v, i)
+			}
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("graph: edge %d-%d not symmetric", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges and
+// self-loops are dropped during Build, so generators may add carelessly.
+type Builder struct {
+	n     int
+	edges [][2]int32
+}
+
+// NewBuilder returns a builder for an n-node graph.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u,v}. Out-of-range endpoints panic:
+// they are programming errors in generators, not data errors.
+func (b *Builder) AddEdge(u, v int32) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: AddEdge(%d,%d) out of range n=%d", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int32{u, v})
+}
+
+// Build constructs the CSR graph. The builder may be reused afterwards.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	// Deduplicate.
+	uniq := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	deg := make([]int32, b.n+1)
+	for _, e := range uniq {
+		deg[e[0]+1]++
+		deg[e[1]+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		deg[i+1] += deg[i]
+	}
+	offsets := deg
+	adj := make([]int32, offsets[b.n])
+	cursor := make([]int32, b.n)
+	for _, e := range uniq {
+		u, v := e[0], e[1]
+		adj[offsets[u]+cursor[u]] = v
+		cursor[u]++
+		adj[offsets[v]+cursor[v]] = u
+		cursor[v]++
+	}
+	g := &Graph{offsets: offsets, adj: adj}
+	// Each list was filled in order of the second endpoint for the u side,
+	// but the v side receives u out of order; sort each list.
+	par.For(b.n, func(i int) {
+		lo, hi := offsets[i], offsets[i+1]
+		s := adj[lo:hi]
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	})
+	return g
+}
+
+// FromAdjacency constructs a graph directly from adjacency lists; used by
+// tests and by quick-check shrinkers. Lists may be unsorted and contain
+// duplicates; symmetry is completed automatically.
+func FromAdjacency(lists [][]int32) *Graph {
+	b := NewBuilder(len(lists))
+	for u, ns := range lists {
+		for _, v := range ns {
+			b.AddEdge(int32(u), v)
+		}
+	}
+	return b.Build()
+}
+
+// InducedSubgraph returns the subgraph induced by keep (any order, no
+// duplicates) along with origOf mapping new indices to original ones.
+// It is the graph half of D1LC self-reduction (Definition 11).
+func InducedSubgraph(g *Graph, keep []int32) (sub *Graph, origOf []int32) {
+	origOf = append([]int32(nil), keep...)
+	sort.Slice(origOf, func(i, j int) bool { return origOf[i] < origOf[j] })
+	newOf := make(map[int32]int32, len(origOf))
+	for i, v := range origOf {
+		newOf[v] = int32(i)
+	}
+	b := NewBuilder(len(origOf))
+	for i, v := range origOf {
+		for _, u := range g.Neighbors(v) {
+			if j, ok := newOf[u]; ok && int32(i) < j {
+				b.AddEdge(int32(i), j)
+			}
+		}
+	}
+	return b.Build(), origOf
+}
+
+// LineGraph returns the line graph L(G) (nodes = edges of G, adjacency =
+// sharing an endpoint) plus the list of original edges indexed by line-graph
+// node. A proper (deg+1)-list coloring of L(G) with palettes of size
+// 2Δ−1 yields a (2Δ−1)-edge coloring of G.
+func LineGraph(g *Graph) (lg *Graph, edges [][2]int32) {
+	edges = g.Edges(nil)
+	idx := make(map[[2]int32]int32, len(edges))
+	for i, e := range edges {
+		idx[e] = int32(i)
+	}
+	b := NewBuilder(len(edges))
+	for i, e := range edges {
+		for _, end := range e {
+			for _, w := range g.Neighbors(end) {
+				other := [2]int32{end, w}
+				if other[0] > other[1] {
+					other[0], other[1] = other[1], other[0]
+				}
+				if j, ok := idx[other]; ok && int32(i) < j {
+					b.AddEdge(int32(i), j)
+				}
+			}
+		}
+	}
+	return b.Build(), edges
+}
+
+// BallBounded performs a BFS from v up to depth radius, appending every
+// node at distance in [1, radius] to dst (excluding v itself) and returning
+// it. If the ball exceeds maxSize nodes the traversal stops and ok is
+// false; this is how callers enforce MPC local-space limits when collecting
+// τ-hop neighborhoods (Lemma 17).
+//
+// scratch must be a caller-owned slice of length g.N() initialized to -1;
+// it is restored to -1 before returning, so it can be reused across calls.
+func BallBounded(g *Graph, v int32, radius, maxSize int, dst []int32, scratch []int32) (out []int32, ok bool) {
+	out = dst[:0]
+	if radius <= 0 {
+		return out, true
+	}
+	scratch[v] = 0
+	frontier := []int32{v}
+	touched := []int32{v}
+	ok = true
+bfs:
+	for depth := 1; depth <= radius && len(frontier) > 0; depth++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(u) {
+				if scratch[w] >= 0 {
+					continue
+				}
+				scratch[w] = int32(depth)
+				touched = append(touched, w)
+				out = append(out, w)
+				next = append(next, w)
+				if maxSize > 0 && len(out) > maxSize {
+					ok = false
+					break bfs
+				}
+			}
+		}
+		frontier = next
+	}
+	for _, u := range touched {
+		scratch[u] = -1
+	}
+	if !ok {
+		return out[:0], false
+	}
+	return out, true
+}
+
+// PowerGraph returns G^radius restricted to nodes whose balls stay within
+// maxBall (0 = unbounded): nodes u,v are adjacent iff their distance in G
+// is in [1, radius]. Used to build the G^{4τ} instance whose coloring
+// assigns PRG chunks in Lemma 10.
+func PowerGraph(g *Graph, radius, maxBall int) (*Graph, error) {
+	n := g.N()
+	b := NewBuilder(n)
+	scratch := make([]int32, n)
+	for i := range scratch {
+		scratch[i] = -1
+	}
+	var ball []int32
+	for v := int32(0); v < int32(n); v++ {
+		var ok bool
+		ball, ok = BallBounded(g, v, radius, maxBall, ball, scratch)
+		if !ok {
+			return nil, fmt.Errorf("graph: ball of %d exceeds limit %d in G^%d", v, maxBall, radius)
+		}
+		for _, u := range ball {
+			if v < u {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Components labels connected components; comp[v] is the component id of v
+// (ids are dense, assigned in order of smallest member), and sizes[i] is the
+// size of component i.
+func Components(g *Graph) (comp []int32, sizes []int32) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	next := int32(0)
+	for v := int32(0); v < int32(n); v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		comp[v] = next
+		size := int32(1)
+		queue = append(queue[:0], v)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(u) {
+				if comp[w] < 0 {
+					comp[w] = next
+					size++
+					queue = append(queue, w)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+		next++
+	}
+	return comp, sizes
+}
+
+// CountEdgesAmong returns the number of edges of g with both endpoints in
+// set (given as a sorted slice). It is m(N(v)) in the sparsity parameter of
+// Definition 2. The implementation iterates the smaller-degree side of each
+// candidate pair via merge intersection, costing O(Σ_{u∈set} d(u)).
+func CountEdgesAmong(g *Graph, set []int32) int64 {
+	if len(set) < 2 {
+		return 0
+	}
+	inSet := func(x int32) bool {
+		i := sort.Search(len(set), func(i int) bool { return set[i] >= x })
+		return i < len(set) && set[i] == x
+	}
+	var cnt int64
+	for _, u := range set {
+		for _, w := range g.Neighbors(u) {
+			if w > u && inSet(w) {
+				cnt++
+			}
+		}
+	}
+	return cnt
+}

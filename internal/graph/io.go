@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// This file provides the edge-list exchange format used by the CLIs:
+//
+//	n m
+//	u v        (one line per edge, 0-based node ids)
+//
+// Lines starting with '#' are comments and are skipped.
+
+// WriteEdgeList writes g in the exchange format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the exchange format. Duplicate edges and self-loops
+// are dropped (Builder semantics); the declared m is validated against the
+// number of distinct edges read.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var n, m int
+	if err := scanHeader(br, &n, &m); err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative header %d %d", n, m)
+	}
+	b := NewBuilder(n)
+	read := 0
+	for {
+		var u, v int32
+		_, err := fmt.Fscan(br, &u, &v)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %v", read, err)
+		}
+		if u < 0 || v < 0 || int(u) >= n || int(v) >= n {
+			return nil, fmt.Errorf("graph: edge %d-%d out of range n=%d", u, v, n)
+		}
+		b.AddEdge(u, v)
+		read++
+	}
+	if read != m {
+		return nil, fmt.Errorf("graph: header declares %d edges, file has %d", m, read)
+	}
+	return b.Build(), nil
+}
+
+// scanHeader reads the "n m" line, skipping '#' comments.
+func scanHeader(br *bufio.Reader, n, m *int) error {
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("graph: missing header: %v", err)
+		}
+		if c == '#' {
+			if _, err := br.ReadString('\n'); err != nil {
+				return err
+			}
+			continue
+		}
+		if c == '\n' || c == ' ' || c == '\t' || c == '\r' {
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return err
+		}
+		_, err = fmt.Fscan(br, n, m)
+		return err
+	}
+}

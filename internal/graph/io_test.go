@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{Gnp(120, 0.05, 1), Complete(10), Cycle(9), Empty(5)} {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			t.Fatalf("round trip size: %d/%d vs %d/%d", got.N(), got.M(), g.N(), g.M())
+		}
+		for v := int32(0); v < int32(g.N()); v++ {
+			a, b := g.Neighbors(v), got.Neighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("adjacency of %d differs", v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("adjacency of %d differs", v)
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeListRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		g := Gnp(n, 0.3, seed)
+		var buf bytes.Buffer
+		if WriteEdgeList(&buf, g) != nil {
+			return false
+		}
+		got, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		return got.N() == g.N() && got.M() == g.M() && got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# a workload\n# generated\n3 2\n0 1\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 || !g.HasEdge(0, 1) {
+		t.Fatal("parse wrong")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad-header":   "x y\n",
+		"out-of-range": "2 1\n0 5\n",
+		"wrong-count":  "3 5\n0 1\n",
+		"negative":     "-3 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

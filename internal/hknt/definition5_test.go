@@ -1,0 +1,117 @@
+package hknt
+
+// Direct tests of the Definition 5 structure for coloring procedures: the
+// paper's key observation (Section 4.1) is that deferring any subset of
+// nodes can only *help* the others — deferred nodes leave neighbors'
+// degrees but block no colors, so slack is monotone under deferral and
+// SSP ⇒ WSP for every deferral pattern. These properties are what make
+// the whole framework sound; they are checked here as executable lemmas.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+)
+
+func TestDeferralMonotonicityProperty(t *testing.T) {
+	// For ANY subset D of live nodes deferred, every remaining live node's
+	// slack is ≥ its slack before, strictly increasing per deferred
+	// neighbor.
+	f := func(seed uint64, mask uint64) bool {
+		g := graph.Gnp(40, 0.2, seed)
+		st := NewState(d1lc.TrivialPalettes(g))
+		// Color a few nodes first to make remaining palettes non-trivial.
+		prop := TryRandomColorPropose(st, st.LiveNodes(nil), FreshSource{Root: seed, Bits: 512})
+		st.Apply(prop)
+		before := make([]int, g.N())
+		for v := int32(0); v < int32(g.N()); v++ {
+			before[v] = st.Slack(v)
+		}
+		deferredNbrs := make([]int, g.N())
+		for v := int32(0); v < int32(g.N()); v++ {
+			if st.Live(v) && mask>>(uint(v)%64)&1 == 1 {
+				for _, u := range g.Neighbors(v) {
+					deferredNbrs[u]++
+				}
+				st.Defer(v)
+			}
+		}
+		for v := int32(0); v < int32(g.N()); v++ {
+			if !st.Live(v) {
+				continue
+			}
+			if st.Slack(v) != before[v]+deferredNbrs[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSPImpliesWSPForSlackProperties(t *testing.T) {
+	// The Lemma 13 pattern: SSP_v = "slack(v) ≥ c·liveDeg(v)". If v
+	// satisfies it and then any set of OTHER nodes defers, v must still
+	// satisfy it (the WSP with Defer-extended domain). Monotonicity gives
+	// it: slack can only rise, liveDeg only fall.
+	f := func(seed uint64, mask uint64) bool {
+		g := graph.RandomRegular(36, 6, seed)
+		st := NewState(d1lc.RandomPalettes(g, 2, 30, seed))
+		type obs struct {
+			slack, deg int
+		}
+		pre := map[int32]obs{}
+		for v := int32(0); v < int32(g.N()); v++ {
+			pre[v] = obs{st.Slack(v), st.LiveDegree(v)}
+		}
+		const c = 1 // slack ≥ liveDeg is the SSP under test
+		satisfiedBefore := map[int32]bool{}
+		for v, o := range pre {
+			satisfiedBefore[v] = o.slack >= c*o.deg
+		}
+		for v := int32(0); v < int32(g.N()); v++ {
+			if st.Live(v) && mask>>(uint(v)%64)&1 == 1 {
+				st.Defer(v)
+			}
+		}
+		for v := int32(0); v < int32(g.N()); v++ {
+			if !st.Live(v) || !satisfiedBefore[v] {
+				continue
+			}
+			if st.Slack(v) < c*st.LiveDegree(v) {
+				return false // SSP held, deferral broke WSP: forbidden
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProposalWinsSurviveAnyDeferralOfLosers(t *testing.T) {
+	// Committing a proposal's wins after deferring any subset of
+	// non-winners still yields a proper partial coloring: wins never
+	// depend on losers' presence.
+	f := func(seed uint64, mask uint64) bool {
+		g := graph.Gnp(35, 0.25, seed)
+		in := d1lc.TrivialPalettes(g)
+		st := NewState(in)
+		parts := st.LiveNodes(nil)
+		prop := TryRandomColorPropose(st, parts, FreshSource{Root: seed, Bits: 512})
+		for _, v := range parts {
+			if prop.Color[v] == d1lc.Uncolored && mask>>(uint(v)%64)&1 == 1 && st.Live(v) {
+				st.Defer(v)
+			}
+		}
+		st.Apply(prop)
+		return d1lc.VerifyPartial(in, st.Col, false) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package hknt
+
+// Faithfulness cross-checks: the fast shared-state trial implementations
+// must produce exactly the outcomes of a literal message-passing LOCAL
+// implementation (package local) of the same pseudocode with the same
+// randomness. This pins the shared-state versions to the paper's
+// Algorithm 3/4 semantics.
+
+import (
+	"testing"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+	"parcolor/internal/local"
+	"parcolor/internal/rng"
+)
+
+// localTryRandomColor runs Algorithm 3 literally on the LOCAL engine:
+// round 1 broadcasts candidates, receivers decide; the decision must equal
+// the proposal of TryRandomColorPropose under the same per-node bits.
+func localTryRandomColor(g *graph.Graph, st *State, bitsAt func(v int32) *rng.Bits) []int32 {
+	n := g.N()
+	cand := make([]int32, n)
+	won := make([]int32, n)
+	for v := range cand {
+		cand[v] = d1lc.Uncolored
+		won[v] = d1lc.Uncolored
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if !st.Live(v) || len(st.Rem[v]) == 0 {
+			continue
+		}
+		cand[v] = st.Rem[v][bitsAt(v).TakeIntn(len(st.Rem[v]))]
+	}
+	eng := local.New(g)
+	eng.Run(local.Round{
+		Broadcast: func(v int32) []int32 {
+			if cand[v] == d1lc.Uncolored {
+				return nil
+			}
+			return []int32{cand[v]}
+		},
+		Receive: func(v int32, in local.Inbox) {
+			if cand[v] == d1lc.Uncolored {
+				return
+			}
+			for _, m := range in.Msgs {
+				if m[0] == cand[v] {
+					return
+				}
+			}
+			won[v] = cand[v]
+		},
+	})
+	return won
+}
+
+func TestTryRandomColorMatchesLocalEngine(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		g := graph.Gnp(60, 0.12, seed)
+		st := NewState(d1lc.TrivialPalettes(g))
+		parts := st.LiveNodes(nil)
+		bits := 256
+		src := FreshSource{Root: seed, Round: 0, Bits: bits}
+		prop := TryRandomColorPropose(st, parts, src)
+		ref := localTryRandomColor(g, st, func(v int32) *rng.Bits {
+			return FreshSource{Root: seed, Round: 0, Bits: bits}.BitsFor(v)
+		})
+		for v := int32(0); v < int32(g.N()); v++ {
+			if prop.Color[v] != ref[v] {
+				t.Fatalf("seed %d node %d: fast=%d engine=%d", seed, v, prop.Color[v], ref[v])
+			}
+		}
+	}
+}
+
+// localMultiTrial runs Algorithm 4 literally: broadcast candidate sets,
+// keep the first own candidate in nobody else's set.
+func localMultiTrial(g *graph.Graph, st *State, x int, bitsAt func(v int32) *rng.Bits) []int32 {
+	n := g.N()
+	sets := make([][]int32, n)
+	won := make([]int32, n)
+	for v := range won {
+		won[v] = d1lc.Uncolored
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if !st.Live(v) || len(st.Rem[v]) == 0 {
+			continue
+		}
+		sets[v] = sampleColors(st.Rem[v], x, bitsAt(v))
+	}
+	eng := local.New(g)
+	eng.Run(local.Round{
+		Broadcast: func(v int32) []int32 { return sets[v] },
+		Receive: func(v int32, in local.Inbox) {
+			if sets[v] == nil {
+				return
+			}
+			blocked := map[int32]bool{}
+			for _, m := range in.Msgs {
+				for _, c := range m {
+					blocked[c] = true
+				}
+			}
+			for _, c := range sets[v] {
+				if !blocked[c] {
+					won[v] = c
+					return
+				}
+			}
+		},
+	})
+	return won
+}
+
+func TestMultiTrialMatchesLocalEngine(t *testing.T) {
+	for _, x := range []int{1, 2, 4} {
+		g := graph.RandomRegular(50, 6, uint64(x))
+		st := NewState(d1lc.RandomPalettes(g, 3, 30, uint64(x)))
+		parts := st.LiveNodes(nil)
+		bits := MultiTrialBits(x, 30) * 2
+		src := FreshSource{Root: 9, Round: uint64(x), Bits: bits}
+		prop := MultiTrialPropose(st, parts, x, src)
+		ref := localMultiTrial(g, st, x, func(v int32) *rng.Bits {
+			return FreshSource{Root: 9, Round: uint64(x), Bits: bits}.BitsFor(v)
+		})
+		for v := int32(0); v < int32(g.N()); v++ {
+			if prop.Color[v] != ref[v] {
+				t.Fatalf("x=%d node %d: fast=%d engine=%d", x, v, prop.Color[v], ref[v])
+			}
+		}
+	}
+}
+
+// TestTRCMatchesMPCEngine ties all three tiers together: the shared-state
+// trial, the LOCAL engine, and the full MPC cluster implementation
+// (mpc.TryRandomColorRound) pick candidates from the same (seed, node,
+// round) streams; the MPC tier resolves identically.
+func TestWordBudgetsGenerous(t *testing.T) {
+	// Declared per-node budgets must cover the worst-case draws of each
+	// trial (sampling x colors, leader permutations, Bernoulli draws).
+	maxPal := 64
+	if TryRandomColorBits(maxPal) < rng.IntnBits(maxPal) {
+		t.Fatal("TRC budget too small")
+	}
+	if MultiTrialBits(8, maxPal) < 8*rng.IntnBits(maxPal) {
+		t.Fatal("MultiTrial budget too small")
+	}
+	if GenerateSlackBits(maxPal) < rng.IntnBits(10)+rng.IntnBits(maxPal) {
+		t.Fatal("GenerateSlack budget too small")
+	}
+	if SynchColorTrialBits(16, maxPal) < 16*rng.IntnBits(maxPal) {
+		t.Fatal("SynchColorTrial budget too small")
+	}
+}

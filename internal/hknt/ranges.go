@@ -1,0 +1,98 @@
+package hknt
+
+import "math"
+
+// This file implements the degree-range peeling of [HKNT22] / Section 3:
+// the algorithm colors nodes in ranges of degree [T(i+1), T(i)] where
+// T(0) = n and T(i+1) = lowDegFn(T(i)) (the paper uses log⁷; we use the
+// scaled threshold function of Tunables), giving O(log* n) ranges overall.
+// Each range runs the ColorMiddle pipeline restricted to its nodes; nodes
+// below the final threshold go to the low-degree solver.
+
+// DegreeRanges returns the descending sequence of degree thresholds
+// T(0) > T(1) > … > T(k) ≥ floor produced by iterating threshold; it
+// terminates when the value stops decreasing or reaches the floor. For
+// the paper's log-style thresholds the sequence has O(log* n) entries.
+func DegreeRanges(n int, threshold func(int) int, floor int) []int {
+	if floor < 1 {
+		floor = 1
+	}
+	var out []int
+	cur := n
+	for cur > floor {
+		out = append(out, cur)
+		next := threshold(cur)
+		if next >= cur || next < floor {
+			break
+		}
+		cur = next
+	}
+	out = append(out, floor)
+	return out
+}
+
+// ScaledThreshold is the repository's stand-in for the paper's log⁷:
+// T ↦ max(floor, ⌈(log₂ T)^1.5⌉). It contracts to its fixed point in
+// O(log* n)-like steps at any feasible scale.
+func ScaledThreshold(floor int) func(int) int {
+	return func(t int) int {
+		v := int(math.Ceil(math.Pow(math.Log2(float64(t+2)), 1.5)))
+		if v < floor {
+			v = floor
+		}
+		return v
+	}
+}
+
+// RangeStats records one range of a peeled run.
+type RangeStats struct {
+	High, Low    int // degree range (Low, High]
+	Participants int
+	Colored      int
+	LocalRounds  int
+}
+
+// RangedRandomizedColor runs the full multi-range randomized algorithm:
+// for each degree range (T(i+1), T(i)], build and run the ColorMiddle
+// pipeline over nodes whose *current* live degree falls in the range;
+// afterwards run the low-degree cleanup and the greedy finisher. This
+// reproduces the structure "color [log⁷n, n], then [log⁷log n, log⁷n], …"
+// of the paper's Section 3, with the scaled threshold function.
+func RangedRandomizedColor(st *State, seed uint64, tun Tunables) ([]RangeStats, error) {
+	g := st.In.G
+	n := g.N()
+	tun = tun.WithDefaults(n, g.MaxDegree())
+	thresholds := DegreeRanges(maxInt(g.MaxDegree(), tun.LowDeg), ScaledThreshold(tun.LowDeg), tun.LowDeg)
+	var out []RangeStats
+
+	for i := 0; i+1 < len(thresholds); i++ {
+		high, low := thresholds[i], thresholds[i+1]
+		rs := RangeStats{High: high, Low: low}
+		// Restrict the pipeline to this range via the LowDeg knob: the
+		// builder schedules only nodes with degree ≥ low; nodes above the
+		// range's high were colored by earlier ranges (or participate
+		// again harmlessly — their palettes are already pruned).
+		rangeTun := tun
+		rangeTun.LowDeg = low
+		participants := 0
+		for v := int32(0); v < int32(n); v++ {
+			if st.Live(v) && g.Degree(v) > low && g.Degree(v) <= high {
+				participants++
+			}
+		}
+		rs.Participants = participants
+		if participants > 0 {
+			build := BuildColorMiddle(st, rangeTun)
+			before := st.Col.UncoloredCount()
+			stats := RunRandomized(st, build.Schedule, seed^uint64(i*0x9E37))
+			rs.Colored = before - st.Col.UncoloredCount()
+			rs.LocalRounds = stats.LocalRounds
+		}
+		out = append(out, rs)
+	}
+	CleanupRounds(st, seed, 4*approxLog2(n+2))
+	if err := FinishGreedy(st); err != nil {
+		return out, err
+	}
+	return out, nil
+}

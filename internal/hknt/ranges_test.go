@@ -1,0 +1,83 @@
+package hknt
+
+import (
+	"testing"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+)
+
+func TestDegreeRangesDescending(t *testing.T) {
+	th := ScaledThreshold(8)
+	ranges := DegreeRanges(1_000_000, th, 8)
+	if len(ranges) < 3 {
+		t.Fatalf("expected several ranges, got %v", ranges)
+	}
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i] >= ranges[i-1] {
+			t.Fatalf("not strictly descending: %v", ranges)
+		}
+	}
+	if ranges[len(ranges)-1] != 8 {
+		t.Fatalf("floor not reached: %v", ranges)
+	}
+	// log*-like: even for n = 10^6 the sequence is tiny.
+	if len(ranges) > 8 {
+		t.Fatalf("too many ranges (%d): threshold not contracting fast", len(ranges))
+	}
+}
+
+func TestDegreeRangesSmallN(t *testing.T) {
+	ranges := DegreeRanges(5, ScaledThreshold(8), 8)
+	if len(ranges) != 1 || ranges[0] != 8 {
+		t.Fatalf("tiny n: %v", ranges)
+	}
+}
+
+func TestScaledThresholdContracts(t *testing.T) {
+	th := ScaledThreshold(4)
+	for _, n := range []int{100, 10_000, 1_000_000} {
+		if th(n) >= n {
+			t.Fatalf("threshold(%d)=%d does not contract", n, th(n))
+		}
+	}
+}
+
+func TestRangedRandomizedColorProper(t *testing.T) {
+	cases := map[string]*d1lc.Instance{
+		"powerlaw": d1lc.TrivialPalettes(graph.PowerLaw(400, 6, 1)), // heavy tail spans ranges
+		"mixed":    d1lc.TrivialPalettes(graph.Mixed(300, 2)),
+		"gnp":      d1lc.TrivialPalettes(graph.Gnp(250, 0.08, 3)),
+	}
+	for name, in := range cases {
+		st := NewState(in)
+		ranges, err := RangedRandomizedColor(st, 7, Tunables{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := d1lc.Verify(in, st.Col); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ranges) == 0 {
+			t.Fatalf("%s: no ranges executed", name)
+		}
+	}
+}
+
+func TestRangedColorsHighDegreeFirst(t *testing.T) {
+	// On a power-law graph the first range must contain the hubs.
+	in := d1lc.TrivialPalettes(graph.PowerLaw(500, 8, 4))
+	st := NewState(in)
+	ranges, err := RangedRandomizedColor(st, 3, Tunables{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranges[0].Participants == 0 {
+		t.Fatalf("first range empty: %+v", ranges)
+	}
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].High <= ranges[i].Low {
+			t.Fatalf("malformed range %+v", ranges[i])
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package hknt implements the LOCAL (degree+1)-list-coloring algorithm of
+// Halldórsson, Kuhn, Nolin and Tonoyan (STOC'22) as structured in
+// Section 2.2 of the paper: TryRandomColor, MultiTrial, GenerateSlack,
+// SlackColor, the Vstart machinery, SynchColorTrial, PutAside, and the
+// ColorSparse / ColorDense / ColorMiddle drivers.
+//
+// Every randomized subroutine is expressed as a pure *trial*: a Propose
+// function that reads the current State plus a per-node random-bit source
+// and returns a Proposal (colors won, or put-aside marks) without mutating
+// anything. The randomized pipeline applies proposals directly with fresh
+// randomness; the derandomization framework (package deframe) instead
+// scores proposals across a PRG seed space, applies the best, and defers
+// strong-success-property failures — exactly the normal-procedure shape of
+// Definition 5 that Lemma 13 establishes for these subroutines.
+package hknt
+
+import (
+	"fmt"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/local"
+	"parcolor/internal/rng"
+)
+
+// RandSource provides each node's random bits for one trial.
+// prg.ChunkedSource satisfies it (PRG chunks); FreshSource draws true
+// pseudorandomness.
+type RandSource interface {
+	BitsFor(v int32) *rng.Bits
+}
+
+// FreshSource derives an independent bit string per node from a root seed
+// and a round number: the randomized baseline's source.
+type FreshSource struct {
+	Root  uint64
+	Round uint64
+	Bits  int
+}
+
+// BitsFor returns node v's fresh bits.
+func (f FreshSource) BitsFor(v int32) *rng.Bits {
+	return rng.FreshBits(rng.At2(f.Root, uint64(v), f.Round), f.Bits)
+}
+
+// State is the evolving coloring state shared by every subroutine.
+type State struct {
+	In  *d1lc.Instance
+	Col *d1lc.Coloring
+	// Rem[v] is v's remaining palette: the input palette minus permanent
+	// colors of already-colored neighbors. Maintained by SetColor.
+	Rem [][]int32
+	// liveDeg[v] counts v's uncolored, non-deferred neighbors.
+	liveDeg []int32
+	// Deferred marks nodes removed from the current pipeline run; they are
+	// re-colored later through self-reduction (Definition 11).
+	Deferred []bool
+	// PutAside marks Algorithm 9 nodes: out of the running like deferred
+	// nodes (so neighbors gain slack) but colored by their clique leader in
+	// the pipeline's finisher rather than by recursion.
+	PutAside []bool
+	// Meter accounts LOCAL rounds consumed.
+	Meter local.Meter
+}
+
+// NewState initializes the run state for an instance.
+func NewState(in *d1lc.Instance) *State {
+	n := in.G.N()
+	st := &State{
+		In:       in,
+		Col:      d1lc.NewColoring(n),
+		Rem:      make([][]int32, n),
+		liveDeg:  make([]int32, n),
+		Deferred: make([]bool, n),
+		PutAside: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		st.Rem[v] = append([]int32(nil), in.Palettes[v]...)
+		st.liveDeg[v] = int32(in.G.Degree(int32(v)))
+	}
+	return st
+}
+
+// LiveDegree returns the number of uncolored, non-deferred neighbors of v.
+func (st *State) LiveDegree(v int32) int { return int(st.liveDeg[v]) }
+
+// Slack returns |Rem(v)| − liveDegree(v). Deferring neighbors increases
+// slack (they leave the degree but block no colors): the monotonicity at
+// the heart of Definition 5's deferral-tolerance for coloring.
+func (st *State) Slack(v int32) int {
+	return len(st.Rem[v]) - int(st.liveDeg[v])
+}
+
+// Colored reports whether v has a permanent color.
+func (st *State) Colored(v int32) bool { return st.Col.Colors[v] != d1lc.Uncolored }
+
+// Live reports whether v is uncolored, not deferred, and not put aside.
+func (st *State) Live(v int32) bool {
+	return !st.Colored(v) && !st.Deferred[v] && !st.PutAside[v]
+}
+
+// HasRem reports whether c remains in v's palette.
+func (st *State) HasRem(v, c int32) bool {
+	for _, x := range st.Rem[v] {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// SetColor permanently colors v with c, pruning neighbors' palettes and
+// degrees. It panics on a violation (c missing from Rem[v] or a colored
+// neighbor already holding c): proposals are conflict-free by
+// construction, so a violation is a bug, not a data condition.
+func (st *State) SetColor(v, c int32) {
+	if st.Colored(v) {
+		panic(fmt.Sprintf("hknt: SetColor(%d) already colored", v))
+	}
+	if !st.HasRem(v, c) {
+		panic(fmt.Sprintf("hknt: SetColor(%d,%d) color not in remaining palette", v, c))
+	}
+	for _, u := range st.In.G.Neighbors(v) {
+		if st.Col.Colors[u] == c {
+			panic(fmt.Sprintf("hknt: SetColor(%d,%d) conflicts with neighbor %d", v, c, u))
+		}
+	}
+	wasLive := st.Live(v) // deferred/put-aside nodes already left degrees
+	st.Col.Colors[v] = c
+	for _, u := range st.In.G.Neighbors(v) {
+		if wasLive {
+			st.liveDeg[u]--
+		}
+		if !st.Colored(u) {
+			st.Rem[u] = removeColor(st.Rem[u], c)
+		}
+	}
+}
+
+// MarkPutAside moves v into the put-aside set: neighbors' live degrees
+// drop (slack improves) and v stops participating until the schedule's
+// finisher colors it from its maintained remaining palette.
+func (st *State) MarkPutAside(v int32) {
+	if !st.Live(v) {
+		panic(fmt.Sprintf("hknt: MarkPutAside(%d) not live", v))
+	}
+	st.PutAside[v] = true
+	for _, u := range st.In.G.Neighbors(v) {
+		st.liveDeg[u]--
+	}
+}
+
+// Defer removes v from the current run: neighbors' live degrees drop but
+// their palettes keep all colors, so every neighbor's slack strictly
+// improves. Deferring an already-deferred or colored node panics.
+func (st *State) Defer(v int32) {
+	if st.Deferred[v] || st.Colored(v) {
+		panic(fmt.Sprintf("hknt: Defer(%d) not live", v))
+	}
+	st.Deferred[v] = true
+	for _, u := range st.In.G.Neighbors(v) {
+		st.liveDeg[u]--
+	}
+}
+
+// DeferredNodes returns the deferred set.
+func (st *State) DeferredNodes() []int32 {
+	var out []int32
+	for v := int32(0); v < int32(len(st.Deferred)); v++ {
+		if st.Deferred[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func removeColor(pal []int32, c int32) []int32 {
+	for i, x := range pal {
+		if x == c {
+			return append(pal[:i], pal[i+1:]...)
+		}
+	}
+	return pal
+}
+
+// Proposal is the pure outcome of one trial: for each node either a color
+// to commit (Uncolored = none) or a put-aside mark.
+type Proposal struct {
+	// Color[v] is the color v won this trial, or d1lc.Uncolored.
+	Color []int32
+	// Mark[v] flags v for the put-aside set (PutAside trials only; nil
+	// otherwise).
+	Mark []bool
+}
+
+// NewProposal allocates an empty proposal for n nodes.
+func NewProposal(n int) Proposal {
+	p := Proposal{Color: make([]int32, n)}
+	for i := range p.Color {
+		p.Color[i] = d1lc.Uncolored
+	}
+	return p
+}
+
+// Apply commits every win and put-aside mark in the proposal. Wins are
+// conflict-free by trial construction; they are applied in node order,
+// which is deterministic.
+func (st *State) Apply(p Proposal) (colored int) {
+	for v := int32(0); v < int32(len(p.Color)); v++ {
+		if c := p.Color[v]; c != d1lc.Uncolored && st.Live(v) {
+			st.SetColor(v, c)
+			colored++
+		}
+	}
+	if p.Mark != nil {
+		for v := int32(0); v < int32(len(p.Mark)); v++ {
+			if p.Mark[v] && st.Live(v) {
+				st.MarkPutAside(v)
+			}
+		}
+	}
+	return colored
+}
+
+// LiveNodes returns all live nodes, optionally filtered.
+func (st *State) LiveNodes(filter func(v int32) bool) []int32 {
+	var out []int32
+	for v := int32(0); v < int32(st.In.G.N()); v++ {
+		if st.Live(v) && (filter == nil || filter(v)) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

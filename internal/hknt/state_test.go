@@ -1,0 +1,162 @@
+package hknt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+)
+
+func TestNewStateInitialInvariants(t *testing.T) {
+	g := graph.Cycle(6)
+	in := d1lc.TrivialPalettes(g)
+	st := NewState(in)
+	for v := int32(0); v < 6; v++ {
+		if st.LiveDegree(v) != 2 || st.Slack(v) != 1 {
+			t.Fatalf("node %d: deg=%d slack=%d", v, st.LiveDegree(v), st.Slack(v))
+		}
+		if !st.Live(v) {
+			t.Fatal("all nodes should start live")
+		}
+	}
+}
+
+func TestSetColorPrunesNeighbors(t *testing.T) {
+	g := graph.Path(3) // 0-1-2
+	in := d1lc.TrivialPalettes(g)
+	st := NewState(in)
+	st.SetColor(1, 0)
+	if st.LiveDegree(0) != 0 || st.LiveDegree(2) != 0 {
+		t.Fatal("live degrees not decremented")
+	}
+	if st.HasRem(0, 0) || st.HasRem(2, 0) {
+		t.Fatal("color 0 not pruned from neighbors")
+	}
+	// Slack preserved: lost one palette color and one degree.
+	if st.Slack(0) != 1 || st.Slack(2) != 1 {
+		t.Fatalf("slack after prune: %d,%d", st.Slack(0), st.Slack(2))
+	}
+}
+
+func TestSetColorPanicsOnConflict(t *testing.T) {
+	g := graph.Path(2)
+	in := d1lc.TrivialPalettes(g)
+	st := NewState(in)
+	st.SetColor(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic coloring neighbor with same color")
+		}
+	}()
+	// Color 1 was pruned from node 1's Rem, so this panics on HasRem.
+	st.SetColor(1, 1)
+}
+
+func TestDeferIncreasesNeighborSlack(t *testing.T) {
+	g := graph.Star(4)
+	in := d1lc.TrivialPalettes(g)
+	st := NewState(in)
+	before := st.Slack(0)
+	st.Defer(1)
+	if st.Slack(0) != before+1 {
+		t.Fatalf("slack %d want %d", st.Slack(0), before+1)
+	}
+	if st.Live(1) {
+		t.Fatal("deferred node still live")
+	}
+	// Palette of the center must be untouched.
+	if len(st.Rem[0]) != 4 {
+		t.Fatal("defer must not prune palettes")
+	}
+}
+
+func TestPutAsideThenColorNoDoubleDecrement(t *testing.T) {
+	g := graph.Path(3)
+	in := d1lc.TrivialPalettes(g)
+	st := NewState(in)
+	st.MarkPutAside(1)
+	if st.LiveDegree(0) != 0 {
+		t.Fatal("putaside should drop neighbor degree")
+	}
+	st.SetColor(0, 0)
+	// Coloring node 0 must NOT decrement node 1's neighbors again via 1.
+	st.SetColor(1, 1) // putaside node colored by finisher path
+	if st.LiveDegree(2) != 0 {
+		t.Fatalf("liveDeg(2)=%d want 0", st.LiveDegree(2))
+	}
+	// Node 2 lost neighbor 1 once (putaside), and again at SetColor(1)
+	// would be a double decrement — guard ensures exactly one.
+	if err := d1lc.VerifyPartial(in, st.Col, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlackMonotoneUnderRandomColoring(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.Gnp(30, 0.2, seed)
+		in := d1lc.TrivialPalettes(g)
+		st := NewState(in)
+		slackBefore := make([]int, 30)
+		for v := int32(0); v < 30; v++ {
+			slackBefore[v] = st.Slack(v)
+		}
+		parts := st.LiveNodes(nil)
+		prop := TryRandomColorPropose(st, parts, FreshSource{Root: seed, Bits: 512})
+		st.Apply(prop)
+		for v := int32(0); v < 30; v++ {
+			if !st.Live(v) {
+				continue
+			}
+			if st.Slack(v) < slackBefore[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyProposalWithMarks(t *testing.T) {
+	g := graph.Cycle(5)
+	in := d1lc.TrivialPalettes(g)
+	st := NewState(in)
+	prop := NewProposal(5)
+	prop.Color[0] = 0
+	prop.Mark = make([]bool, 5)
+	prop.Mark[2] = true
+	if n := st.Apply(prop); n != 1 {
+		t.Fatalf("colored %d", n)
+	}
+	if !st.PutAside[2] || st.Live(2) {
+		t.Fatal("mark not applied")
+	}
+}
+
+func TestDeferredNodesList(t *testing.T) {
+	g := graph.Path(4)
+	st := NewState(d1lc.TrivialPalettes(g))
+	st.Defer(1)
+	st.Defer(3)
+	got := st.DeferredNodes()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("deferred=%v", got)
+	}
+}
+
+func TestLiveNodesFilter(t *testing.T) {
+	g := graph.Path(5)
+	st := NewState(d1lc.TrivialPalettes(g))
+	st.SetColor(0, 0)
+	st.Defer(2)
+	live := st.LiveNodes(nil)
+	if len(live) != 3 {
+		t.Fatalf("live=%v", live)
+	}
+	even := st.LiveNodes(func(v int32) bool { return v%2 == 0 })
+	if len(even) != 1 || even[0] != 4 {
+		t.Fatalf("filtered=%v", even)
+	}
+}

@@ -1,0 +1,194 @@
+package local
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"parcolor/internal/graph"
+)
+
+func TestBroadcastDelivery(t *testing.T) {
+	g := graph.Cycle(5)
+	e := New(g)
+	got := make([][]int32, 5)
+	e.Run(Round{
+		Broadcast: func(v int32) []int32 { return []int32{v * 10} },
+		Receive: func(v int32, in Inbox) {
+			for _, m := range in.Msgs {
+				got[v] = append(got[v], m[0])
+			}
+		},
+	})
+	for v := int32(0); v < 5; v++ {
+		if len(got[v]) != 2 {
+			t.Fatalf("node %d received %d messages", v, len(got[v]))
+		}
+	}
+	if e.Stats.Rounds != 1 {
+		t.Fatal("round count")
+	}
+	if e.Stats.WordsSent != 10 { // 5 nodes × 1 word × 2 neighbors
+		t.Fatalf("words sent %d", e.Stats.WordsSent)
+	}
+}
+
+func TestSnapshotSemantics(t *testing.T) {
+	// Receive must observe pre-round state: each node broadcasts its value,
+	// then doubles it on receive. All received values must be originals.
+	g := graph.Complete(4)
+	vals := []int32{1, 2, 3, 4}
+	e := New(g)
+	var bad int32
+	e.Run(Round{
+		Broadcast: func(v int32) []int32 { return []int32{vals[v]} },
+		Receive: func(v int32, in Inbox) {
+			sum := int32(0)
+			for _, m := range in.Msgs {
+				sum += m[0]
+			}
+			// sum of others' originals = 10 - vals[v]
+			if sum != 10-vals[v] {
+				atomic.AddInt32(&bad, 1)
+			}
+			vals[v] *= 2
+		},
+	})
+	if bad != 0 {
+		t.Fatalf("%d nodes observed same-round mutation", bad)
+	}
+}
+
+func TestUnicastTargeting(t *testing.T) {
+	g := graph.Star(4) // center 0, leaves 1..3
+	e := New(g)
+	received := make([]int32, 4)
+	e.Run(Round{
+		Unicast: func(v int32, i int, u int32) []int32 {
+			if v != 0 {
+				return nil
+			}
+			return []int32{100 + u}
+		},
+		Receive: func(v int32, in Inbox) {
+			for _, m := range in.Msgs {
+				received[v] = m[0]
+			}
+		},
+	})
+	for u := int32(1); u < 4; u++ {
+		if received[u] != 100+u {
+			t.Fatalf("leaf %d got %d", u, received[u])
+		}
+	}
+	if received[0] != 0 {
+		t.Fatal("center should receive nothing")
+	}
+}
+
+func TestInactiveNodesExcluded(t *testing.T) {
+	g := graph.Path(3) // 0-1-2
+	e := New(g)
+	var gotAt1 int
+	e.Run(Round{
+		Active:    func(v int32) bool { return v != 2 },
+		Broadcast: func(v int32) []int32 { return []int32{v} },
+		Receive: func(v int32, in Inbox) {
+			if v == 1 {
+				gotAt1 = len(in.Msgs)
+			}
+		},
+	})
+	if gotAt1 != 1 {
+		t.Fatalf("node 1 got %d messages, want 1 (only node 0)", gotAt1)
+	}
+}
+
+func TestInboxSenderOrder(t *testing.T) {
+	g := graph.Complete(5)
+	e := New(g)
+	e.Run(Round{
+		Broadcast: func(v int32) []int32 { return []int32{v} },
+		Receive: func(v int32, in Inbox) {
+			for i := 1; i < len(in.From); i++ {
+				if in.From[i-1] >= in.From[i] {
+					t.Errorf("inbox of %d not sorted: %v", v, in.From)
+					return
+				}
+			}
+		},
+	})
+}
+
+func TestMaxNodeWordsAccounting(t *testing.T) {
+	g := graph.Star(5) // center degree 4
+	e := New(g)
+	e.Run(Round{
+		Broadcast: func(v int32) []int32 { return []int32{1, 2, 3} },
+		Receive:   func(v int32, in Inbox) {},
+	})
+	// Center sends 3 words to 4 neighbors = 12, receives 4×3 = 12 → 24.
+	if e.Stats.MaxNodeWords != 24 {
+		t.Fatalf("MaxNodeWords=%d want 24", e.Stats.MaxNodeWords)
+	}
+}
+
+func TestMultiRoundFlood(t *testing.T) {
+	// BFS-style flooding needs exactly eccentricity rounds on a path.
+	g := graph.Path(6)
+	e := New(g)
+	reached := make([]bool, 6)
+	reached[0] = true
+	for r := 0; r < 5; r++ {
+		next := make([]bool, 6)
+		copy(next, reached)
+		e.Run(Round{
+			Broadcast: func(v int32) []int32 {
+				if reached[v] {
+					return []int32{1}
+				}
+				return nil
+			},
+			Receive: func(v int32, in Inbox) {
+				if len(in.Msgs) > 0 {
+					next[v] = true
+				}
+			},
+		})
+		reached = next
+	}
+	for v, r := range reached {
+		if !r {
+			t.Fatalf("node %d not reached after 5 rounds", v)
+		}
+	}
+	if e.Stats.Rounds != 5 {
+		t.Fatal("round accounting")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := Meter{MPCFactor: 3}
+	m.Tick(2)
+	m.Tick(1)
+	if m.Rounds != 3 || m.MPCRounds() != 9 {
+		t.Fatalf("%+v MPCRounds=%d", m, m.MPCRounds())
+	}
+	var zero Meter
+	zero.Tick(4)
+	if zero.MPCRounds() != 4 {
+		t.Fatal("zero factor should default to 1")
+	}
+}
+
+func BenchmarkRoundBroadcast(b *testing.B) {
+	g := graph.RandomRegular(1000, 8, 1)
+	e := New(g)
+	msg := []int32{1, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(Round{
+			Broadcast: func(v int32) []int32 { return msg },
+			Receive:   func(v int32, in Inbox) {},
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package lowdeg
+
+import (
+	"testing"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+)
+
+func TestIterativeDerandomizedProper(t *testing.T) {
+	cases := map[string]*d1lc.Instance{
+		"gnp":     d1lc.TrivialPalettes(graph.Gnp(200, 0.03, 1)),
+		"cycle":   d1lc.TrivialPalettes(graph.Cycle(99)),
+		"grid":    d1lc.TrivialPalettes(graph.Grid(10, 14)),
+		"regular": d1lc.TrivialPalettes(graph.RandomRegular(150, 5, 2)),
+		"delta+1": d1lc.DeltaPlus1Palettes(graph.Gnp(120, 0.05, 3)),
+	}
+	for name, in := range cases {
+		col, stats, err := IterativeDerandomized(in, Options{SeedBits: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := d1lc.Verify(in, col); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, cert := range stats.Certificates {
+			if !cert.Guarantee() {
+				t.Fatalf("%s: certificate violated", name)
+			}
+		}
+	}
+}
+
+func TestIterativeDeterministic(t *testing.T) {
+	in := d1lc.TrivialPalettes(graph.Gnp(150, 0.04, 7))
+	a, _, err := IterativeDerandomized(in, Options{SeedBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := IterativeDerandomized(in, Options{SeedBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+func TestIterativeRoundsLogarithmic(t *testing.T) {
+	// Rounds should grow slowly with n (each round colors a constant
+	// fraction — the conditional-expectations progress guarantee).
+	small := mustStats(t, d1lc.TrivialPalettes(graph.RandomRegular(100, 4, 1)))
+	big := mustStats(t, d1lc.TrivialPalettes(graph.RandomRegular(1600, 4, 1)))
+	if big.Rounds > 4*small.Rounds+8 {
+		t.Fatalf("rounds %d → %d: worse than logarithmic growth", small.Rounds, big.Rounds)
+	}
+}
+
+func mustStats(t *testing.T, in *d1lc.Instance) Stats {
+	t.Helper()
+	col, stats, err := IterativeDerandomized(in, Options{SeedBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1lc.Verify(in, col); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestIterativeTinySeedSpaceStillTerminates(t *testing.T) {
+	// SeedBits=1 gives a 2-seed family: fallbacks must keep it correct.
+	in := d1lc.TrivialPalettes(graph.Complete(15))
+	col, stats, err := IterativeDerandomized(in, Options{SeedBits: 1, MaxRounds: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1lc.Verify(in, col); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fallbacks=%d rounds=%d", stats.GreedyFallbck, stats.Rounds)
+}
+
+func TestComponentGreedyProper(t *testing.T) {
+	g := graph.DisjointUnion(graph.Complete(8), graph.Cycle(9), graph.Star(7))
+	in := d1lc.TrivialPalettes(g)
+	col, err := ComponentGreedy(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1lc.Verify(in, col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentGreedyCapacity(t *testing.T) {
+	g := graph.Complete(20)
+	in := d1lc.TrivialPalettes(g)
+	if _, err := ComponentGreedy(in, 10); err == nil {
+		t.Fatal("expected capacity error for a 20-node component")
+	}
+	if _, err := ComponentGreedy(in, 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxComponentSize(t *testing.T) {
+	b := graph.NewBuilder(10)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(5, 6)
+	g := b.Build()
+	if s := MaxComponentSize(g); s != 3 {
+		t.Fatalf("max component %d want 3", s)
+	}
+}
+
+func BenchmarkIterativeDerandomized(b *testing.B) {
+	in := d1lc.TrivialPalettes(graph.RandomRegular(300, 6, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := IterativeDerandomized(in, Options{SeedBits: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFirstFreeFallbackPath(t *testing.T) {
+	// A 1-seed space on K_n guarantees some zero-progress rounds that
+	// exercise the firstFree fallback; with MaxRounds ≥ n it must finish.
+	in := d1lc.TrivialPalettes(graph.Complete(10))
+	col, stats, err := IterativeDerandomized(in, Options{SeedBits: 1, MaxRounds: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1lc.Verify(in, col); err != nil {
+		t.Fatal(err)
+	}
+	if stats.GreedyFallbck == 0 {
+		t.Log("no fallbacks triggered this run (acceptable, seed family got lucky)")
+	}
+}
+
+func TestIterativeMaxRoundsExhaustionStillProper(t *testing.T) {
+	// Even with MaxRounds=1 the final FinishGreedy guarantees a complete
+	// proper coloring.
+	in := d1lc.TrivialPalettes(graph.Gnp(80, 0.1, 2))
+	col, _, err := IterativeDerandomized(in, Options{SeedBits: 4, MaxRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1lc.Verify(in, col); err != nil {
+		t.Fatal(err)
+	}
+}

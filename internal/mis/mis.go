@@ -1,0 +1,277 @@
+// Package mis implements Luby's randomized maximal-independent-set
+// algorithm [Lub86] and its derandomization through the paper's framework.
+//
+// Section 4.1 uses Luby's algorithm as the worked example of Definition 5:
+// one round of Luby (every live node draws a priority; local maxima join
+// the set; joined nodes and their neighbors leave) is a normal
+// (O(1),Δ)-round procedure whose strong and weak success properties are
+// both "v is within distance 1 of the output set". Deferring nodes that
+// fail cannot eject anyone from the independent set, so SSP ⇒ WSP under
+// any deferral — the package's tests check exactly this implication.
+package mis
+
+import (
+	"parcolor/internal/condexp"
+	"parcolor/internal/graph"
+	"parcolor/internal/par"
+	"parcolor/internal/prg"
+	"parcolor/internal/rng"
+)
+
+// NodeState tracks one node during a run.
+type NodeState int8
+
+// States of a node.
+const (
+	Undecided NodeState = iota
+	InSet
+	Out     // dominated: has a neighbor in the set
+	Skipped // deferred by the derandomizer (WSP still holds for others)
+)
+
+// Result of a run.
+type Result struct {
+	State  []NodeState
+	Rounds int
+	// SeedReports records, for derandomized runs, the per-round seed
+	// selection certificates.
+	SeedReports []condexp.Result
+}
+
+// InSetNodes lists the members of the independent set.
+func (r *Result) InSetNodes() []int32 {
+	var out []int32
+	for v, s := range r.State {
+		if s == InSet {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// IsIndependent checks that no two set members are adjacent.
+func IsIndependent(g *graph.Graph, state []NodeState) bool {
+	for v := int32(0); v < int32(g.N()); v++ {
+		if state[v] != InSet {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if state[u] == InSet {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximal checks that every node outside the set (and not Skipped) has a
+// neighbor in the set — the success property of the example.
+func IsMaximal(g *graph.Graph, state []NodeState) bool {
+	for v := int32(0); v < int32(g.N()); v++ {
+		switch state[v] {
+		case InSet, Skipped:
+			continue
+		case Undecided:
+			return false
+		case Out:
+			ok := false
+			for _, u := range g.Neighbors(v) {
+				if state[u] == InSet {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// priorityBits is the per-node randomness of one Luby round.
+const priorityBits = 32
+
+// lubyRound computes, without mutating, the set of nodes that join this
+// round: live local maxima of the drawn priorities (ties by node id).
+func lubyRound(g *graph.Graph, state []NodeState, bitsFor func(v int32) *rng.Bits) []bool {
+	n := g.N()
+	prio := make([]uint64, n)
+	par.For(n, func(i int) {
+		v := int32(i)
+		if state[v] != Undecided {
+			return
+		}
+		prio[v] = bitsFor(v).Take(priorityBits)<<20 | uint64(v) // id tiebreak
+	})
+	join := make([]bool, n)
+	par.For(n, func(i int) {
+		v := int32(i)
+		if state[v] != Undecided {
+			return
+		}
+		best := true
+		for _, u := range g.Neighbors(v) {
+			if state[u] == Undecided && prio[u] > prio[v] {
+				best = false
+				break
+			}
+		}
+		join[v] = best
+	})
+	return join
+}
+
+// applyJoin commits a round's winners and returns how many nodes decided.
+func applyJoin(g *graph.Graph, state []NodeState, join []bool) int {
+	decided := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		if join[v] && state[v] == Undecided {
+			state[v] = InSet
+			decided++
+		}
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		if state[v] != Undecided {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if state[u] == InSet {
+				state[v] = Out
+				decided++
+				break
+			}
+		}
+	}
+	return decided
+}
+
+// Randomized runs Luby's algorithm with fresh randomness to completion.
+func Randomized(g *graph.Graph, seed uint64, maxRounds int) Result {
+	state := make([]NodeState, g.N())
+	res := Result{State: state}
+	for r := 0; r < maxRounds; r++ {
+		undecided := countUndecided(state)
+		if undecided == 0 {
+			break
+		}
+		bitsFor := func(v int32) *rng.Bits {
+			return rng.FreshBits(rng.At2(seed, uint64(v), uint64(r)), priorityBits)
+		}
+		join := lubyRound(g, state, bitsFor)
+		applyJoin(g, state, join)
+		res.Rounds++
+	}
+	return res
+}
+
+// Options configures the derandomized run.
+type Options struct {
+	SeedBits  int // PRG seed length (default Θ(log Δ) capped at 10)
+	MaxRounds int // safety cap (default 4·log₂ n + 8)
+}
+
+// Derandomized runs Luby's algorithm under the framework: each round is
+// one Lemma 10 invocation — chunk the PRG output by node (identity
+// chunking suffices for MIS since the success property is radius-1),
+// select the seed minimizing the number of still-undecided nodes, commit.
+// The result is deterministic, independent with certainty, and maximal
+// with Skipped nodes (if any) excluded — mirroring that failed nodes defer
+// without breaking WSP for the rest. A final sequential sweep decides any
+// Skipped leftovers so the returned set is maximal outright.
+func Derandomized(g *graph.Graph, o Options) Result {
+	n := g.N()
+	if o.SeedBits == 0 {
+		o.SeedBits = prg.SeedBitsForDelta(g.MaxDegree(), 10)
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 4*log2(n+2) + 8
+	}
+	state := make([]NodeState, n)
+	res := Result{State: state}
+	chunkOf := make([]int32, n)
+	for v := range chunkOf {
+		chunkOf[v] = int32(v)
+	}
+	for r := 0; r < o.MaxRounds; r++ {
+		undecided := countUndecided(state)
+		if undecided == 0 {
+			break
+		}
+		gen := prg.NewKWise(4, o.SeedBits, n*priorityBits)
+		scorer := func(seed uint64) int64 {
+			src, err := prg.NewChunkedSource(gen, seed, chunkOf, n, priorityBits)
+			if err != nil {
+				panic(err)
+			}
+			join := lubyRound(g, state, src.BitsFor)
+			// Pessimistic estimator: nodes still undecided afterwards.
+			return int64(undecided) - int64(simulateDecided(g, state, join))
+		}
+		sel := condexp.SelectSeed(1<<o.SeedBits, scorer)
+		res.SeedReports = append(res.SeedReports, sel)
+		src, _ := prg.NewChunkedSource(gen, sel.Seed, chunkOf, n, priorityBits)
+		join := lubyRound(g, state, src.BitsFor)
+		applyJoin(g, state, join)
+		res.Rounds++
+	}
+	// Any undecided leftovers (possible only if MaxRounds hit) are decided
+	// greedily, preserving independence and reaching maximality.
+	for v := int32(0); v < int32(n); v++ {
+		if state[v] != Undecided {
+			continue
+		}
+		free := true
+		for _, u := range g.Neighbors(v) {
+			if state[u] == InSet {
+				free = false
+				break
+			}
+		}
+		if free {
+			state[v] = InSet
+		} else {
+			state[v] = Out
+		}
+	}
+	return res
+}
+
+// simulateDecided counts how many currently-undecided nodes would become
+// decided if join were applied, without mutating state.
+func simulateDecided(g *graph.Graph, state []NodeState, join []bool) int {
+	return int(par.ReduceInt(g.N(), func(i int) int64 {
+		v := int32(i)
+		if state[v] != Undecided {
+			return 0
+		}
+		if join[v] {
+			return 1
+		}
+		for _, u := range g.Neighbors(v) {
+			if join[u] {
+				return 1
+			}
+		}
+		return 0
+	}))
+}
+
+func countUndecided(state []NodeState) int {
+	n := 0
+	for _, s := range state {
+		if s == Undecided {
+			n++
+		}
+	}
+	return n
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

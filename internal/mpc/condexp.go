@@ -1,0 +1,109 @@
+package mpc
+
+import (
+	"fmt"
+)
+
+// This file implements the distributed method of conditional expectations
+// exactly as Lemma 10 runs it on the cluster: every machine scores each
+// candidate PRG seed against the nodes it hosts, the per-seed failure
+// counts are combined up an aggregation tree, and the argmin seed is
+// broadcast back. The in-process derandomizer (package deframe) computes
+// the same argmin with shared-memory parallelism; the test suite checks
+// the two agree, which is the simulation argument of Section 5.1 made
+// executable.
+
+// SeedScorer evaluates, for one machine, the summed objective of the
+// nodes that machine is responsible for under the given seed.
+type SeedScorer func(machineID int, seed uint64) int64
+
+// DistributedSelectSeed scores numSeeds seeds across the cluster and
+// returns the minimum-total-score seed (smallest seed on ties) together
+// with the number of MPC rounds consumed.
+//
+// Protocol: seeds are processed in batches of at most s/2 per round so
+// that per-machine message volume stays within local space; each round,
+// every machine sends its batch scores up a k-ary aggregation tree (one
+// (seed, partial-sum) record per seed), and the root finalizes totals.
+// Rounds: O(numSeeds/s · log_k M) — O(1) for seed spaces of size ≤ s,
+// which is the paper's d = Θ(log Δ) regime (2^d ≤ poly(Δ) ≤ s).
+func DistributedSelectSeed(c *Cluster, numSeeds int, score SeedScorer) (bestSeed uint64, bestScore int64, rounds int, err error) {
+	if numSeeds <= 0 {
+		return 0, 0, 0, fmt.Errorf("mpc: empty seed space")
+	}
+	nm := len(c.Machines)
+	// Batch so that a parent receiving k child vectors of batch+1 words
+	// stays within local space: k·(batch+1) ≤ s with k ≥ 2.
+	batch := c.cfg.LocalSpace/4 - 1
+	if batch < 1 {
+		batch = 1
+	}
+	k := c.cfg.LocalSpace / (batch + 1)
+	if k < 2 {
+		k = 2
+	}
+	startRounds := c.Metrics.Rounds
+	totals := make([]int64, numSeeds)
+
+	for lo := 0; lo < numSeeds; lo += batch {
+		hi := lo + batch
+		if hi > numSeeds {
+			hi = numSeeds
+		}
+		// Local scoring (one compute round, no messages).
+		partial := make([][]int64, nm) // per machine, scores for [lo,hi)
+		err := c.Round(func(m *Machine, out *Mailer) {
+			p := make([]int64, hi-lo)
+			for s := lo; s < hi; s++ {
+				p[s-lo] = score(m.ID, uint64(s))
+			}
+			partial[m.ID] = p
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		// Aggregate up the k-ary heap tree: leaves to root, one level per
+		// round, each machine sending its (partial) batch vector once.
+		levels := levelsOf(nm, k)
+		acc := partial
+		for l := levels - 1; l >= 1; l-- {
+			loP, hiP := levelRange(l, k)
+			err := c.Round(func(m *Machine, out *Mailer) {
+				p := m.ID
+				if p < loP || p > hiP || p >= nm {
+					return
+				}
+				rec := make([]int64, 0, hi-lo+1)
+				rec = append(rec, int64(hi-lo))
+				rec = append(rec, acc[p]...)
+				out.Send((p-1)/k, rec)
+			})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			for p := 0; p < nm; p++ {
+				for _, d := range c.Machines[p].Inbox {
+					cnt := int(d.Rec[0])
+					for i := 0; i < cnt; i++ {
+						acc[p][i] += d.Rec[1+i]
+					}
+				}
+				c.Machines[p].Inbox = nil
+			}
+		}
+		for s := lo; s < hi; s++ {
+			totals[s] = acc[0][s-lo]
+		}
+	}
+	bestSeed, bestScore = 0, totals[0]
+	for s := 1; s < numSeeds; s++ {
+		if totals[s] < bestScore {
+			bestSeed, bestScore = uint64(s), totals[s]
+		}
+	}
+	// Broadcast the winner (part of the protocol round budget).
+	if err := c.Broadcast(0, []int64{int64(bestSeed), bestScore}); err != nil {
+		return 0, 0, 0, err
+	}
+	return bestSeed, bestScore, c.Metrics.Rounds - startRounds, nil
+}

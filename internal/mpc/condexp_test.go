@@ -1,0 +1,98 @@
+package mpc
+
+import (
+	"testing"
+
+	"parcolor/internal/condexp"
+	"parcolor/internal/rng"
+)
+
+func TestDistributedSelectSeedMatchesShared(t *testing.T) {
+	// Each machine hosts synthetic "nodes" whose failure indicator depends
+	// on (machine, seed); the distributed argmin must equal the
+	// shared-memory conditional-expectations argmin over total score.
+	const machines, seeds = 9, 64
+	c, err := NewCluster(Config{Machines: machines, LocalSpace: 256, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoreOf := func(mid int, seed uint64) int64 {
+		return int64(rng.Hash3(7, uint64(mid), seed) % 5)
+	}
+	best, bestScore, rounds, err := DistributedSelectSeed(c, seeds, scoreOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := condexp.SelectSeed(seeds, func(s uint64) int64 {
+		var sum int64
+		for mid := 0; mid < machines; mid++ {
+			sum += scoreOf(mid, s)
+		}
+		return sum
+	})
+	if best != ref.Seed || bestScore != ref.Score {
+		t.Fatalf("distributed (%d,%d) vs shared (%d,%d)", best, bestScore, ref.Seed, ref.Score)
+	}
+	if rounds <= 0 {
+		t.Fatal("no rounds accounted")
+	}
+	if c.Metrics.Violations != 0 {
+		t.Fatal("space violations during seed selection")
+	}
+}
+
+func TestDistributedSelectSeedBatching(t *testing.T) {
+	// Seed space larger than s/2 forces multiple batches; result must be
+	// unchanged and space still respected.
+	const machines, seeds = 5, 200
+	c, _ := NewCluster(Config{Machines: machines, LocalSpace: 64, Strict: true})
+	scoreOf := func(mid int, seed uint64) int64 {
+		// Unique global minimum at seed 137.
+		if seed == 137 {
+			return 0
+		}
+		return int64(1 + (seed+uint64(mid))%3)
+	}
+	best, _, rounds, err := DistributedSelectSeed(c, seeds, scoreOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 137 {
+		t.Fatalf("best=%d want 137", best)
+	}
+	if rounds < 2 {
+		t.Fatalf("batched selection should take multiple rounds, got %d", rounds)
+	}
+	if c.Metrics.Violations != 0 {
+		t.Fatal("space violations")
+	}
+}
+
+func TestDistributedSelectSeedTieBreak(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 3, LocalSpace: 128, Strict: true})
+	best, score, _, err := DistributedSelectSeed(c, 16, func(int, uint64) int64 { return 7 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 0 || score != 21 {
+		t.Fatalf("tie-break: seed=%d score=%d", best, score)
+	}
+}
+
+func TestDistributedSelectSeedEmpty(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 2, LocalSpace: 64, Strict: true})
+	if _, _, _, err := DistributedSelectSeed(c, 0, nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDistributedSelectSeedSingleMachine(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 1, LocalSpace: 64, Strict: true})
+	best, score, _, err := DistributedSelectSeed(c, 10, func(_ int, s uint64) int64 { return int64(9 - s%10) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 9 || score != 0 {
+		t.Fatalf("seed=%d score=%d", best, score)
+	}
+}

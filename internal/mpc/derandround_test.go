@@ -1,0 +1,106 @@
+package mpc
+
+import (
+	"testing"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+	"parcolor/internal/prg"
+)
+
+func setupDerand(t *testing.T, g *graph.Graph, in *d1lc.Instance, seeds int) (*Cluster, *d1lc.Coloring, [][]int32, []int32, prg.PRG) {
+	t.Helper()
+	c, err := NewCluster(Config{Machines: g.N() + 1, LocalSpace: 1 << 16, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := d1lc.NewColoring(g.N())
+	remaining := make([][]int32, g.N())
+	for v := range remaining {
+		remaining[v] = append([]int32(nil), in.Palettes[v]...)
+	}
+	chunkOf := make([]int32, g.N())
+	for v := range chunkOf {
+		chunkOf[v] = int32(v)
+	}
+	maxPal := 0
+	for _, p := range in.Palettes {
+		if len(p) > maxPal {
+			maxPal = len(p)
+		}
+	}
+	bitsPer := 8 * 8 // generous TakeIntn budget
+	gen := prg.NewKWise(4, 6, g.N()*bitsPer)
+	_ = maxPal
+	_ = seeds
+	return c, col, remaining, chunkOf, gen
+}
+
+func TestDerandomizedTRCRoundProperAndDeterministic(t *testing.T) {
+	g := graph.Gnp(40, 0.12, 6)
+	in := d1lc.TrivialPalettes(g)
+	c, col, remaining, chunkOf, gen := setupDerand(t, g, in, 64)
+
+	var seeds []uint64
+	for round := 0; round < 25 && col.UncoloredCount() > 0; round++ {
+		seed, colored, rounds, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, seed)
+		if err := d1lc.VerifyPartial(in, col, false); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if rounds < 3 {
+			t.Fatalf("protocol too few rounds: %d", rounds)
+		}
+		_ = colored
+	}
+	if c.Metrics.Violations != 0 {
+		t.Fatal("space violations")
+	}
+	// Determinism: replay from scratch must choose identical seeds.
+	c2, col2, rem2, chunk2, gen2 := setupDerand(t, g, in, 64)
+	for i := 0; i < len(seeds) && col2.UncoloredCount() > 0; i++ {
+		seed, _, _, err := DerandomizedTRCRound(c2, in, col2, rem2, chunk2, g.N(), gen2, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seed != seeds[i] {
+			t.Fatalf("replay diverged at round %d: %d vs %d", i, seed, seeds[i])
+		}
+	}
+	for v := range col.Colors {
+		if col.Colors[v] != col2.Colors[v] {
+			t.Fatalf("colorings diverged at %d", v)
+		}
+	}
+}
+
+func TestDerandomizedTRCMakesDeterministicProgress(t *testing.T) {
+	// The selected seed's failure count is ≤ the seed-space mean; on a
+	// graph with decent palettes, the mean is well below 1, so progress
+	// per round must be substantial.
+	g := graph.RandomRegular(60, 4, 2)
+	in := d1lc.RandomPalettes(g, 2, 20, 3)
+	c, col, remaining, chunkOf, gen := setupDerand(t, g, in, 64)
+	_, colored, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colored < g.N()/3 {
+		t.Fatalf("only %d of %d colored in the first derandomized round", colored, g.N())
+	}
+}
+
+func TestDerandomizedTRCSeedSpaceValidation(t *testing.T) {
+	g := graph.Path(4)
+	in := d1lc.TrivialPalettes(g)
+	c, col, remaining, chunkOf, gen := setupDerand(t, g, in, 64)
+	if _, _, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 1<<20); err == nil {
+		t.Fatal("oversized seed space accepted")
+	}
+	if _, _, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 0); err == nil {
+		t.Fatal("empty seed space accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package mpc
+
+import (
+	"fmt"
+	"sort"
+
+	"parcolor/internal/graph"
+)
+
+// This file implements the graph-exponentiation technique the paper's
+// technical overview (Section 1.2) builds on: in round i each node learns
+// its 2^i-hop neighborhood by merging the balls of its current ball
+// members, so radius-r balls arrive in ⌈log₂ r⌉ rounds. The space cost per
+// home machine is the ball size, which the engine's word accounting
+// enforces — exactly the "large neighborhoods may not fit onto machines"
+// tension the paper discusses for high-degree instances.
+
+// Exponentiate makes every home machine (IDs < n) hold its ball of the
+// given radius as records (-3, member, dist). GatherNeighborhoods must
+// have run first (homes hold their adjacency). Returns the number of MPC
+// rounds used: ⌈log₂ radius⌉ doubling rounds, each one Round call.
+func Exponentiate(c *Cluster, g *graph.Graph, radius int) (rounds int, err error) {
+	n := g.N()
+	if radius < 1 {
+		return 0, fmt.Errorf("mpc: radius must be ≥ 1")
+	}
+	// ball[v] maps member -> distance; initialized from adjacency.
+	ball := make([]map[int32]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		ball[v] = map[int32]int32{}
+		for _, u := range g.Neighbors(v) {
+			ball[v][u] = 1
+		}
+	}
+	cur := 1
+	for cur < radius {
+		// Each home sends its ball to every current ball member's home;
+		// receivers merge with distance addition, capping at radius.
+		sent := make([][]int64, n)
+		for v := int32(0); v < int32(n); v++ {
+			msg := make([]int64, 0, 2*len(ball[v])+1)
+			msg = append(msg, int64(v))
+			for u, d := range ball[v] {
+				msg = append(msg, int64(u), int64(d))
+			}
+			sent[v] = msg
+		}
+		err := c.Round(func(m *Machine, out *Mailer) {
+			if m.ID >= n {
+				return
+			}
+			v := int32(m.ID)
+			for u := range ball[v] {
+				out.Send(HomeOf(u), sent[v])
+			}
+		})
+		if err != nil {
+			return rounds, err
+		}
+		rounds++
+		for v := int32(0); v < int32(n); v++ {
+			m := c.Machines[HomeOf(v)]
+			for _, del := range m.Inbox {
+				r := del.Rec
+				w := int32(r[0]) // sender node
+				dw, ok := ball[v][w]
+				if !ok {
+					if w == v {
+						dw = 0
+					} else {
+						continue
+					}
+				}
+				for i := 1; i+1 < len(r); i += 2 {
+					u, d := int32(r[i]), int32(r[i+1])
+					if u == v {
+						continue
+					}
+					nd := dw + d
+					if int(nd) > radius {
+						continue
+					}
+					if old, ok := ball[v][u]; !ok || nd < old {
+						ball[v][u] = nd
+					}
+				}
+			}
+			m.Inbox = nil
+		}
+		cur *= 2
+	}
+	// Materialize as records on the home machines.
+	for v := int32(0); v < int32(n); v++ {
+		m := c.Machines[HomeOf(v)]
+		members := make([]int32, 0, len(ball[v]))
+		for u := range ball[v] {
+			members = append(members, u)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		for _, u := range members {
+			m.Recs = append(m.Recs, []int64{-3, int64(u), int64(ball[v][u])})
+		}
+	}
+	return rounds, nil
+}
+
+// BallOf reads the exponentiated ball of v from its home machine as
+// (member, distance) pairs in member order.
+func BallOf(c *Cluster, v int32) (members []int32, dists []int32) {
+	m := c.Machines[HomeOf(v)]
+	for _, r := range m.Recs {
+		if len(r) == 3 && r[0] == -3 {
+			members = append(members, int32(r[1]))
+			dists = append(dists, int32(r[2]))
+		}
+	}
+	return members, dists
+}

@@ -1,0 +1,118 @@
+package mpc
+
+import (
+	"testing"
+
+	"parcolor/internal/graph"
+)
+
+func ballsViaBFS(g *graph.Graph, v int32, radius int) map[int32]int32 {
+	out := map[int32]int32{}
+	frontier := []int32{v}
+	dist := map[int32]int32{v: 0}
+	for d := int32(1); d <= int32(radius); d++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(u) {
+				if _, seen := dist[w]; !seen {
+					dist[w] = d
+					out[w] = d
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+func TestExponentiateMatchesBFS(t *testing.T) {
+	g := graph.Gnp(50, 0.08, 4)
+	for _, radius := range []int{1, 2, 4, 5} {
+		c, err := ClusterForGraph(g, 1<<16, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := LoadEdges(c, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := GatherNeighborhoods(c, g.N()); err != nil {
+			t.Fatal(err)
+		}
+		rounds, err := Exponentiate(c, g, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRounds := 0
+		for r := 1; r < radius; r *= 2 {
+			wantRounds++
+		}
+		if rounds != wantRounds {
+			t.Fatalf("radius %d: %d rounds, want %d (log₂ doubling)", radius, rounds, wantRounds)
+		}
+		for v := int32(0); v < int32(g.N()); v++ {
+			members, dists := BallOf(c, v)
+			want := ballsViaBFS(g, v, radius)
+			if len(members) != len(want) {
+				t.Fatalf("radius %d node %d: ball size %d want %d", radius, v, len(members), len(want))
+			}
+			for i, u := range members {
+				if want[u] != dists[i] {
+					t.Fatalf("radius %d node %d: dist(%d)=%d want %d", radius, v, u, dists[i], want[u])
+				}
+			}
+		}
+	}
+}
+
+func TestExponentiateLogRounds(t *testing.T) {
+	g := graph.Cycle(64)
+	c, _ := ClusterForGraph(g, 1<<16, true)
+	if err := LoadEdges(c, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := GatherNeighborhoods(c, g.N()); err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := Exponentiate(c, g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 4 { // 1→2→4→8→16
+		t.Fatalf("rounds=%d want 4", rounds)
+	}
+	members, _ := BallOf(c, 0)
+	if len(members) != 32 { // 16 on each side of the cycle
+		t.Fatalf("ball size %d want 32", len(members))
+	}
+}
+
+func TestExponentiateSpacePressure(t *testing.T) {
+	// On a dense graph with tiny s, exponentiation must blow the space
+	// budget — the high-degree tension the paper's Section 1.2 describes.
+	g := graph.Complete(24)
+	c, err := ClusterForGraph(g, 96, false) // non-strict: record violations
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadEdges(c, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := GatherNeighborhoods(c, g.N()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exponentiate(c, g, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics.Violations == 0 {
+		t.Fatal("expected space violations when balls exceed s")
+	}
+}
+
+func TestExponentiateRadiusValidation(t *testing.T) {
+	g := graph.Path(4)
+	c, _ := ClusterForGraph(g, 1024, true)
+	if _, err := Exponentiate(c, g, 0); err == nil {
+		t.Fatal("radius 0 accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package mpc
+
+import (
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+)
+
+// This file makes Lemma 18 executable: all Definition 2 node parameters
+// are computed on the cluster in O(1) rounds from information exchanged
+// with immediate neighbors (palettes, degrees) plus the 2-hop structure
+// already gathered by Gather2Hop — under the same Δ ≤ √s space regime.
+// Tests cross-check every value against the shared-memory params package.
+
+// ClusterParams holds the distributed parameter results.
+type ClusterParams struct {
+	Slack       []int64
+	NonEdges    []int64
+	Discrepancy []float64
+	Unevenness  []float64
+}
+
+// ParamsFromCluster computes slack, sparsity numerator m(N(v)) → non-edge
+// counts, discrepancy, and unevenness for all nodes. Protocol:
+//
+//	round 1: every home broadcasts (degree, palette) to neighbor homes —
+//	         d(v)·(p(v)+2) words sent, Σ_{u∈N(v)} (p(u)+2) received, both
+//	         within s when Δ ≤ √s and palettes are degree-bounded;
+//	round 2: local computation of disparities and unevenness.
+//
+// The sparsity numerator reuses the Gather2Hop records (call it first).
+func ParamsFromCluster(c *Cluster, in *d1lc.Instance) (*ClusterParams, error) {
+	g := in.G
+	n := g.N()
+	out := &ClusterParams{
+		Slack:       make([]int64, n),
+		NonEdges:    make([]int64, n),
+		Discrepancy: make([]float64, n),
+		Unevenness:  make([]float64, n),
+	}
+	// Round 1: exchange (marker, degree, palette...) with neighbor homes.
+	err := c.Round(func(m *Machine, out *Mailer) {
+		if m.ID >= n {
+			return
+		}
+		v := int32(m.ID)
+		pal := in.Palettes[v]
+		msg := make([]int64, 0, len(pal)+2)
+		msg = append(msg, -2, int64(g.Degree(v))) // -2 tags a palette record
+		for _, col := range pal {
+			msg = append(msg, int64(col))
+		}
+		for _, u := range g.Neighbors(v) {
+			out.Send(HomeOf(u), msg)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Round 2: local computation at each home.
+	err = c.Round(func(m *Machine, mail *Mailer) {
+		if m.ID >= n {
+			return
+		}
+		v := int32(m.ID)
+		d := g.Degree(v)
+		out.Slack[v] = int64(len(in.Palettes[v]) - d)
+		own := map[int64]bool{}
+		for _, col := range in.Palettes[v] {
+			own[int64(col)] = true
+		}
+		var disc, unev float64
+		for _, del := range m.Inbox {
+			r := del.Rec
+			if len(r) < 2 || r[0] != -2 {
+				continue
+			}
+			du := int(r[1])
+			palU := r[2:]
+			if len(palU) > 0 {
+				inter := 0
+				for _, col := range palU {
+					if own[col] {
+						inter++
+					}
+				}
+				disc += float64(len(palU)-inter) / float64(len(palU))
+			}
+			if du > d {
+				unev += float64(du-d) / float64(du+1)
+			}
+		}
+		m.Inbox = nil
+		out.Discrepancy[v] = disc
+		out.Unevenness[v] = unev
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Sparsity numerator from the 2-hop records.
+	mnv := SparsityFromCluster(c, g)
+	for v := 0; v < n; v++ {
+		d := int64(g.Degree(int32(v)))
+		if d > 0 {
+			out.NonEdges[v] = d*(d-1)/2 - mnv[v]
+		}
+	}
+	return out, nil
+}
+
+// ACDInputsReady verifies the cluster holds what Lemma 19 needs: gathered
+// adjacency at every home (set up by GatherNeighborhoods + Gather2Hop).
+func ACDInputsReady(c *Cluster, g *graph.Graph) bool {
+	for v := int32(0); v < int32(g.N()); v++ {
+		if len(Adjacency(c, v)) != g.Degree(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+package mpc
+
+import (
+	"math"
+	"testing"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+	"parcolor/internal/params"
+)
+
+// TestParamsFromClusterMatchesShared is the executable Lemma 18: the
+// distributed parameter computation must agree exactly with the
+// shared-memory one on every node.
+func TestParamsFromClusterMatchesShared(t *testing.T) {
+	g := graph.Mixed(120, 5)
+	in := d1lc.RandomPalettes(g, 2, 80, 6)
+	c, err := ClusterForGraph(g, 8192, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadEdges(c, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := GatherNeighborhoods(c, g.N()); err != nil {
+		t.Fatal(err)
+	}
+	if !ACDInputsReady(c, g) {
+		t.Fatal("adjacency gathering incomplete")
+	}
+	if err := Gather2Hop(c, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParamsFromCluster(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := params.Compute(in)
+	for v := 0; v < g.N(); v++ {
+		if got.Slack[v] != int64(want.Slack[v]) {
+			t.Fatalf("node %d slack %d vs %d", v, got.Slack[v], want.Slack[v])
+		}
+		if got.NonEdges[v] != want.NonEdges[v] {
+			t.Fatalf("node %d nonEdges %d vs %d", v, got.NonEdges[v], want.NonEdges[v])
+		}
+		if math.Abs(got.Discrepancy[v]-want.Discrepancy[v]) > 1e-9 {
+			t.Fatalf("node %d discrepancy %f vs %f", v, got.Discrepancy[v], want.Discrepancy[v])
+		}
+		if math.Abs(got.Unevenness[v]-want.Unevenness[v]) > 1e-9 {
+			t.Fatalf("node %d unevenness %f vs %f", v, got.Unevenness[v], want.Unevenness[v])
+		}
+	}
+	if c.Metrics.Violations != 0 {
+		t.Fatal("space violations")
+	}
+}
+
+func TestParamsFromClusterSpaceRegime(t *testing.T) {
+	// Δ ≤ √s regime: strict space enforcement must hold throughout.
+	s := 2048
+	d := 16 // d² = 256 ≤ s; messages d·(p+2) ≈ d·(d+3) ≈ 304 ≤ s
+	g := graph.RandomRegular(100, d, 3)
+	in := d1lc.TrivialPalettes(g)
+	c, err := ClusterForGraph(g, s, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadEdges(c, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := GatherNeighborhoods(c, g.N()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Gather2Hop(c, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParamsFromCluster(c, in); err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics.MaxSent > int64(s) || c.Metrics.MaxReceived > int64(s) {
+		t.Fatalf("space exceeded: %+v", c.Metrics)
+	}
+}

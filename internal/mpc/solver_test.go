@@ -1,0 +1,77 @@
+package mpc
+
+import (
+	"testing"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+)
+
+func TestDeterministicColorMPCProper(t *testing.T) {
+	cases := map[string]*d1lc.Instance{
+		"gnp":     d1lc.TrivialPalettes(graph.Gnp(50, 0.1, 1)),
+		"cycle":   d1lc.TrivialPalettes(graph.Cycle(40)),
+		"rand":    d1lc.RandomPalettes(graph.RandomRegular(40, 4, 2), 2, 20, 3),
+		"cliques": d1lc.TrivialPalettes(graph.CliquesPlusMatching(3, 8, 4)),
+	}
+	for name, in := range cases {
+		c, err := NewCluster(Config{Machines: in.G.N() + 1, LocalSpace: 1 << 16, Strict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, stats, err := DeterministicColorMPC(c, in, 6, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := d1lc.Verify(in, col); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if stats.TRCRounds == 0 || stats.MPCRounds == 0 {
+			t.Fatalf("%s: no rounds accounted: %+v", name, stats)
+		}
+		if c.Metrics.Violations != 0 {
+			t.Fatalf("%s: space violations", name)
+		}
+	}
+}
+
+func TestDeterministicColorMPCMatchesReplay(t *testing.T) {
+	in := d1lc.TrivialPalettes(graph.Gnp(40, 0.12, 5))
+	run := func() *d1lc.Coloring {
+		c, _ := NewCluster(Config{Machines: in.G.N() + 1, LocalSpace: 1 << 16, Strict: true})
+		col, _, err := DeterministicColorMPC(c, in, 5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col
+	}
+	a, b := run(), run()
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatalf("MPC solver nondeterministic at node %d", v)
+		}
+	}
+}
+
+func TestDeterministicColorMPCValidation(t *testing.T) {
+	in := d1lc.TrivialPalettes(graph.Path(4))
+	c, _ := NewCluster(Config{Machines: 5, LocalSpace: 1024, Strict: true})
+	if _, _, err := DeterministicColorMPC(c, in, 0, 0); err == nil {
+		t.Fatal("seedBits 0 accepted")
+	}
+	bad := &d1lc.Instance{G: graph.Path(3), Palettes: [][]int32{{0}, {0, 1}, {0, 1}}}
+	if _, _, err := DeterministicColorMPC(c, bad, 4, 0); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func BenchmarkDeterministicColorMPC(b *testing.B) {
+	in := d1lc.TrivialPalettes(graph.Gnp(60, 0.08, 1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, _ := NewCluster(Config{Machines: in.G.N() + 1, LocalSpace: 1 << 16})
+		if _, _, err := DeterministicColorMPC(c, in, 5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

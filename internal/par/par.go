@@ -1,0 +1,174 @@
+// Package par provides small deterministic parallel-loop primitives built on
+// goroutine worker pools.
+//
+// Go has no parallel-for construct in the standard library; every
+// data-parallel phase of this repository (per-node parameter computation,
+// PRG seed scoring, MPC machine steps, partition evaluation) is expressed
+// through this package so that the degree of parallelism is controlled in
+// one place and results never depend on scheduling order.
+//
+// All functions are deterministic in their observable results: work is
+// partitioned into contiguous index chunks, each chunk writes only to its
+// own output range, and reductions combine per-chunk partials in index
+// order.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxWorkers bounds the number of worker goroutines used by the package.
+// The zero value means runtime.GOMAXPROCS(0). It exists so experiments can
+// measure goroutine scaling (experiment E10) without plumbing a parameter
+// through every call site.
+var maxWorkers int
+
+var maxWorkersMu sync.RWMutex
+
+// SetMaxWorkers sets the global worker bound. n <= 0 restores the default
+// (GOMAXPROCS). It returns the previous bound (0 meaning default).
+func SetMaxWorkers(n int) int {
+	maxWorkersMu.Lock()
+	defer maxWorkersMu.Unlock()
+	prev := maxWorkers
+	if n <= 0 {
+		maxWorkers = 0
+	} else {
+		maxWorkers = n
+	}
+	return prev
+}
+
+// Workers reports the number of workers a parallel loop over n items will
+// use: min(bound, n), at least 1.
+func Workers(n int) int {
+	maxWorkersMu.RLock()
+	w := maxWorkers
+	maxWorkersMu.RUnlock()
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs body(i) for every i in [0, n), distributing contiguous chunks of
+// the index space across workers. body must not panic; it may write only to
+// data owned by index i (or otherwise non-overlapping per index).
+func For(n int, body func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked runs body(lo, hi) over a partition of [0, n) into one
+// contiguous half-open chunk per worker. It is the primitive underlying For
+// and Reduce; use it directly when per-chunk setup (scratch buffers, local
+// accumulators) matters.
+func ForChunked(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(n)
+	if w == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo := k * n / w
+		hi := (k + 1) * n / w
+		go func(lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				body(lo, hi)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ReduceInt folds body over [0, n): each worker accumulates a chunk-local
+// int64 starting from zero, and the partials are summed in chunk order, so
+// the result equals the sequential sum regardless of worker count.
+func ReduceInt(n int, body func(i int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	w := Workers(n)
+	partial := make([]int64, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo := k * n / w
+		hi := (k + 1) * n / w
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			var acc int64
+			for i := lo; i < hi; i++ {
+				acc += body(i)
+			}
+			partial[k] = acc
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	var total int64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// ReduceMin returns the minimum of body(i) over [0, n) together with the
+// smallest index attaining it. It is the deterministic argmin used by the
+// method of conditional expectations (ties break toward the smaller index,
+// independent of worker count). n must be positive.
+func ReduceMin(n int, body func(i int) int64) (min int64, argmin int) {
+	if n <= 0 {
+		panic("par.ReduceMin: n must be positive")
+	}
+	w := Workers(n)
+	mins := make([]int64, w)
+	args := make([]int, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo := k * n / w
+		hi := (k + 1) * n / w
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			if lo >= hi {
+				args[k] = -1
+				return
+			}
+			bestV := body(lo)
+			bestI := lo
+			for i := lo + 1; i < hi; i++ {
+				if v := body(i); v < bestV {
+					bestV, bestI = v, i
+				}
+			}
+			mins[k], args[k] = bestV, bestI
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	argmin = -1
+	for k := 0; k < w; k++ {
+		if args[k] < 0 {
+			continue
+		}
+		if argmin == -1 || mins[k] < min {
+			min, argmin = mins[k], args[k]
+		}
+	}
+	return min, argmin
+}

@@ -1,0 +1,128 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	n := 1003
+	seen := make([]int32, n)
+	ForChunked(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d covered %d times", i, s)
+		}
+	}
+}
+
+func TestReduceIntMatchesSequential(t *testing.T) {
+	f := func(vals []int16) bool {
+		var want int64
+		for _, v := range vals {
+			want += int64(v)
+		}
+		got := ReduceInt(len(vals), func(i int) int64 { return int64(vals[i]) })
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceMinFindsSmallestIndexTie(t *testing.T) {
+	vals := []int64{5, 3, 9, 3, 3, 8}
+	min, arg := ReduceMin(len(vals), func(i int) int64 { return vals[i] })
+	if min != 3 || arg != 1 {
+		t.Fatalf("got (%d,%d), want (3,1)", min, arg)
+	}
+}
+
+func TestReduceMinProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		min, arg := ReduceMin(len(vals), func(i int) int64 { return int64(vals[i]) })
+		// arg must attain min, and nothing earlier may be <= min-1 or equal.
+		if int64(vals[arg]) != min {
+			return false
+		}
+		for i, v := range vals {
+			if int64(v) < min {
+				return false
+			}
+			if int64(v) == min && i < arg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetMaxWorkersRestoresAndBounds(t *testing.T) {
+	prev := SetMaxWorkers(3)
+	defer SetMaxWorkers(prev)
+	if w := Workers(100); w != 3 {
+		t.Fatalf("Workers(100)=%d want 3", w)
+	}
+	if w := Workers(2); w != 2 {
+		t.Fatalf("Workers(2)=%d want 2", w)
+	}
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0)=%d want 1", w)
+	}
+	SetMaxWorkers(0)
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1)=%d want 1", w)
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	vals := make([]int64, 999)
+	for i := range vals {
+		vals[i] = int64((i*2654435761 + 17) % 1000)
+	}
+	ref := ReduceInt(len(vals), func(i int) int64 { return vals[i] })
+	refMin, refArg := ReduceMin(len(vals), func(i int) int64 { return vals[i] })
+	for _, w := range []int{1, 2, 3, 5, 8} {
+		prev := SetMaxWorkers(w)
+		sum := ReduceInt(len(vals), func(i int) int64 { return vals[i] })
+		min, arg := ReduceMin(len(vals), func(i int) int64 { return vals[i] })
+		SetMaxWorkers(prev)
+		if sum != ref || min != refMin || arg != refArg {
+			t.Fatalf("workers=%d: results differ", w)
+		}
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	x := make([]int64, 1<<14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		For(len(x), func(j int) { x[j]++ })
+	}
+}

@@ -1,0 +1,295 @@
+package prg
+
+import (
+	"math"
+	"testing"
+
+	"parcolor/internal/rng"
+)
+
+func TestKWiseDeterministicAndLength(t *testing.T) {
+	p := NewKWise(4, 10, 500)
+	if p.SeedBits() != 10 || p.OutputBits() != 500 || NumSeeds(p) != 1024 {
+		t.Fatal("parameters wrong")
+	}
+	a := p.Expand(7)
+	b := p.Expand(7)
+	if a.Remaining() != 500 {
+		t.Fatal("length wrong")
+	}
+	for i := 0; i < 500; i++ {
+		if a.Take(1) != b.Take(1) {
+			t.Fatalf("bit %d differs between expansions of same seed", i)
+		}
+	}
+}
+
+func TestKWiseSeedsDiffer(t *testing.T) {
+	p := NewKWise(2, 8, 64)
+	same := 0
+	ref := p.Expand(0)
+	refBits := make([]uint64, 64)
+	for i := range refBits {
+		refBits[i] = ref.Take(1)
+	}
+	for seed := uint64(1); seed < 16; seed++ {
+		b := p.Expand(seed)
+		eq := true
+		for i := 0; i < 64; i++ {
+			if b.Take(1) != refBits[i] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d seeds produced identical output", same)
+	}
+}
+
+func TestKWiseBitBalanceAcrossSeeds(t *testing.T) {
+	// Averaged over the seed space, each output bit should be near-fair.
+	p := NewKWise(4, 10, 64)
+	ones := make([]int, 64)
+	for seed := 0; seed < NumSeeds(p); seed++ {
+		b := p.Expand(uint64(seed))
+		for i := 0; i < 64; i++ {
+			ones[i] += int(b.Take(1))
+		}
+	}
+	n := float64(NumSeeds(p))
+	for i, o := range ones {
+		frac := float64(o) / n
+		if math.Abs(frac-0.5) > 0.1 {
+			t.Fatalf("bit %d bias %f", i, frac)
+		}
+	}
+}
+
+func TestNisanLengthAndDeterminism(t *testing.T) {
+	p := NewNisan(32, 4, 12)
+	if p.OutputBits() != 32*16 {
+		t.Fatalf("output bits %d", p.OutputBits())
+	}
+	a, b := p.Expand(3), p.Expand(3)
+	for i := 0; i < p.OutputBits(); i++ {
+		if a.Take(1) != b.Take(1) {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+func TestNisanBlocksNotAllEqual(t *testing.T) {
+	p := NewNisan(16, 3, 8)
+	b := p.Expand(5)
+	blocks := map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		blocks[b.Take(16)] = true
+	}
+	if len(blocks) < 3 {
+		t.Fatalf("only %d distinct blocks", len(blocks))
+	}
+}
+
+func TestParityTestsCountAndMean(t *testing.T) {
+	tests := ParityTests(4, 2)
+	// C(4,1)+C(4,2) = 4+6 = 10
+	if len(tests) != 10 {
+		t.Fatalf("got %d tests", len(tests))
+	}
+	for _, tst := range tests {
+		if tst.MeanNum*2 != tst.MeanDen {
+			t.Fatalf("%s mean not 1/2", tst.Name)
+		}
+	}
+}
+
+func TestParityTestEvalKnownString(t *testing.T) {
+	tests := ParityTests(3, 3)
+	// Output string 0b101 (bits: pos0=1, pos1=0, pos2=1).
+	for _, tst := range tests {
+		b := rng.NewBits([]uint64{0b101}, 3)
+		got := tst.Eval(b)
+		switch tst.Name {
+		case "parity[0]", "parity[2]", "parity[1 2]", "parity[0 1]":
+			if !got {
+				t.Fatalf("%s = false", tst.Name)
+			}
+		case "parity[1]", "parity[0 2]", "parity[0 1 2]":
+			if got {
+				t.Fatalf("%s = true", tst.Name)
+			}
+		}
+	}
+}
+
+func TestFindBruteForceFoolsParities(t *testing.T) {
+	tests := ParityTests(8, 2)
+	p, err := FindBruteForce(8, 8, tests, 1, 8, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the bias claim independently.
+	for _, tst := range tests {
+		accept := 0
+		for seed := 0; seed < NumSeeds(p); seed++ {
+			b := p.Expand(uint64(seed))
+			if tst.Eval(b) {
+				accept++
+			}
+		}
+		bias := math.Abs(float64(accept)/float64(NumSeeds(p)) - 0.5)
+		if bias > 1.0/8+1e-9 {
+			t.Fatalf("%s bias %f exceeds 1/8", tst.Name, bias)
+		}
+	}
+}
+
+func TestFindBruteForceImpossibleEps(t *testing.T) {
+	// With 1 seed bit (2 seeds), parities cannot all be ε-fooled for tiny ε.
+	tests := ParityTests(8, 2)
+	if _, err := FindBruteForce(1, 8, tests, 1, 1000, 50); err == nil {
+		t.Fatal("expected failure for impossible parameters")
+	}
+}
+
+func TestChunkedSourceSlicing(t *testing.T) {
+	p := NewKWise(3, 8, 300)
+	chunkOf := []int32{0, 1, 2, 0} // nodes 0 and 3 share chunk 0
+	cs, err := NewChunkedSource(p, 5, chunkOf, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := cs.BitsFor(0)
+	b3 := cs.BitsFor(3)
+	if b0.Remaining() != 100 {
+		t.Fatal("chunk length wrong")
+	}
+	for i := 0; i < 100; i++ {
+		if b0.Take(1) != b3.Take(1) {
+			t.Fatal("same chunk must give same bits")
+		}
+	}
+	// Different chunks almost surely differ somewhere.
+	b1 := cs.BitsFor(1)
+	b2 := cs.BitsFor(2)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if b1.Take(1) != b2.Take(1) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("chunks 1 and 2 identical (vanishingly unlikely)")
+	}
+}
+
+func TestChunkedSourceMatchesRawStream(t *testing.T) {
+	p := NewKWise(2, 8, 128)
+	cs, err := NewChunkedSource(p, 9, []int32{0, 1}, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := p.Expand(9)
+	b0 := cs.BitsFor(0)
+	for i := 0; i < 64; i++ {
+		if b0.Take(1) != raw.Take(1) {
+			t.Fatalf("chunk 0 bit %d mismatches raw stream", i)
+		}
+	}
+	b1 := cs.BitsFor(1)
+	for i := 0; i < 64; i++ {
+		if b1.Take(1) != raw.Take(1) {
+			t.Fatalf("chunk 1 bit %d mismatches raw stream", i)
+		}
+	}
+}
+
+func TestChunkedSourceTooShort(t *testing.T) {
+	p := NewKWise(2, 8, 10)
+	if _, err := NewChunkedSource(p, 0, []int32{0}, 2, 10); err == nil {
+		t.Fatal("expected output-too-short error")
+	}
+}
+
+func TestSeedBitsForDelta(t *testing.T) {
+	if d := SeedBitsForDelta(4, 20); d != 8 {
+		t.Fatalf("small delta floor: %d", d)
+	}
+	if d := SeedBitsForDelta(1000, 20); d != 20 {
+		t.Fatalf("capped: %d", d)
+	}
+	if d := SeedBitsForDelta(100, 30); d != 14 {
+		t.Fatalf("log scaling: %d", d)
+	}
+}
+
+func BenchmarkKWiseExpand(b *testing.B) {
+	p := NewKWise(8, 14, 4096)
+	for i := 0; i < b.N; i++ {
+		_ = p.Expand(uint64(i) & 0x3FFF)
+	}
+}
+
+func BenchmarkNisanExpand(b *testing.B) {
+	p := NewNisan(64, 6, 14)
+	for i := 0; i < b.N; i++ {
+		_ = p.Expand(uint64(i) & 0x3FFF)
+	}
+}
+
+func TestConjunctionTestsCountAndMeans(t *testing.T) {
+	tests := ConjunctionTests(3, 2)
+	// |S|=1: 3 sets × 2 patterns = 6; |S|=2: 3 sets × 4 patterns = 12.
+	if len(tests) != 18 {
+		t.Fatalf("got %d tests", len(tests))
+	}
+	for _, tst := range tests {
+		if tst.MeanDen != 2 && tst.MeanDen != 4 {
+			t.Fatalf("%s mean %d/%d", tst.Name, tst.MeanNum, tst.MeanDen)
+		}
+	}
+}
+
+func TestConjunctionEvalKnownString(t *testing.T) {
+	// String 0b01: bit0=1, bit1=0. The conjunction {0,1} with pattern
+	// bit0=1,bit1=0 (pattern bits: pos0→1, pos1→0 ⇒ pattern=0b01) accepts.
+	tests := ConjunctionTests(2, 2)
+	hits := 0
+	for _, tst := range tests {
+		b := rng.NewBits([]uint64{0b01}, 2)
+		if tst.Eval(b) {
+			hits++
+		}
+	}
+	// Exactly one singleton per bit matches (2) plus one pair pattern (1).
+	if hits != 3 {
+		t.Fatalf("hits=%d want 3", hits)
+	}
+}
+
+func TestMaxBiasOrdersGenerators(t *testing.T) {
+	// More independence should not measure as (much) more biased on the
+	// parity family; both must beat a constant generator by a wide margin.
+	tests := ParityTests(16, 2)
+	k4 := MaxBias(NewKWise(4, 8, 64), tests)
+	if k4 > 0.35 {
+		t.Fatalf("kwise4 parity bias %f implausibly high", k4)
+	}
+	nis := MaxBias(NewNisan(16, 2, 8), tests)
+	if nis > 0.45 {
+		t.Fatalf("nisan parity bias %f implausibly high", nis)
+	}
+	// The brute-force generator certifies ≤ 1/8 by construction.
+	bf, err := FindBruteForce(8, 16, tests, 1, 8, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := MaxBias(bf, tests); b > 0.125+1e-9 {
+		t.Fatalf("brute-force bias %f exceeds its certificate", b)
+	}
+}

@@ -1,0 +1,282 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestAtIsPureFunction(t *testing.T) {
+	x := At2(7, 3, 9).Uint64()
+	y := At2(7, 3, 9).Uint64()
+	if x != y {
+		t.Fatal("At2 not pure")
+	}
+	if At2(7, 3, 9).Uint64() == At2(7, 3, 10).Uint64() {
+		t.Fatal("At2 collision on adjacent rounds (vanishingly unlikely)")
+	}
+}
+
+func TestHash2Distinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Hash2(1, i)
+		if seen[h] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestIntnRangeAndUniformity(t *testing.T) {
+	s := New(1)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := s.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %f", v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		n := int(size%64) + 1
+		p := make([]int32, n)
+		New(seed).Perm(p)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	xs := []int32{5, 5, 1, 9, 2, 2, 2}
+	cp := append([]int32(nil), xs...)
+	New(3).Shuffle(cp)
+	count := map[int32]int{}
+	for _, v := range xs {
+		count[v]++
+	}
+	for _, v := range cp {
+		count[v]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("value %d count off by %d", k, c)
+		}
+	}
+}
+
+func TestBitsTakeRoundTrip(t *testing.T) {
+	// 0b1011 packed LSB-first in word 0: bits consumed in order 1,1,0,1.
+	b := NewBits([]uint64{0b1011}, 4)
+	if got := b.Take(1); got != 1 {
+		t.Fatalf("bit0=%d", got)
+	}
+	if got := b.Take(2); got != 0b10 { // bits 1,2 = 1,0 MSB-first => 10
+		t.Fatalf("bits1-2=%b", got)
+	}
+	if got := b.Take(1); got != 1 {
+		t.Fatalf("bit3=%d", got)
+	}
+	if b.Remaining() != 0 {
+		t.Fatal("remaining != 0")
+	}
+}
+
+func TestBitsOverdrawPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overdraw")
+		}
+	}()
+	NewBits([]uint64{0}, 3).Take(4)
+}
+
+func TestTakeIntnInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		s := New(seed)
+		b := FreshBits(s, 4096)
+		for i := 0; i < 50; i++ {
+			v := b.TakeIntn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTakeIntnUniformEnough(t *testing.T) {
+	s := New(11)
+	const n, draws = 7, 60000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		b := FreshBits(s, IntnBits(n))
+		counts[b.TakeIntn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %f", v, c, want)
+		}
+	}
+}
+
+func TestFreshBitsLength(t *testing.T) {
+	b := FreshBits(New(5), 129)
+	if b.Remaining() != 129 {
+		t.Fatalf("remaining=%d", b.Remaining())
+	}
+	b.Take(64)
+	b.Take(64)
+	b.Take(1)
+	if b.Remaining() != 0 {
+		t.Fatal("not exhausted")
+	}
+}
+
+func TestBoolProbabilityEdges(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0, 10) {
+			t.Fatal("Bool(0,10) returned true")
+		}
+		if !s.Bool(10, 10) {
+			t.Fatal("Bool(10,10) returned false")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkTakeIntn(b *testing.B) {
+	s := New(1)
+	bits := FreshBits(s, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bits.Remaining() < 64 {
+			bits = FreshBits(s, 1<<20)
+		}
+		_ = bits.TakeIntn(100)
+	}
+}
+
+func TestAtStream(t *testing.T) {
+	if At(5, 3).Uint64() != At(5, 3).Uint64() {
+		t.Fatal("At not pure")
+	}
+	if At(5, 3).Uint64() == At(5, 4).Uint64() {
+		t.Fatal("At collision on adjacent indices (vanishingly unlikely)")
+	}
+}
+
+func TestTakeBool(t *testing.T) {
+	s := New(13)
+	trues := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		b := FreshBits(s, IntnBits(4))
+		if b.TakeBool(1, 4) {
+			trues++
+		}
+	}
+	frac := float64(trues) / trials
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("TakeBool(1,4) rate %f", frac)
+	}
+}
+
+func TestTakeIntnExhaustionFallback(t *testing.T) {
+	// All-ones bits force rejection every draw for n=3 (draw=0b11=3);
+	// exhaustion must return last%n, never panic.
+	b := NewBits([]uint64{^uint64(0)}, 8)
+	v := b.TakeIntn(3)
+	if v < 0 || v >= 3 {
+		t.Fatalf("fallback out of range: %d", v)
+	}
+	// Zero remaining bits and no draws: returns 0.
+	b2 := NewBits([]uint64{0}, 0)
+	if got := b2.TakeIntn(3); got != 0 {
+		t.Fatalf("empty-budget TakeIntn = %d", got)
+	}
+	// n=1 consumes nothing.
+	b3 := NewBits([]uint64{0}, 1)
+	if b3.TakeIntn(1) != 0 || b3.Remaining() != 1 {
+		t.Fatal("TakeIntn(1) should consume nothing")
+	}
+}
+
+func TestNewBitsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversize length")
+		}
+	}()
+	NewBits([]uint64{0}, 65)
+}
+
+func TestBoolPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Bool(5, 4)
+}

@@ -1,0 +1,166 @@
+package sparsify
+
+import (
+	"fmt"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+)
+
+// This file implements LowSpaceColorReduce (Algorithm 11): recursively
+// partition the instance with Compute, solve bins 0..Bins−2 in parallel
+// (their palettes are disjoint color classes, so no cross-bin conflicts
+// are possible among them), then solve the catch-all node bin with updated
+// palettes, then hand G_mid — whose palettes are updated last — to the
+// base solver. The recursion tree has O(1) depth since each level divides
+// the maximum degree by ≈ Bins/2 (Lemma 23 property (a)).
+
+// BaseSolver colors a low-degree instance; the deterministic pipeline
+// passes deframe.Run here, tests may pass a greedy.
+type BaseSolver func(in *d1lc.Instance) (*d1lc.Coloring, error)
+
+// Report describes a ColorReduce run for the E1/E4 tables.
+type Report struct {
+	Depth          int
+	Partitions     int
+	BaseInstances  int
+	BaseNodes      int
+	MovedToMid     int
+	MaxDegreeRatio float64 // worst observed d′(v)·Bins / (2·d(v)) over partitioned nodes; < 1 certifies Lemma 23(a)
+}
+
+func (r *Report) merge(s *Report) {
+	r.Partitions += s.Partitions
+	r.BaseInstances += s.BaseInstances
+	r.BaseNodes += s.BaseNodes
+	r.MovedToMid += s.MovedToMid
+	if s.MaxDegreeRatio > r.MaxDegreeRatio {
+		r.MaxDegreeRatio = s.MaxDegreeRatio
+	}
+	if s.Depth+1 > r.Depth {
+		r.Depth = s.Depth + 1
+	}
+}
+
+// ColorReduce colors the instance by Algorithm 11. The result is always a
+// complete proper coloring for a valid instance.
+func ColorReduce(in *d1lc.Instance, o Options, base BaseSolver) (*d1lc.Coloring, *Report, error) {
+	o = o.withDefaults(in.G.N())
+	return colorReduce(in, o, base, o.MaxDepth)
+}
+
+func colorReduce(in *d1lc.Instance, o Options, base BaseSolver, depth int) (*d1lc.Coloring, *Report, error) {
+	rep := &Report{}
+	n := in.G.N()
+	if n == 0 {
+		return d1lc.NewColoring(0), rep, nil
+	}
+	if depth <= 0 || in.G.MaxDegree() <= o.MidDegree {
+		col, err := base(in)
+		if err != nil {
+			return nil, rep, err
+		}
+		rep.BaseInstances = 1
+		rep.BaseNodes = n
+		return col, rep, nil
+	}
+
+	part, err := Compute(in, o)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Partitions = 1
+	rep.MovedToMid = part.MovedToMid
+	for v := int32(0); v < int32(n); v++ {
+		if part.NodeBin[v] < 0 {
+			continue
+		}
+		d := in.G.Degree(v)
+		if d == 0 {
+			continue
+		}
+		ratio := float64(part.SameBinDegree(in.G, v)) * float64(part.Bins) / (2 * float64(d))
+		if ratio > rep.MaxDegreeRatio {
+			rep.MaxDegreeRatio = ratio
+		}
+	}
+
+	col := d1lc.NewColoring(n)
+
+	// Bins 0..Bins−2: disjoint palettes, solved independently
+	// (Algorithm 11 line 2 — "in parallel").
+	for b := 0; b < part.Bins-1; b++ {
+		if err := solveBin(in, col, part, int32(b), o, base, depth, rep, true); err != nil {
+			return nil, rep, err
+		}
+	}
+	// Catch-all node bin: palettes updated with neighbors' used colors
+	// (Algorithm 11 line 3).
+	if err := solveBin(in, col, part, int32(part.Bins-1), o, base, depth, rep, false); err != nil {
+		return nil, rep, err
+	}
+	// G_mid last (Algorithm 11 lines 4–5).
+	var midNodes []int32
+	for v := int32(0); v < int32(n); v++ {
+		if part.NodeBin[v] < 0 {
+			midNodes = append(midNodes, v)
+		}
+	}
+	if len(midNodes) > 0 {
+		sub, origOf := d1lc.Reduce(in, col, midNodes)
+		subCol, err := base(sub)
+		if err != nil {
+			return nil, rep, err
+		}
+		rep.BaseInstances++
+		rep.BaseNodes += sub.N()
+		d1lc.Apply(col, subCol, origOf)
+	}
+	if got := col.UncoloredCount(); got != 0 {
+		return nil, rep, fmt.Errorf("sparsify: %d nodes left uncolored", got)
+	}
+	return col, rep, nil
+}
+
+// solveBin extracts one bin's instance and recurses. For restricted bins
+// the palette is the bin's color class (colors of other classes cannot
+// conflict because neighbors in other restricted bins use other classes);
+// the catch-all bin and any safety cases use full self-reduction against
+// colors already committed.
+func solveBin(in *d1lc.Instance, col *d1lc.Coloring, part *Partition, bin int32, o Options, base BaseSolver, depth int, rep *Report, restricted bool) error {
+	g := in.G
+	var nodes []int32
+	for v := int32(0); v < int32(g.N()); v++ {
+		if part.NodeBin[v] == bin {
+			nodes = append(nodes, v)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	var sub *d1lc.Instance
+	var origOf []int32
+	if restricted {
+		subG, orig := graph.InducedSubgraph(g, nodes)
+		pal := make([][]int32, subG.N())
+		for i, v := range orig {
+			pal[i] = part.restrictedPalette(in, v)
+		}
+		sub = &d1lc.Instance{G: subG, Palettes: pal}
+		origOf = orig
+		// The partition guarantees d′(v) < p′(v) (property enforcement
+		// moved violators to G_mid), so sub is a valid D1LC instance.
+		if err := sub.Check(); err != nil {
+			return fmt.Errorf("sparsify: bin %d produced invalid instance: %v", bin, err)
+		}
+	} else {
+		sub, origOf = d1lc.Reduce(in, col, nodes)
+	}
+	subCol, subRep, err := colorReduce(sub, o, base, depth-1)
+	if err != nil {
+		return err
+	}
+	rep.merge(subRep)
+	d1lc.Apply(col, subCol, origOf)
+	return nil
+}

@@ -1,0 +1,381 @@
+// Package parcolor is a Go implementation of "Parallel Derandomization for
+// Coloring" (Coy, Czumaj, Davies-Peck, Mishra; IPDPS 2024,
+// arXiv:2302.04378): deterministic and randomized (degree+1)-list-coloring
+// (D1LC) solvers built from the paper's derandomization framework for the
+// sublinear-space Massively Parallel Computation model.
+//
+// The deterministic solver (Theorem 1) composes three layers:
+//
+//  1. recursive degree reduction (Section 6, LowSpaceColorReduce),
+//  2. the HKNT22 pre-shattering pipeline expressed as normal
+//     (τ,Δ)-round distributed procedures (Definition 5) and derandomized
+//     with PRGs plus the method of conditional expectations (Lemma 10,
+//     Theorem 12), and
+//  3. a deterministic low-degree finisher.
+//
+// Every solver returns a complete, proper coloring for every valid
+// instance — the framework defers nodes that fail their strong success
+// properties and re-colors them through D1LC self-reducibility, so PRG
+// quality affects measured rounds, never correctness.
+//
+// Quick start:
+//
+//	g := parcolor.GenerateGraph("gnp-sparse", 1000, 1)
+//	in := parcolor.TrivialPalettes(g)
+//	res, err := parcolor.Solve(in, parcolor.Options{})
+//	// res.Coloring is a verified proper coloring.
+package parcolor
+
+import (
+	"fmt"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/deframe"
+	"parcolor/internal/graph"
+	"parcolor/internal/greedy"
+	"parcolor/internal/hknt"
+	"parcolor/internal/lowdeg"
+	"parcolor/internal/mis"
+	"parcolor/internal/mpc"
+	"parcolor/internal/par"
+	"parcolor/internal/sparsify"
+)
+
+// Re-exported core types. They alias the internal implementations so that
+// downstream users can name them without reaching into internal packages.
+type (
+	// Graph is an immutable undirected simple graph in CSR form.
+	Graph = graph.Graph
+	// Instance is a D1LC instance: a graph plus per-node palettes of size
+	// ≥ degree+1.
+	Instance = d1lc.Instance
+	// Coloring is a (possibly partial) color assignment.
+	Coloring = d1lc.Coloring
+)
+
+// Uncolored is the sentinel for unassigned nodes.
+const Uncolored = d1lc.Uncolored
+
+// Algorithm selects a solver.
+type Algorithm int
+
+// Available algorithms.
+const (
+	// Deterministic is the Theorem 1 solver (default).
+	Deterministic Algorithm = iota
+	// Randomized is the Lemma 4 solver.
+	Randomized
+	// GreedySequential is the single-machine baseline.
+	GreedySequential
+	// LowDegreeDeterministic is the conditional-expectations iterative
+	// solver (the Lemma 14 stand-in), usable directly on any instance.
+	LowDegreeDeterministic
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Deterministic:
+		return "deterministic"
+	case Randomized:
+		return "randomized"
+	case GreedySequential:
+		return "greedy"
+	case LowDegreeDeterministic:
+		return "lowdeg"
+	}
+	return "?"
+}
+
+// Options configures Solve. The zero value is a sensible default for all
+// algorithms.
+type Options struct {
+	// Algorithm selects the solver (default Deterministic).
+	Algorithm Algorithm
+	// Seed drives the Randomized and GreedySequential(random-order)
+	// algorithms; ignored by the deterministic ones.
+	Seed uint64
+	// SeedBits caps the PRG seed space for derandomization (default
+	// Θ(log Δ) capped at 12).
+	SeedBits int
+	// UseNisan switches the derandomizer from the k-wise PRG to the
+	// Nisan-style generator.
+	UseNisan bool
+	// Bitwise selects bit-by-bit conditional expectations instead of full
+	// parallel seed enumeration.
+	Bitwise bool
+	// Bins is the sparsification fan-out n^δ (0 = auto).
+	Bins int
+	// MidDegree is the degree threshold below which nodes skip
+	// sparsification (0 = auto).
+	MidDegree int
+	// LowDeg is the HKNT low-degree cutoff (paper: log⁷n; 0 = scaled auto).
+	LowDeg int
+	// DegreeRanges makes the Randomized solver peel degree ranges
+	// high-to-low (the paper's Section 3 structure) instead of running a
+	// single ColorMiddle pass.
+	DegreeRanges bool
+	// Workers bounds worker goroutines (0 = GOMAXPROCS).
+	Workers int
+	// SkipVerify disables the built-in output verification.
+	SkipVerify bool
+}
+
+// Result is a Solve outcome.
+type Result struct {
+	Coloring *Coloring
+	// Rounds is the LOCAL-round accounting of the distributed portion
+	// (greedy baseline reports 0).
+	Rounds int
+	// DistinctColors used by the solution.
+	DistinctColors int
+	// Deterministic-path reports (nil for other algorithms).
+	Sparsify *sparsify.Report
+	// DeferralFraction is the worst per-step deferral ratio observed.
+	DeferralFraction float64
+}
+
+// Solve colors the instance with the selected algorithm and verifies the
+// result (unless SkipVerify).
+func Solve(in *Instance, o Options) (*Result, error) {
+	if err := in.Check(); err != nil {
+		return nil, err
+	}
+	if o.Workers > 0 {
+		prev := par.SetMaxWorkers(o.Workers)
+		defer par.SetMaxWorkers(prev)
+	}
+	var (
+		res *Result
+		err error
+	)
+	switch o.Algorithm {
+	case Randomized:
+		res, err = solveRandomized(in, o)
+	case GreedySequential:
+		res, err = solveGreedy(in, o)
+	case LowDegreeDeterministic:
+		res, err = solveLowDeg(in, o)
+	default:
+		res, err = solveDeterministic(in, o)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !o.SkipVerify {
+		if err := d1lc.Verify(in, res.Coloring); err != nil {
+			return nil, fmt.Errorf("parcolor: internal error, solver produced invalid coloring: %w", err)
+		}
+	}
+	res.DistinctColors = greedy.DistinctColors(res.Coloring)
+	return res, nil
+}
+
+func deframeOptions(o Options) deframe.Options {
+	dopt := deframe.Options{
+		SeedBits: o.SeedBits,
+		Bitwise:  o.Bitwise,
+		Tunables: hknt.Tunables{LowDeg: o.LowDeg},
+	}
+	if o.UseNisan {
+		dopt.PRG = deframe.PRGNisan
+	}
+	return dopt
+}
+
+// solveDeterministic is Theorem 1: LowSpaceColorReduce over the deframe
+// base solver. Rounds are accounted for parallel composition: base
+// instances at one recursion level run concurrently on disjoint machine
+// groups, so the level cost is the maximum, not the sum.
+func solveDeterministic(in *Instance, o Options) (*Result, error) {
+	rounds := 0
+	deferral := 0.0
+	base := func(sub *d1lc.Instance) (*d1lc.Coloring, error) {
+		col, rep, err := deframe.Run(sub, deframeOptions(o))
+		if err != nil {
+			return nil, err
+		}
+		if r := rep.TotalRounds(); r > rounds {
+			rounds = r
+		}
+		if f := rep.MaxDeferralFraction(); f > deferral {
+			deferral = f
+		}
+		return col, nil
+	}
+	col, srep, err := sparsify.ColorReduce(in, sparsify.Options{Bins: o.Bins, MidDegree: o.MidDegree}, base)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Coloring: col, Rounds: rounds, Sparsify: srep, DeferralFraction: deferral}, nil
+}
+
+func solveRandomized(in *Instance, o Options) (*Result, error) {
+	if o.DegreeRanges {
+		st := hknt.NewState(in)
+		if _, err := hknt.RangedRandomizedColor(st, o.Seed, hknt.Tunables{LowDeg: o.LowDeg}); err != nil {
+			return nil, err
+		}
+		return &Result{Coloring: st.Col, Rounds: st.Meter.Rounds}, nil
+	}
+	col, st, _, err := hknt.RandomizedColor(in, o.Seed, hknt.Tunables{LowDeg: o.LowDeg})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Coloring: col, Rounds: st.Meter.Rounds}, nil
+}
+
+func solveGreedy(in *Instance, o Options) (*Result, error) {
+	col, err := greedy.Color(in, greedy.ByID, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Coloring: col}, nil
+}
+
+func solveLowDeg(in *Instance, o Options) (*Result, error) {
+	sb := o.SeedBits
+	if sb == 0 {
+		sb = 10
+	}
+	col, stats, err := lowdeg.IterativeDerandomized(in, lowdeg.Options{SeedBits: sb})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Coloring: col, Rounds: stats.Rounds}, nil
+}
+
+// Verify checks that col is a complete proper list coloring of in.
+func Verify(in *Instance, col *Coloring) error { return d1lc.Verify(in, col) }
+
+// --- Graph and instance construction ----------------------------------------
+
+// GenerateGraph builds one of the named workload graphs:
+// "gnp-sparse", "gnp-dense", "regular", "powerlaw", "cliques", "mixed",
+// "caterpillar", "cycle", "complete". It panics on unknown names; use
+// graph generators through NewGraphBuilder for custom topologies.
+func GenerateGraph(name string, n int, seed uint64) *Graph {
+	g, err := graph.Named(name, n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// GraphNames lists the generator names accepted by GenerateGraph.
+func GraphNames() []string {
+	return []string{"gnp-sparse", "gnp-dense", "regular", "powerlaw", "cliques", "mixed", "caterpillar", "cycle", "complete"}
+}
+
+// GraphBuilder accumulates edges for a custom graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for an n-node graph.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// TrivialPalettes gives each node the palette {0,…,deg(v)}.
+func TrivialPalettes(g *Graph) *Instance { return d1lc.TrivialPalettes(g) }
+
+// DeltaPlus1Palettes gives every node {0,…,Δ}: (Δ+1)-coloring as D1LC.
+func DeltaPlus1Palettes(g *Graph) *Instance { return d1lc.DeltaPlus1Palettes(g) }
+
+// RandomPalettes draws each node a random (deg+1+extra)-subset of a color
+// universe.
+func RandomPalettes(g *Graph, extra, universe int, seed uint64) *Instance {
+	return d1lc.RandomPalettes(g, extra, universe, seed)
+}
+
+// NewInstance wraps a graph and explicit palettes (validated by Check on
+// Solve).
+func NewInstance(g *Graph, palettes [][]int32) *Instance {
+	return &Instance{G: g, Palettes: palettes}
+}
+
+// EdgeColoringInstance reduces (2Δ−1)-edge-coloring of g to D1LC on the
+// line graph: line-graph node i corresponds to edges[i], and palettes are
+// {0,…,deg_L(i)} ⊆ {0,…,2Δ−2}. Coloring the returned instance and reading
+// color[i] for edges[i] yields a proper edge coloring with at most 2Δ−1
+// colors.
+func EdgeColoringInstance(g *Graph) (*Instance, [][2]int32) {
+	lg, edges := graph.LineGraph(g)
+	return d1lc.TrivialPalettes(lg), edges
+}
+
+// --- MPC-faithful solving -----------------------------------------------------
+
+// MPCResult is the outcome of SolveOnMPC.
+type MPCResult struct {
+	Coloring *Coloring
+	// MPCRounds counts actual engine rounds (selection trees included).
+	MPCRounds int
+	// TrialRounds counts derandomized TryRandomColor trials.
+	TrialRounds int
+	// MaxStored/MaxSent/MaxReceived are per-machine high-water word
+	// counts; Violations counts space-cap breaches (0 when LocalSpace is
+	// sufficient).
+	MaxStored, MaxSent, MaxReceived int64
+	Violations                      int
+	Machines                        int
+}
+
+// SolveOnMPC colors the instance with every round executed on the
+// simulated MPC cluster: per-round Lemma 10 derandomization (PRG chunks,
+// palette exchange, distributed conditional expectations, commit) and the
+// Theorem 12 greedy base case on machine 0 — no shared-memory shortcuts.
+// localSpace is s in words (0 picks a generous default); the engine
+// records space high-water marks rather than failing, so callers can
+// inspect how much space the run actually needed. Orders of magnitude
+// slower than Solve; intended for model-faithful validation and teaching.
+func SolveOnMPC(in *Instance, localSpace int, seedBits int) (*MPCResult, error) {
+	if err := in.Check(); err != nil {
+		return nil, err
+	}
+	if localSpace == 0 {
+		localSpace = 1 << 16
+	}
+	if seedBits == 0 {
+		seedBits = 6
+	}
+	c, err := mpc.NewCluster(mpc.Config{Machines: in.G.N() + 1, LocalSpace: localSpace})
+	if err != nil {
+		return nil, err
+	}
+	col, stats, err := mpc.DeterministicColorMPC(c, in, seedBits, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := d1lc.Verify(in, col); err != nil {
+		return nil, fmt.Errorf("parcolor: internal error, MPC solver produced invalid coloring: %w", err)
+	}
+	m := c.Metrics
+	return &MPCResult{
+		Coloring:    col,
+		MPCRounds:   stats.MPCRounds,
+		TrialRounds: stats.TRCRounds,
+		MaxStored:   m.MaxStored,
+		MaxSent:     m.MaxSent,
+		MaxReceived: m.MaxReceived,
+		Violations:  m.Violations,
+		Machines:    len(c.Machines),
+	}, nil
+}
+
+// --- MIS (the framework's second application) -------------------------------
+
+// MISResult is a maximal-independent-set outcome.
+type MISResult struct {
+	InSet  []int32
+	Rounds int
+}
+
+// MISDeterministic computes an MIS with the derandomized Luby algorithm
+// (the paper's Definition 5 worked example).
+func MISDeterministic(g *Graph) MISResult {
+	r := mis.Derandomized(g, mis.Options{})
+	return MISResult{InSet: r.InSetNodes(), Rounds: r.Rounds}
+}
+
+// MISRandomized computes an MIS with Luby's randomized algorithm.
+func MISRandomized(g *Graph, seed uint64) MISResult {
+	r := mis.Randomized(g, seed, 10*64)
+	return MISResult{InSet: r.InSetNodes(), Rounds: r.Rounds}
+}
