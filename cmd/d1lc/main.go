@@ -31,6 +31,7 @@ func main() {
 		seedBits  = flag.Int("seedbits", 0, "PRG seed bits for derandomization (0 = auto)")
 		nisan     = flag.Bool("nisan", false, "use the Nisan-style PRG")
 		bitwise   = flag.Bool("bitwise", false, "bit-by-bit conditional expectations")
+		naive     = flag.Bool("naivescore", false, "force naive per-seed scoring (ablation; results identical)")
 		palette   = flag.String("palette", "trivial", "trivial|delta1|random")
 		extra     = flag.Int("extra", 2, "extra palette slack for -palette random")
 		printCols = flag.Bool("print", false, "print the coloring")
@@ -65,10 +66,11 @@ func main() {
 	}
 
 	opts := parcolor.Options{
-		Seed:     *seed,
-		SeedBits: *seedBits,
-		UseNisan: *nisan,
-		Bitwise:  *bitwise,
+		Seed:         *seed,
+		SeedBits:     *seedBits,
+		UseNisan:     *nisan,
+		Bitwise:      *bitwise,
+		NaiveScoring: *naive,
 	}
 	switch *alg {
 	case "deterministic":

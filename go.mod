@@ -1,0 +1,3 @@
+module parcolor
+
+go 1.24

@@ -2,19 +2,36 @@
 // by Lemma 10 (PRG seed selection) and Section 6 (hash selection for
 // LowSpacePartition).
 //
-// Both entry points operate on an integer-valued objective ("score":
-// e.g. the number of nodes failing the strong success property under a
-// given seed) over an enumerable seed space, and return a seed whose score
-// is at most the mean over the space — the exact guarantee the paper's
+// Every entry point operates on an integer-valued objective ("score": e.g.
+// the number of nodes failing the strong success property under a given
+// seed) over an enumerable seed space, and returns a seed whose score is
+// at most the mean over the space — the exact guarantee the paper's
 // Lemma 10 derives from E[failures] ≤ nG/2 + nG·Δ^{−11τ}.
 //
-// SelectSeed scores every seed in parallel (the distributed enumeration
-// the paper performs across machines, each machine scoring its nodes for
-// each seed, aggregated by a converge-cast). SelectSeedBitwise fixes the
-// seed one bit at a time by comparing the conditional means of the two
-// branches; with exact branch evaluation it visits each seed at most once
-// per level, matching the classical description of the method. The two
-// must agree on the guarantee; tests check both.
+// Two scoring architectures coexist:
+//
+//   - The naive Scorer path (SelectSeed, SelectSeedBitwise) re-invokes an
+//     opaque score(seed) callback for every evaluation. It is simple,
+//     assumes nothing about the objective, and serves as the oracle the
+//     optimized path is differentially tested against. SelectSeed
+//     enumerates all seeds once; SelectSeedBitwise fixes the seed one bit
+//     at a time by comparing exact conditional branch means, re-evaluating
+//     surviving seeds at every level (~2^(d+1) scorer calls in total).
+//
+//   - The contribution-table path (BuildTable, ContribTable.SelectSeed,
+//     ContribTable.SelectSeedBitwise) mirrors the paper's distributed
+//     implementation: the objective decomposes as score(seed) = Σ_c
+//     contrib(c, seed) over machine-local chunks, each (chunk, seed)
+//     contribution is computed exactly once into a flat
+//     [numChunks × numSeeds] table by one parallel pass over the seed
+//     space, the per-seed totals are aggregated by a parallel
+//     converge-cast over the chunk rows, and both selection strategies
+//     become pure table aggregation — the bitwise method's branch means
+//     are subset sums of totals the build already paid for.
+//
+// Both paths return bit-identical Results (seed, score, sum, certificate)
+// on the same objective; they differ only in Evals, the scorer-invocation
+// count. Tests check the agreement and the guarantee for both.
 package condexp
 
 import (
@@ -65,10 +82,12 @@ func SelectSeed(numSeeds int, score Scorer) Result {
 // seed's score is at most the global mean, by induction on levels: the
 // chosen branch's conditional mean never exceeds the current mean.
 //
-// The total number of scorer calls is Σ_{i=1..d} 2^{d-i+1} ≈ 2^{d+1}: the
-// same order as full enumeration, but structured exactly as the method of
-// conditional expectations, which is what the framework's distributed
-// implementation mirrors round by round.
+// The total number of scorer calls is Σ_{i=1..d} 2^{d-i+1} = 2^(d+1)−2:
+// the same order as full enumeration, but structured exactly as the method
+// of conditional expectations, which is what the framework's distributed
+// implementation mirrors round by round. At the last level each branch has
+// a single completion, so the chosen branch's sum already is the selected
+// seed's score — no final re-evaluation is needed.
 func SelectSeedBitwise(seedBits int, score Scorer) Result {
 	if seedBits <= 0 || seedBits > 30 {
 		panic("condexp: seedBits out of range")
@@ -76,33 +95,29 @@ func SelectSeedBitwise(seedBits int, score Scorer) Result {
 	d := seedBits
 	var prefix uint64
 	evals := 0
-	var totalSum int64
-	first := true
+	var totalSum, chosen int64
 	for level := 0; level < d; level++ {
 		rem := d - level - 1 // bits still free after fixing this one
-		sum0, sum1 := int64(0), int64(0)
 		n := 1 << rem
-		sums := make([]int64, 2)
-		for b := uint64(0); b <= 1; b++ {
+		branch := func(b uint64) int64 {
 			base := prefix | b<<uint(level)
-			s := par.ReduceInt(n, func(i int) int64 {
+			return par.ReduceInt(n, func(i int) int64 {
 				return score(base | uint64(i)<<uint(level+1))
 			})
-			sums[b] = s
-			evals += n
 		}
-		sum0, sum1 = sums[0], sums[1]
-		if first {
+		sum0, sum1 := branch(0), branch(1)
+		evals += 2 * n
+		if level == 0 {
 			totalSum = sum0 + sum1
-			first = false
 		}
 		if sum1 < sum0 {
 			prefix |= 1 << uint(level)
+			chosen = sum1
+		} else {
+			chosen = sum0
 		}
 	}
-	final := score(prefix)
-	evals++
-	return Result{Seed: prefix, Score: final, SumScores: totalSum, NumSeeds: 1 << d, Evals: evals}
+	return Result{Seed: prefix, Score: chosen, SumScores: totalSum, NumSeeds: 1 << d, Evals: evals}
 }
 
 // Guarantee checks the conditional-expectations certificate: the selected

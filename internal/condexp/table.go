@@ -1,0 +1,146 @@
+package condexp
+
+import (
+	"parcolor/internal/par"
+)
+
+// This file implements the contribution-table scoring path: the
+// paper-faithful realization of Lemma 10's distributed seed selection.
+// Each machine (a contiguous chunk of the participants) evaluates its local
+// contribution to every seed's objective exactly once; a parallel
+// converge-cast sums the per-chunk rows into per-seed totals; and both
+// selection strategies — full enumeration and the bit-by-bit method of
+// conditional expectations — become pure aggregation over the totals, with
+// zero further scorer invocations. The naive Scorer-driven entry points in
+// condexp.go remain the oracle the table path is differentially tested
+// against.
+
+// ChunkFiller computes one seed's per-chunk contributions: fill(seed, row)
+// must set row[c] for every chunk c. Calls with distinct seeds may run
+// concurrently; within one worker, calls arrive for increasing seeds of a
+// contiguous range, so implementations may reuse per-worker scratch keyed
+// off goroutine identity (e.g. a sync.Pool). Implementations must be
+// deterministic: the same seed always yields the same row.
+type ChunkFiller func(seed uint64, row []int64)
+
+// ContribTable is the materialized [NumChunks × NumSeeds] score table plus
+// the converge-cast totals. Contrib[c*NumSeeds+s] is chunk c's contribution
+// to seed s's objective; Totals[s] is the full objective of seed s.
+type ContribTable struct {
+	NumSeeds  int
+	NumChunks int
+	Contrib   []int64
+	Totals    []int64
+}
+
+// BuildTable evaluates every (chunk, seed) contribution in a single
+// parallel pass over the seed space — each worker walks a contiguous seed
+// range, calling fill once per seed — then aggregates per-seed totals by a
+// parallel converge-cast over the chunk rows.
+func BuildTable(numSeeds, numChunks int, fill ChunkFiller) *ContribTable {
+	if numSeeds <= 0 {
+		panic("condexp: empty seed space")
+	}
+	if numChunks <= 0 {
+		panic("condexp: table needs at least one chunk")
+	}
+	t := &ContribTable{
+		NumSeeds:  numSeeds,
+		NumChunks: numChunks,
+		Contrib:   make([]int64, numSeeds*numChunks),
+	}
+	par.ForChunkedWorker(numSeeds, func(_, lo, hi int) {
+		row := make([]int64, numChunks)
+		for s := lo; s < hi; s++ {
+			fill(uint64(s), row)
+			for c, v := range row {
+				t.Contrib[c*numSeeds+s] = v
+			}
+		}
+	})
+	t.convergeCast()
+	return t
+}
+
+// convergeCast computes Totals[s] = Σ_c Contrib[c·NumSeeds+s] the way the
+// paper's machines do: each worker locally sums a contiguous range of chunk
+// rows (one vector add per row, cache-friendly row-major scans), then the
+// partial vectors combine in chunk order at the root. Integer addition
+// makes the result independent of worker count.
+func (t *ContribTable) convergeCast() {
+	t.Totals = make([]int64, t.NumSeeds)
+	w := par.Workers(t.NumChunks)
+	partial := make([][]int64, w)
+	par.ForChunkedWorker(t.NumChunks, func(wk, lo, hi int) {
+		acc := make([]int64, t.NumSeeds)
+		for c := lo; c < hi; c++ {
+			row := t.Contrib[c*t.NumSeeds : (c+1)*t.NumSeeds]
+			for s, v := range row {
+				acc[s] += v
+			}
+		}
+		partial[wk] = acc
+	})
+	for _, acc := range partial {
+		if acc == nil {
+			continue
+		}
+		for s, v := range acc {
+			t.Totals[s] += v
+		}
+	}
+}
+
+// SelectSeed returns the minimum-total seed (smallest seed on ties): the
+// same Result the naive SelectSeed computes, by pure table aggregation.
+// Evals counts the table build's fill calls — one per seed.
+func (t *ContribTable) SelectSeed() Result {
+	min, arg := par.ReduceMin(t.NumSeeds, func(i int) int64 { return t.Totals[i] })
+	var sum int64
+	for _, s := range t.Totals {
+		sum += s
+	}
+	return Result{Seed: uint64(arg), Score: min, SumScores: sum, NumSeeds: t.NumSeeds, Evals: t.NumSeeds}
+}
+
+// SelectSeedBitwise runs the bit-by-bit method of conditional expectations
+// over the precomputed totals: each level's branch means are subset sums of
+// Totals, so no seed is ever re-evaluated — the naive bitwise path's
+// ~2^(d+1) scorer calls collapse to the 2^d fill calls of the table build.
+// The returned Result (seed, score, sum, certificate) is identical to naive
+// SelectSeedBitwise over the same objective.
+func (t *ContribTable) SelectSeedBitwise(seedBits int) Result {
+	if seedBits <= 0 || seedBits > 30 || 1<<seedBits != t.NumSeeds {
+		panic("condexp: seedBits does not match table seed space")
+	}
+	d := seedBits
+	var prefix uint64
+	var totalSum, chosen int64
+	for level := 0; level < d; level++ {
+		rem := d - level - 1
+		n := 1 << rem
+		branch := func(b uint64) int64 {
+			base := prefix | b<<uint(level)
+			return par.ReduceChunked(n, func(lo, hi int) int64 {
+				var acc int64
+				for i := lo; i < hi; i++ {
+					acc += t.Totals[base|uint64(i)<<uint(level+1)]
+				}
+				return acc
+			})
+		}
+		sum0, sum1 := branch(0), branch(1)
+		if level == 0 {
+			totalSum = sum0 + sum1
+		}
+		if sum1 < sum0 {
+			prefix |= 1 << uint(level)
+			chosen = sum1
+		} else {
+			chosen = sum0
+		}
+	}
+	// At the last level each branch sum is a single seed's total, so the
+	// chosen branch's sum is exactly Totals[prefix].
+	return Result{Seed: prefix, Score: chosen, SumScores: totalSum, NumSeeds: t.NumSeeds, Evals: t.NumSeeds}
+}

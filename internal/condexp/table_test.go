@@ -1,0 +1,181 @@
+package condexp
+
+import (
+	"testing"
+
+	"parcolor/internal/par"
+	"parcolor/internal/rng"
+)
+
+// randomObjective builds a deterministic pseudo-random decomposable
+// objective: contrib(c, s) = Hash3(salt, c, s) % 64, with the naive scorer
+// summing chunks the same way the table does.
+func randomObjective(salt uint64, numChunks int) (ChunkFiller, Scorer) {
+	contrib := func(c int, seed uint64) int64 {
+		return int64(rng.Hash3(salt, uint64(c), seed) % 64)
+	}
+	fill := func(seed uint64, row []int64) {
+		for c := range row {
+			row[c] = contrib(c, seed)
+		}
+	}
+	score := func(seed uint64) int64 {
+		var sum int64
+		for c := 0; c < numChunks; c++ {
+			sum += contrib(c, seed)
+		}
+		return sum
+	}
+	return fill, score
+}
+
+func sameSelection(a, b Result) bool {
+	return a.Seed == b.Seed && a.Score == b.Score &&
+		a.SumScores == b.SumScores && a.NumSeeds == b.NumSeeds
+}
+
+func TestTableSelectSeedMatchesNaive(t *testing.T) {
+	for salt := uint64(0); salt < 40; salt++ {
+		d := 1 + int(salt%8)
+		numChunks := 1 + int(salt%7)
+		numSeeds := 1 << d
+		fill, score := randomObjective(salt, numChunks)
+		tbl := BuildTable(numSeeds, numChunks, fill)
+		naive := SelectSeed(numSeeds, score)
+		got := tbl.SelectSeed()
+		if !sameSelection(naive, got) {
+			t.Fatalf("salt=%d: flat selection differs:\nnaive %+v\ntable %+v", salt, naive, got)
+		}
+		if !got.Guarantee() {
+			t.Fatalf("salt=%d: table result violates certificate", salt)
+		}
+	}
+}
+
+func TestTableSelectSeedBitwiseMatchesNaive(t *testing.T) {
+	for salt := uint64(0); salt < 40; salt++ {
+		d := 1 + int(salt%8)
+		numChunks := 1 + int((salt*3)%6)
+		numSeeds := 1 << d
+		fill, score := randomObjective(salt^0xB17, numChunks)
+		tbl := BuildTable(numSeeds, numChunks, fill)
+		naive := SelectSeedBitwise(d, score)
+		got := tbl.SelectSeedBitwise(d)
+		if !sameSelection(naive, got) {
+			t.Fatalf("salt=%d d=%d: bitwise selection differs:\nnaive %+v\ntable %+v", salt, d, naive, got)
+		}
+		if !got.Guarantee() {
+			t.Fatalf("salt=%d: table bitwise result violates certificate", salt)
+		}
+	}
+}
+
+func TestTableBitwiseEvalBudget(t *testing.T) {
+	// Acceptance bound: naive bitwise spends 2^(d+1)−2 scorer calls, the
+	// table path at most 2^d + d (it actually spends exactly 2^d fills).
+	for _, d := range []int{2, 4, 6, 8, 10} {
+		numSeeds := 1 << d
+		fill, score := randomObjective(uint64(d)*31, 3)
+		tbl := BuildTable(numSeeds, 3, fill)
+		got := tbl.SelectSeedBitwise(d)
+		if got.Evals > numSeeds+d {
+			t.Fatalf("d=%d: table path reports %d evals, budget %d", d, got.Evals, numSeeds+d)
+		}
+		naive := SelectSeedBitwise(d, score)
+		if want := 2*numSeeds - 2; naive.Evals != want {
+			t.Fatalf("d=%d: naive bitwise evals %d, want %d", d, naive.Evals, want)
+		}
+		if naive.Evals <= got.Evals {
+			t.Fatalf("d=%d: table path (%d evals) not cheaper than naive (%d)", d, got.Evals, naive.Evals)
+		}
+	}
+}
+
+func TestTableTotalsAreConvergeCastOfContrib(t *testing.T) {
+	const numSeeds, numChunks = 32, 5
+	fill, _ := randomObjective(99, numChunks)
+	tbl := BuildTable(numSeeds, numChunks, fill)
+	for s := 0; s < numSeeds; s++ {
+		var want int64
+		for c := 0; c < numChunks; c++ {
+			want += tbl.Contrib[c*numSeeds+s]
+		}
+		if tbl.Totals[s] != want {
+			t.Fatalf("seed %d: total %d, chunk sum %d", s, tbl.Totals[s], want)
+		}
+	}
+}
+
+func TestTableDeterministicAcrossWorkerCounts(t *testing.T) {
+	const d, numChunks = 6, 4
+	fill, _ := randomObjective(7, numChunks)
+	ref := BuildTable(1<<d, numChunks, fill)
+	refFlat, refBw := ref.SelectSeed(), ref.SelectSeedBitwise(d)
+	for _, w := range []int{1, 2, 3, 8} {
+		prev := par.SetMaxWorkers(w)
+		tbl := BuildTable(1<<d, numChunks, fill)
+		flat, bw := tbl.SelectSeed(), tbl.SelectSeedBitwise(d)
+		par.SetMaxWorkers(prev)
+		for i, v := range tbl.Contrib {
+			if v != ref.Contrib[i] {
+				t.Fatalf("workers=%d: table entry %d differs", w, i)
+			}
+		}
+		if !sameSelection(flat, refFlat) || !sameSelection(bw, refBw) {
+			t.Fatalf("workers=%d: selection differs", w)
+		}
+	}
+}
+
+func TestBuildTablePanicsOnEmptySpace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildTable(0, 1, func(uint64, []int64) {})
+}
+
+func TestTableBitwisePanicsOnMismatchedBits(t *testing.T) {
+	tbl := BuildTable(8, 1, func(s uint64, row []int64) { row[0] = int64(s) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tbl.SelectSeedBitwise(4)
+}
+
+// BenchmarkSeedSelection compares the naive scorer-driven paths against the
+// contribution-table path on a synthetic decomposable objective whose
+// per-seed cost is dominated by the chunk loop, mirroring the deframe
+// hot-path shape (numChunks machines × 2^d seeds).
+func BenchmarkSeedSelection(b *testing.B) {
+	const d, numChunks = 8, 32
+	numSeeds := 1 << d
+	fill, score := randomObjective(42, numChunks)
+	b.Run("naive/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = SelectSeed(numSeeds, score)
+		}
+	})
+	b.Run("naive/bitwise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = SelectSeedBitwise(d, score)
+		}
+	})
+	b.Run("table/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = BuildTable(numSeeds, numChunks, fill).SelectSeed()
+		}
+	})
+	b.Run("table/bitwise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = BuildTable(numSeeds, numChunks, fill).SelectSeedBitwise(d)
+		}
+	})
+}

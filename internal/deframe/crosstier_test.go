@@ -43,7 +43,7 @@ func TestSeedSelectionMatchesClusterProtocol(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prop := step.Propose(st, parts, src)
+		prop := step.Propose(st, parts, src, nil)
 		row := make([]int64, g.N())
 		for _, v := range parts {
 			if !step.SSP(st, parts, prop, v) {

@@ -13,7 +13,18 @@
 //     or identity chunking when the power graph exceeds the space budget),
 //     select the seed by the method of conditional expectations over the
 //     measured failure count, commit the winning proposal, and defer the
-//     SSP failures.
+//     SSP failures. Seed selection runs on the incremental scoring engine
+//     (engine.go): the participants are partitioned into machine-local
+//     chunks, one parallel pass over the seed space fills a
+//     [chunks × seeds] contribution table with pooled per-worker scratch
+//     (reseedable PRG expansion, reusable proposals), a parallel
+//     converge-cast aggregates per-seed totals, and both flat and bitwise
+//     selection reduce to table aggregation — the paper's "each machine
+//     scores its nodes for every seed, then converge-cast" structure. The
+//     winning proposal is cached during the walk, never recomputed. The
+//     naive per-seed rescoring path is kept (Options.NaiveScoring) as the
+//     oracle: both paths are bit-identical in chosen seed, score and
+//     certificate, and differential tests enforce it.
 //
 //   - Theorem 12 is Run: derandomize the schedule step by step, then
 //     recurse on the deferred set through D1LC self-reducibility
@@ -58,8 +69,15 @@ type Options struct {
 	SeedBits int
 	// Bitwise switches seed selection from parallel full enumeration to
 	// the bit-by-bit method of conditional expectations (same guarantee,
-	// structured as the classical method; ~2× the scorer calls).
+	// structured as the classical method; on the table-scoring path the
+	// branch means are subset sums of precomputed totals, so it costs the
+	// same 2^SeedBits evaluations as flat selection instead of ~2×).
 	Bitwise bool
+	// NaiveScoring forces the monolithic per-seed rescoring path instead
+	// of the incremental contribution-table engine. Both produce identical
+	// results (seed, score, certificate, coloring); the naive path is the
+	// oracle for differential tests and ablation baselines.
+	NaiveScoring bool
 	// ChunkRadius is the power-graph radius for chunk assignment
 	// (Lemma 10 uses 4τ; default 4·max τ of the schedule).
 	ChunkRadius int
@@ -110,6 +128,7 @@ type StepReport struct {
 	SeedSpace    int
 	Score        int64 // chosen seed's objective value
 	MeanUpper    int64 // certificate: Score ≤ MeanUpper
+	Evals        int   // scorer invocations spent selecting the seed
 	Chunks       int
 	PRGName      string
 }
@@ -179,6 +198,12 @@ func buildPRG(o Options, numChunks, bitsPer int) prg.PRG {
 // PRG seed by the step's objective (default: the number of SSP failures),
 // commit the best seed's proposal, and defer the failures. It returns the
 // per-step report.
+//
+// Seed scoring runs on the incremental contribution-table engine
+// (engine.go) whenever the objective decomposes over participants; the
+// monolithic per-seed path is used for custom Score objectives or when
+// Options.NaiveScoring forces it. Both are bit-identical in everything but
+// cost, which Evals reports.
 func DerandomizeStep(st *hknt.State, step *hknt.Step, chunkOf []int32, numChunks int, o Options) StepReport {
 	parts := step.Participants(st)
 	rep := StepReport{Name: step.Name, Participants: len(parts), SeedSpace: 1 << o.SeedBits, Chunks: numChunks}
@@ -187,27 +212,19 @@ func DerandomizeStep(st *hknt.State, step *hknt.Step, chunkOf []int32, numChunks
 	}
 	gen := buildPRG(o, numChunks, step.Bits)
 	rep.PRGName = gen.Name()
-	scorer := func(seed uint64) int64 {
-		src, err := prg.NewChunkedSource(gen, seed, chunkOf, numChunks, step.Bits)
-		if err != nil {
-			// Generator too short is a construction bug; make it loud.
-			panic(fmt.Sprintf("deframe: %v", err))
-		}
-		prop := step.Propose(st, parts, src)
-		return step.DefaultScore(st, parts, prop)
-	}
 	var res condexp.Result
-	if o.Bitwise {
-		res = condexp.SelectSeedBitwise(o.SeedBits, scorer)
+	var prop hknt.Proposal
+	if o.NaiveScoring || !step.Decomposable() {
+		res, prop = derandomizeStepNaive(st, step, parts, gen, chunkOf, numChunks, o)
 	} else {
-		res = condexp.SelectSeed(1<<o.SeedBits, scorer)
+		eng := newStepEngine(st, step, parts, gen, chunkOf, numChunks)
+		res, prop = eng.selectSeedTable(o)
 	}
 	rep.SeedChosen = res.Seed
 	rep.Score = res.Score
 	rep.MeanUpper = res.MeanUpper()
+	rep.Evals = res.Evals
 
-	src, _ := prg.NewChunkedSource(gen, res.Seed, chunkOf, numChunks, step.Bits)
-	prop := step.Propose(st, parts, src)
 	failures := step.Failures(st, parts, prop)
 	rep.Colored = st.Apply(prop)
 	for _, v := range failures {
@@ -217,6 +234,29 @@ func DerandomizeStep(st *hknt.State, step *hknt.Step, chunkOf []int32, numChunks
 		}
 	}
 	return rep
+}
+
+// derandomizeStepNaive is the monolithic scorer: one full proposal plus
+// full-graph score per evaluated seed, and a final re-proposal of the
+// winner. It is the oracle the engine is differentially tested against.
+func derandomizeStepNaive(st *hknt.State, step *hknt.Step, parts []int32, gen prg.PRG, chunkOf []int32, numChunks int, o Options) (condexp.Result, hknt.Proposal) {
+	scorer := func(seed uint64) int64 {
+		src, err := prg.NewChunkedSource(gen, seed, chunkOf, numChunks, step.Bits)
+		if err != nil {
+			// Generator too short is a construction bug; make it loud.
+			panic(fmt.Sprintf("deframe: %v", err))
+		}
+		prop := step.Propose(st, parts, src, nil)
+		return step.DefaultScore(st, parts, prop)
+	}
+	var res condexp.Result
+	if o.Bitwise {
+		res = condexp.SelectSeedBitwise(o.SeedBits, scorer)
+	} else {
+		res = condexp.SelectSeed(1<<o.SeedBits, scorer)
+	}
+	src, _ := prg.NewChunkedSource(gen, res.Seed, chunkOf, numChunks, step.Bits)
+	return res, step.Propose(st, parts, src, nil)
 }
 
 // Run executes Theorem 12 for a D1LC instance: build the HKNT schedule,

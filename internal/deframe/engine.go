@@ -1,0 +1,157 @@
+package deframe
+
+import (
+	"fmt"
+	"sync"
+
+	"parcolor/internal/condexp"
+	"parcolor/internal/hknt"
+	"parcolor/internal/prg"
+)
+
+// This file is the incremental seed-scoring engine for Lemma 10: the
+// machine-local contribution-table realization of the derandomization hot
+// path. Where the naive path re-runs a monolithic full-graph scorer per
+// seed — allocating a fresh PRG expansion, ChunkedSource and Proposal each
+// time, and re-proposing the winning seed after selection — the engine
+//
+//   - walks the seed space once, reusing per-worker scratch (a reseedable
+//     ChunkedSource and an hknt.Scratch) pooled across seeds,
+//   - records each seed's per-chunk score contributions into a
+//     condexp.ContribTable, so flat and bitwise selection are pure table
+//     aggregation with zero extra scorer invocations, and
+//   - caches the best-scoring proposal seen during the walk, so the flat
+//     winner's proposal is committed without being recomputed.
+//
+// The engine requires a decomposable objective (Step.Score == nil, true
+// for every pipeline step); custom objectives fall back to the naive path,
+// which also remains available via Options.NaiveScoring as the oracle for
+// differential tests.
+
+// maxScoreChunks bounds the number of machine-local chunks (table rows).
+// The partition is a fixed function of the participant count so the table
+// shape — though never the selected Result — is independent of GOMAXPROCS.
+const maxScoreChunks = 64
+
+// scoreChunkCount returns the number of contiguous participant chunks the
+// table scores: min(participants, maxScoreChunks).
+func scoreChunkCount(nParts int) int {
+	if nParts < maxScoreChunks {
+		return nParts
+	}
+	return maxScoreChunks
+}
+
+// seedScratch is one worker's reusable evaluation state.
+type seedScratch struct {
+	src *prg.ChunkedScratch
+	sc  *hknt.Scratch
+}
+
+// stepEngine scores one step's seed space incrementally.
+type stepEngine struct {
+	st        *hknt.State
+	step      *hknt.Step
+	parts     []int32
+	gen       prg.PRG
+	chunkOf   []int32
+	numChunks int
+	nChunks   int // score chunks (table rows)
+
+	pool sync.Pool
+
+	mu          sync.Mutex
+	haveBest    bool
+	bestSeed    uint64
+	bestScore   int64
+	bestColor   []int32
+	bestMark    []bool
+	bestHasMark bool
+}
+
+func newStepEngine(st *hknt.State, step *hknt.Step, parts []int32, gen prg.PRG, chunkOf []int32, numChunks int) *stepEngine {
+	e := &stepEngine{
+		st: st, step: step, parts: parts,
+		gen: gen, chunkOf: chunkOf, numChunks: numChunks,
+		nChunks: scoreChunkCount(len(parts)),
+	}
+	e.pool.New = func() any {
+		src, err := prg.NewChunkedScratch(e.gen, e.chunkOf, e.numChunks, e.step.Bits)
+		if err != nil {
+			// Generator too short is a construction bug; make it loud.
+			panic(fmt.Sprintf("deframe: %v", err))
+		}
+		return &seedScratch{src: src, sc: hknt.NewScratch()}
+	}
+	return e
+}
+
+// fill is the condexp.ChunkFiller: propose once for the seed with pooled
+// scratch, score each participant chunk's contribution, and offer the
+// proposal to the best-seen cache.
+func (e *stepEngine) fill(seed uint64, row []int64) {
+	ss := e.pool.Get().(*seedScratch)
+	src := ss.src.Reseed(seed)
+	prop := e.step.Propose(e.st, e.parts, src, ss.sc)
+	var total int64
+	k := len(row)
+	n := len(e.parts)
+	for c := 0; c < k; c++ {
+		row[c] = e.step.ScoreChunk(e.st, e.parts, prop, c*n/k, (c+1)*n/k)
+		total += row[c]
+	}
+	e.offerBest(seed, total, prop)
+	e.pool.Put(ss)
+}
+
+// offerBest tracks the (score, seed)-lexicographic minimum proposal seen so
+// far — exactly the flat selection's winner — cloning it out of the
+// worker's scratch. The comparison makes the cache deterministic under any
+// evaluation order.
+func (e *stepEngine) offerBest(seed uint64, score int64, prop hknt.Proposal) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.haveBest && (e.bestScore < score || (e.bestScore == score && e.bestSeed < seed)) {
+		return
+	}
+	e.haveBest = true
+	e.bestSeed, e.bestScore = seed, score
+	cloned := hknt.CloneProposal(prop, e.bestColor, e.bestMark)
+	e.bestColor = cloned.Color
+	e.bestHasMark = cloned.Mark != nil
+	if cloned.Mark != nil {
+		e.bestMark = cloned.Mark
+	}
+}
+
+// proposalFor returns the chosen seed's proposal: the cached clone when the
+// seed matches (always, for flat selection), otherwise one fresh
+// re-proposal (bitwise selection may pick a non-argmin seed).
+func (e *stepEngine) proposalFor(seed uint64) hknt.Proposal {
+	if e.haveBest && e.bestSeed == seed {
+		p := hknt.Proposal{Color: e.bestColor}
+		if e.bestHasMark {
+			p.Mark = e.bestMark
+		}
+		return p
+	}
+	src, err := prg.NewChunkedSource(e.gen, seed, e.chunkOf, e.numChunks, e.step.Bits)
+	if err != nil {
+		panic(fmt.Sprintf("deframe: %v", err))
+	}
+	return e.step.Propose(e.st, e.parts, src, nil)
+}
+
+// selectSeedTable runs the full table path for one step: build the
+// contribution table in one parallel pass, aggregate (flat or bitwise), and
+// return the selected seed's result plus its proposal.
+func (e *stepEngine) selectSeedTable(o Options) (condexp.Result, hknt.Proposal) {
+	tbl := condexp.BuildTable(1<<o.SeedBits, e.nChunks, e.fill)
+	var res condexp.Result
+	if o.Bitwise {
+		res = tbl.SelectSeedBitwise(o.SeedBits)
+	} else {
+		res = tbl.SelectSeed()
+	}
+	return res, e.proposalFor(res.Seed)
+}

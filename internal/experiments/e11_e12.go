@@ -98,7 +98,7 @@ func e12SlackColorAblation(cfg Config) *stats.Table {
 				continue
 			}
 			src := hknt.FreshSource{Root: cfg.Seed, Round: uint64(i), Bits: step.Bits}
-			st.Apply(step.Propose(st, parts, src))
+			st.Apply(step.Propose(st, parts, src, nil))
 		}
 		live := len(st.LiveNodes(nil))
 		colored := float64(len(base)-live) / float64(len(base))

@@ -80,7 +80,7 @@ func e7SlackColorProgress(cfg Config) *stats.Table {
 			continue
 		}
 		src := hknt.FreshSource{Root: cfg.Seed, Round: uint64(i), Bits: step.Bits}
-		prop := step.Propose(st, parts, src)
+		prop := step.Propose(st, parts, src, nil)
 		fails := len(step.Failures(st, parts, prop))
 		colored := st.Apply(prop)
 		t.Add(step.Name, len(parts), colored, fails, len(st.LiveNodes(nil)))

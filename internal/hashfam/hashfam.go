@@ -57,6 +57,20 @@ func NewPoly(seed []uint64) Poly {
 	return Poly{coef: coef}
 }
 
+// SetCoef reinitializes p in place from seed words (each reduced mod p),
+// reusing the existing coefficient storage when capacity allows: the
+// allocation-free counterpart of NewPoly for hot loops that redraw the
+// polynomial once per PRG seed.
+func (p *Poly) SetCoef(seed []uint64) {
+	if cap(p.coef) < len(seed) {
+		p.coef = make([]uint64, len(seed))
+	}
+	p.coef = p.coef[:len(seed)]
+	for i, s := range seed {
+		p.coef[i] = s % MersennePrime61
+	}
+}
+
 // K returns the independence of the family this function was drawn from.
 func (p Poly) K() int { return len(p.coef) }
 

@@ -188,3 +188,37 @@ func BenchmarkGF2Bit(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestPolySetCoefMatchesNewPoly(t *testing.T) {
+	var p Poly
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + trial%6
+		seed := make([]uint64, k)
+		for i := range seed {
+			seed[i] = uint64(trial*1000003+i) * 0x9E3779B97F4A7C15
+		}
+		p.SetCoef(seed)
+		want := NewPoly(seed)
+		if p.K() != want.K() {
+			t.Fatalf("K mismatch: %d vs %d", p.K(), want.K())
+		}
+		for x := uint64(0); x < 50; x++ {
+			if p.Eval(x) != want.Eval(x) {
+				t.Fatalf("trial %d: Eval(%d) differs", trial, x)
+			}
+		}
+	}
+}
+
+func TestPolySetCoefReusesStorage(t *testing.T) {
+	var p Poly
+	p.SetCoef([]uint64{1, 2, 3, 4, 5, 6})
+	base := &p.coef[0]
+	p.SetCoef([]uint64{7, 8, 9})
+	if &p.coef[0] != base {
+		t.Fatal("SetCoef reallocated despite sufficient capacity")
+	}
+	if p.K() != 3 {
+		t.Fatalf("K=%d want 3", p.K())
+	}
+}

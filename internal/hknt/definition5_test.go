@@ -23,7 +23,7 @@ func TestDeferralMonotonicityProperty(t *testing.T) {
 		g := graph.Gnp(40, 0.2, seed)
 		st := NewState(d1lc.TrivialPalettes(g))
 		// Color a few nodes first to make remaining palettes non-trivial.
-		prop := TryRandomColorPropose(st, st.LiveNodes(nil), FreshSource{Root: seed, Bits: 512})
+		prop := TryRandomColorPropose(st, st.LiveNodes(nil), FreshSource{Root: seed, Bits: 512}, nil)
 		st.Apply(prop)
 		before := make([]int, g.N())
 		for v := int32(0); v < int32(g.N()); v++ {
@@ -102,7 +102,7 @@ func TestProposalWinsSurviveAnyDeferralOfLosers(t *testing.T) {
 		in := d1lc.TrivialPalettes(g)
 		st := NewState(in)
 		parts := st.LiveNodes(nil)
-		prop := TryRandomColorPropose(st, parts, FreshSource{Root: seed, Bits: 512})
+		prop := TryRandomColorPropose(st, parts, FreshSource{Root: seed, Bits: 512}, nil)
 		for _, v := range parts {
 			if prop.Color[v] == d1lc.Uncolored && mask>>(uint(v)%64)&1 == 1 && st.Live(v) {
 				st.Defer(v)

@@ -62,7 +62,7 @@ func TestTryRandomColorMatchesLocalEngine(t *testing.T) {
 		parts := st.LiveNodes(nil)
 		bits := 256
 		src := FreshSource{Root: seed, Round: 0, Bits: bits}
-		prop := TryRandomColorPropose(st, parts, src)
+		prop := TryRandomColorPropose(st, parts, src, nil)
 		ref := localTryRandomColor(g, st, func(v int32) *rng.Bits {
 			return FreshSource{Root: seed, Round: 0, Bits: bits}.BitsFor(v)
 		})
@@ -120,7 +120,7 @@ func TestMultiTrialMatchesLocalEngine(t *testing.T) {
 		parts := st.LiveNodes(nil)
 		bits := MultiTrialBits(x, 30) * 2
 		src := FreshSource{Root: 9, Round: uint64(x), Bits: bits}
-		prop := MultiTrialPropose(st, parts, x, src)
+		prop := MultiTrialPropose(st, parts, x, src, nil)
 		ref := localMultiTrial(g, st, x, func(v int32) *rng.Bits {
 			return FreshSource{Root: 9, Round: uint64(x), Bits: bits}.BitsFor(v)
 		})

@@ -137,10 +137,10 @@ func stepPutAside(name string, cliques []CliqueInfo, tun Tunables) Step {
 			}
 			return out
 		},
-		Propose: func(st *State, parts []int32, src RandSource) Proposal {
+		Propose: func(st *State, parts []int32, src RandSource, sc *Scratch) Proposal {
 			return PutAsidePropose(st, cliques, func(c *CliqueInfo) (int, int) {
 				return PutAsideProb(tun.Ell, c.MaxDeg, den*16)
-			}, src)
+			}, src, sc)
 		},
 		SSP: func(st *State, parts []int32, prop Proposal, v int32) bool {
 			c := cliqueOf[v]
@@ -201,8 +201,8 @@ func stepSynch(name string, cliques []CliqueInfo, maxPal int, tun Tunables) Step
 			}
 			return out
 		},
-		Propose: func(st *State, parts []int32, src RandSource) Proposal {
-			return SynchColorTrialPropose(st, cliques, src)
+		Propose: func(st *State, parts []int32, src RandSource, sc *Scratch) Proposal {
+			return SynchColorTrialPropose(st, cliques, src, sc)
 		},
 		SSP: func(st *State, parts []int32, prop Proposal, v int32) bool {
 			c := cliqueOf[v]
@@ -289,7 +289,7 @@ func RunRandomized(st *State, sched Schedule, seed uint64) RunStats {
 		tr := StepTrace{Name: step.Name, Participants: len(parts), LocalRounds: step.Tau}
 		if len(parts) > 0 {
 			src := FreshSource{Root: seed, Round: uint64(i), Bits: step.Bits}
-			prop := step.Propose(st, parts, src)
+			prop := step.Propose(st, parts, src, nil)
 			tr.SSPFailures = len(step.Failures(st, parts, prop))
 			tr.Colored = st.Apply(prop)
 			stats.Colored += tr.Colored
@@ -318,7 +318,7 @@ func CleanupRounds(st *State, seed uint64, maxRounds int) int {
 			return r
 		}
 		src := FreshSource{Root: seed ^ 0xC1EA, Round: uint64(r), Bits: TryRandomColorBits(maxPal)}
-		prop := TryRandomColorPropose(st, parts, src)
+		prop := TryRandomColorPropose(st, parts, src, nil)
 		st.Apply(prop)
 		st.Meter.Tick(2)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"parcolor/internal/acd"
 	"parcolor/internal/d1lc"
+	"parcolor/internal/par"
 )
 
 // Step is one normal (τ,Δ)-round distributed procedure in the sense of
@@ -23,8 +24,10 @@ type Step struct {
 	// Participants selects the nodes running the procedure, given the
 	// current state. Non-live nodes are filtered by the trials themselves.
 	Participants func(st *State) []int32
-	// Propose runs the procedure without mutating state.
-	Propose func(st *State, parts []int32, src RandSource) Proposal
+	// Propose runs the procedure without mutating state. sc, when non-nil,
+	// supplies reusable buffers (see Scratch); the returned Proposal then
+	// aliases them and is invalidated by the next Propose on the same sc.
+	Propose func(st *State, parts []int32, src RandSource, sc *Scratch) Proposal
 	// SSP reports participant v's strong success property under the
 	// proposal. Nil means trivially true (never defers).
 	SSP func(st *State, parts []int32, prop Proposal, v int32) bool
@@ -33,14 +36,24 @@ type Step struct {
 	Score func(st *State, parts []int32, prop Proposal) int64
 }
 
-// DefaultScore evaluates the seed-selection objective for a step.
-func (s *Step) DefaultScore(st *State, parts []int32, prop Proposal) int64 {
+// Decomposable reports whether the objective decomposes over participants
+// (DefaultScore == Σ over any partition of ScoreChunk). A custom Score
+// override is opaque, so only the default objectives decompose; the
+// contribution-table scoring engine requires this.
+func (s *Step) Decomposable() bool { return s.Score == nil }
+
+// ScoreChunk evaluates the default objective restricted to parts[lo:hi] —
+// one machine's local contribution in Lemma 10's converge-cast. Summing
+// ScoreChunk over a partition of the participants reproduces DefaultScore
+// exactly (integer arithmetic, no rounding). Panics on non-decomposable
+// steps.
+func (s *Step) ScoreChunk(st *State, parts []int32, prop Proposal, lo, hi int) int64 {
 	if s.Score != nil {
-		return s.Score(st, parts, prop)
+		panic("hknt: ScoreChunk on a step with a custom Score objective")
 	}
 	if s.SSP != nil {
 		var fails int64
-		for _, v := range parts {
+		for _, v := range parts[lo:hi] {
 			if !s.SSP(st, parts, prop, v) {
 				fails++
 			}
@@ -48,12 +61,24 @@ func (s *Step) DefaultScore(st *State, parts []int32, prop Proposal) int64 {
 		return fails
 	}
 	var wins int64
-	for _, v := range parts {
+	for _, v := range parts[lo:hi] {
 		if prop.Color[v] != d1lc.Uncolored {
 			wins++
 		}
 	}
 	return -wins
+}
+
+// DefaultScore evaluates the seed-selection objective for a step. The
+// default (decomposable) objectives reduce over participant chunks in
+// parallel; a custom Score runs as-is.
+func (s *Step) DefaultScore(st *State, parts []int32, prop Proposal) int64 {
+	if s.Score != nil {
+		return s.Score(st, parts, prop)
+	}
+	return par.ReduceChunked(len(parts), func(lo, hi int) int64 {
+		return s.ScoreChunk(st, parts, prop, lo, hi)
+	})
 }
 
 // Failures lists participants whose SSP fails under the proposal.
@@ -78,7 +103,8 @@ func PostStats(st *State, prop Proposal, v int32) (won bool, liveDeg, slack int)
 	won = prop.Color[v] != d1lc.Uncolored
 	liveDeg = st.LiveDegree(v)
 	palLoss := 0
-	seen := map[int32]bool{}
+	var seenBuf [24]int32
+	seen := seenBuf[:0]
 	for _, u := range st.In.G.Neighbors(v) {
 		if !st.Live(u) {
 			continue
@@ -88,13 +114,25 @@ func PostStats(st *State, prop Proposal, v int32) (won bool, liveDeg, slack int)
 			continue
 		}
 		liveDeg--
-		if !seen[c] && st.HasRem(v, c) {
+		if !containsColor(seen, c) && st.HasRem(v, c) {
 			palLoss++
-			seen[c] = true
+			seen = append(seen, c)
 		}
 	}
 	slack = len(st.Rem[v]) - palLoss - liveDeg
 	return won, liveDeg, slack
+}
+
+// containsColor is the small-set membership scan PostStats uses in place of
+// a per-call map: the distinct proposal colors around one node are few, and
+// the seed-scoring loop calls PostStats once per participant per seed.
+func containsColor(xs []int32, c int32) bool {
+	for _, x := range xs {
+		if x == c {
+			return true
+		}
+	}
+	return false
 }
 
 // Schedule is a pipeline of steps plus an optional deterministic finisher
@@ -218,8 +256,8 @@ func stepMultiTrial(name string, base []int32, x, maxPal int, thr float64) Step 
 		Tau:          2,
 		Bits:         MultiTrialBits(x, maxPal),
 		Participants: liveFilter(base),
-		Propose: func(st *State, parts []int32, src RandSource) Proposal {
-			return MultiTrialPropose(st, parts, x, src)
+		Propose: func(st *State, parts []int32, src RandSource, sc *Scratch) Proposal {
+			return MultiTrialPropose(st, parts, x, src, sc)
 		},
 		SSP: func(st *State, parts []int32, prop Proposal, v int32) bool {
 			if thr <= 0 {

@@ -1,0 +1,151 @@
+package hknt
+
+import (
+	"parcolor/internal/d1lc"
+)
+
+// Scratch carries caller-owned buffers reused across repeated trial
+// evaluations — the derandomizer's seed-scoring loop runs every Propose
+// hundreds to thousands of times against identical state, and without reuse
+// each run allocates candidate arrays, proposals and sample sets afresh.
+//
+// Ownership contract: a Proposal returned by a scratch-aware Propose
+// aliases the Scratch's buffers and is invalidated by the next Propose on
+// the same Scratch. One Scratch must never serve two concurrent Propose
+// calls; the trials' own inner parallel loops are safe because distinct
+// nodes touch distinct entries of the shared buffers.
+//
+// A nil *Scratch is valid everywhere and means "allocate fresh": the
+// original allocation-per-call behavior, kept as the reference path.
+type Scratch struct {
+	cand    []int32
+	sets    [][]int32
+	prop    Proposal
+	mark    []bool
+	boolBuf []bool
+	maps    []map[int32]bool
+	arenas  [][]int32
+	palBufs [][]int32
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// candidates returns an n-sized candidate buffer filled with Uncolored.
+func (sc *Scratch) candidates(n int) []int32 {
+	var cand []int32
+	if sc == nil {
+		cand = make([]int32, n)
+	} else {
+		if cap(sc.cand) < n {
+			sc.cand = make([]int32, n)
+		}
+		cand = sc.cand[:n]
+	}
+	for i := range cand {
+		cand[i] = d1lc.Uncolored
+	}
+	return cand
+}
+
+// proposal returns an n-sized empty proposal (all Uncolored, no marks).
+func (sc *Scratch) proposal(n int) Proposal {
+	if sc == nil {
+		return NewProposal(n)
+	}
+	if cap(sc.prop.Color) < n {
+		sc.prop.Color = make([]int32, n)
+	}
+	p := Proposal{Color: sc.prop.Color[:n]}
+	for i := range p.Color {
+		p.Color[i] = d1lc.Uncolored
+	}
+	sc.prop = p
+	return p
+}
+
+// markBuf returns an n-sized zeroed bool buffer for Proposal.Mark.
+func (sc *Scratch) markBuf(n int) []bool {
+	if sc == nil {
+		return make([]bool, n)
+	}
+	if cap(sc.mark) < n {
+		sc.mark = make([]bool, n)
+	}
+	m := sc.mark[:n]
+	for i := range m {
+		m[i] = false
+	}
+	return m
+}
+
+// bools returns a second n-sized zeroed bool buffer (trial-internal sets).
+func (sc *Scratch) bools(n int) []bool {
+	if sc == nil {
+		return make([]bool, n)
+	}
+	if cap(sc.boolBuf) < n {
+		sc.boolBuf = make([]bool, n)
+	}
+	b := sc.boolBuf[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// setsBuf returns an n-sized nil-filled slice-of-slices buffer.
+func (sc *Scratch) setsBuf(n int) [][]int32 {
+	if sc == nil {
+		return make([][]int32, n)
+	}
+	if cap(sc.sets) < n {
+		sc.sets = make([][]int32, n)
+	}
+	s := sc.sets[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// workerBufs returns w per-worker sample arenas and palette shuffle
+// buffers: MultiTrial's sampling loop carves each node's color set out of
+// its worker's arena instead of allocating one slice per node per seed.
+func (sc *Scratch) workerBufs(w int) (arenas, palBufs [][]int32) {
+	if sc == nil {
+		return make([][]int32, w), make([][]int32, w)
+	}
+	for len(sc.arenas) < w {
+		sc.arenas = append(sc.arenas, nil)
+	}
+	for len(sc.palBufs) < w {
+		sc.palBufs = append(sc.palBufs, nil)
+	}
+	return sc.arenas[:w], sc.palBufs[:w]
+}
+
+// mapsBuf returns w reusable per-worker hash sets (cleared by the callee).
+func (sc *Scratch) mapsBuf(w int) []map[int32]bool {
+	if sc == nil {
+		ms := make([]map[int32]bool, w)
+		for i := range ms {
+			ms[i] = make(map[int32]bool)
+		}
+		return ms
+	}
+	for len(sc.maps) < w {
+		sc.maps = append(sc.maps, make(map[int32]bool))
+	}
+	return sc.maps[:w]
+}
+
+// CloneProposal copies p into dst buffers owned by the caller, detaching it
+// from any Scratch lifetime. dst slices are reused when large enough.
+func CloneProposal(p Proposal, dstColor []int32, dstMark []bool) Proposal {
+	out := Proposal{Color: append(dstColor[:0], p.Color...)}
+	if p.Mark != nil {
+		out.Mark = append(dstMark[:0], p.Mark...)
+	}
+	return out
+}

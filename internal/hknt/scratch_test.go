@@ -1,0 +1,121 @@
+package hknt
+
+import (
+	"sync"
+	"testing"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+)
+
+// propEqual compares proposals field-for-field.
+func propEqual(t *testing.T, a, b Proposal, label string) {
+	t.Helper()
+	for v := range a.Color {
+		if a.Color[v] != b.Color[v] {
+			t.Fatalf("%s: Color[%d] = %d vs %d", label, v, a.Color[v], b.Color[v])
+		}
+	}
+	if (a.Mark == nil) != (b.Mark == nil) {
+		t.Fatalf("%s: Mark presence differs", label)
+	}
+	for v := range a.Mark {
+		if a.Mark[v] != b.Mark[v] {
+			t.Fatalf("%s: Mark[%d] differs", label, v)
+		}
+	}
+}
+
+// TestScratchReuseBitIdentical runs every trial repeatedly on one Scratch,
+// interleaving different trial kinds, and checks each proposal equals the
+// allocate-fresh reference: reuse must leave no residue between calls.
+func TestScratchReuseBitIdentical(t *testing.T) {
+	in := d1lc.TrivialPalettes(graph.Mixed(120, 3))
+	st := NewState(in)
+	parts := st.LiveNodes(nil)
+	sc := NewScratch()
+	for round := 0; round < 5; round++ {
+		seed := uint64(round)
+		srcTRC := FreshSource{Root: seed, Round: 1, Bits: 512}
+		withSc := TryRandomColorPropose(st, parts, srcTRC, sc)
+		fresh := TryRandomColorPropose(st, parts, srcTRC, nil)
+		propEqual(t, withSc, fresh, "trc")
+
+		srcMT := FreshSource{Root: seed, Round: 2, Bits: 2048}
+		withSc = MultiTrialPropose(st, parts, 3, srcMT, sc)
+		fresh = MultiTrialPropose(st, parts, 3, srcMT, nil)
+		propEqual(t, withSc, fresh, "multitrial")
+
+		srcGS := FreshSource{Root: seed, Round: 3, Bits: 512}
+		withSc = GenerateSlackPropose(st, parts, srcGS, sc)
+		fresh = GenerateSlackPropose(st, parts, srcGS, nil)
+		propEqual(t, withSc, fresh, "genslack")
+
+		cliques := []CliqueInfo{{
+			ID: 0, Members: parts[:8], Leader: parts[0],
+			Inliers: parts[:8], LowSlack: true, MaxDeg: 8,
+		}}
+		srcSy := FreshSource{Root: seed, Round: 4, Bits: 8192}
+		withSc = SynchColorTrialPropose(st, cliques, srcSy, sc)
+		fresh = SynchColorTrialPropose(st, cliques, srcSy, nil)
+		propEqual(t, withSc, fresh, "synch")
+
+		srcPA := FreshSource{Root: seed, Round: 5, Bits: 64}
+		prob := func(*CliqueInfo) (int, int) { return 1, 3 }
+		withSc = PutAsidePropose(st, cliques, prob, srcPA, sc)
+		fresh = PutAsidePropose(st, cliques, prob, srcPA, nil)
+		propEqual(t, withSc, fresh, "putaside")
+	}
+}
+
+// TestScratchConcurrentWorkers hammers per-worker Scratch reuse the way the
+// scoring engine does — one Scratch per goroutine, many seeds each — and
+// cross-checks every proposal against the fresh path. Run under -race this
+// also proves the trials' inner parallel loops never collide on a shared
+// Scratch's buffers.
+func TestScratchConcurrentWorkers(t *testing.T) {
+	in := d1lc.TrivialPalettes(graph.Gnp(100, 0.08, 2))
+	st := NewState(in)
+	parts := st.LiveNodes(nil)
+	const workers, seedsPer = 8, 6
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := NewScratch()
+			for s := 0; s < seedsPer; s++ {
+				seed := uint64(w*seedsPer + s)
+				src := FreshSource{Root: seed, Round: 7, Bits: 2048}
+				got := MultiTrialPropose(st, parts, 2, src, sc)
+				want := MultiTrialPropose(st, parts, 2, src, nil)
+				for v := range want.Color {
+					if got.Color[v] != want.Color[v] {
+						errs <- "scratch proposal diverged"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestScratchProposalInvalidation documents the aliasing contract: the next
+// Propose on the same Scratch overwrites the previous Proposal's storage.
+func TestScratchProposalInvalidation(t *testing.T) {
+	in := d1lc.TrivialPalettes(graph.Complete(8))
+	st := NewState(in)
+	parts := st.LiveNodes(nil)
+	sc := NewScratch()
+	a := TryRandomColorPropose(st, parts, FreshSource{Root: 1, Bits: 512}, sc)
+	b := TryRandomColorPropose(st, parts, FreshSource{Root: 2, Bits: 512}, sc)
+	if &a.Color[0] != &b.Color[0] {
+		t.Fatal("scratch proposals should share backing storage")
+	}
+}

@@ -29,6 +29,25 @@ type RandSource interface {
 	BitsFor(v int32) *rng.Bits
 }
 
+// ViewSource is an optional RandSource extension for sources backed by one
+// shared bit string (prg.ChunkedSource): per-node bits are handed out as
+// cursor views into the shared words, with no per-node allocation.
+type ViewSource interface {
+	RandSource
+	BitsForInto(v int32, dst *rng.Bits)
+}
+
+// bitsFor reads node v's bits through the worker-local cursor dst when the
+// source supports views, falling back to the allocating BitsFor otherwise
+// (FreshSource derives fresh words per node by construction).
+func bitsFor(src RandSource, v int32, dst *rng.Bits) *rng.Bits {
+	if vs, ok := src.(ViewSource); ok {
+		vs.BitsForInto(v, dst)
+		return dst
+	}
+	return src.BitsFor(v)
+}
+
 // FreshSource derives an independent bit string per node from a root seed
 // and a round number: the randomized baseline's source.
 type FreshSource struct {

@@ -102,7 +102,7 @@ func TestSlackMonotoneUnderRandomColoring(t *testing.T) {
 			slackBefore[v] = st.Slack(v)
 		}
 		parts := st.LiveNodes(nil)
-		prop := TryRandomColorPropose(st, parts, FreshSource{Root: seed, Bits: 512})
+		prop := TryRandomColorPropose(st, parts, FreshSource{Root: seed, Bits: 512}, nil)
 		st.Apply(prop)
 		for v := int32(0); v < 30; v++ {
 			if !st.Live(v) {

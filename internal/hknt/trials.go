@@ -24,22 +24,22 @@ func TryRandomColorBits(maxPalette int) int { return rng.IntnBits(maxPalette) }
 // each live participant picks a uniform color from its remaining palette
 // and wins iff no neighbor (participating or not — colored neighbors
 // cannot pick) picked the same color this trial. Symmetric ties eliminate
-// both sides, matching the ψ_v ∉ T rule.
-func TryRandomColorPropose(st *State, parts []int32, src RandSource) Proposal {
+// both sides, matching the ψ_v ∉ T rule. sc may be nil (allocate fresh).
+func TryRandomColorPropose(st *State, parts []int32, src RandSource, sc *Scratch) Proposal {
 	n := st.In.G.N()
-	cand := make([]int32, n)
-	for i := range cand {
-		cand[i] = d1lc.Uncolored
-	}
-	par.For(len(parts), func(i int) {
-		v := parts[i]
-		if !st.Live(v) || len(st.Rem[v]) == 0 {
-			return
+	cand := sc.candidates(n)
+	par.ForChunkedWorker(len(parts), func(_, lo, hi int) {
+		var cur rng.Bits
+		for i := lo; i < hi; i++ {
+			v := parts[i]
+			if !st.Live(v) || len(st.Rem[v]) == 0 {
+				continue
+			}
+			b := bitsFor(src, v, &cur)
+			cand[v] = st.Rem[v][b.TakeIntn(len(st.Rem[v]))]
 		}
-		b := src.BitsFor(v)
-		cand[v] = st.Rem[v][b.TakeIntn(len(st.Rem[v]))]
 	})
-	prop := NewProposal(n)
+	prop := sc.proposal(n)
 	par.For(len(parts), func(i int) {
 		v := parts[i]
 		c := cand[v]
@@ -62,32 +62,47 @@ func MultiTrialBits(x, maxPalette int) int { return x * rng.IntnBits(maxPalette)
 // MultiTrialPropose implements Algorithm 4: each live participant samples
 // x distinct colors from its remaining palette (all of them if the palette
 // is smaller) and wins the first sampled color that no neighbor sampled.
-func MultiTrialPropose(st *State, parts []int32, x int, src RandSource) Proposal {
+// The conflict pass reuses one blocked-set per worker instead of allocating
+// a map per participant. sc may be nil (allocate fresh).
+func MultiTrialPropose(st *State, parts []int32, x int, src RandSource, sc *Scratch) Proposal {
 	n := st.In.G.N()
-	sets := make([][]int32, n)
-	par.For(len(parts), func(i int) {
-		v := parts[i]
-		if !st.Live(v) || len(st.Rem[v]) == 0 {
-			return
-		}
-		sets[v] = sampleColors(st.Rem[v], x, src.BitsFor(v))
-	})
-	prop := NewProposal(n)
-	par.For(len(parts), func(i int) {
-		v := parts[i]
-		if sets[v] == nil {
-			return
-		}
-		blocked := map[int32]bool{}
-		for _, u := range st.In.G.Neighbors(v) {
-			for _, c := range sets[u] {
-				blocked[c] = true
+	sets := sc.setsBuf(n)
+	arenas, palBufs := sc.workerBufs(par.Workers(len(parts)))
+	par.ForChunkedWorker(len(parts), func(wk, lo, hi int) {
+		var cur rng.Bits
+		arena := arenas[wk][:0]
+		for i := lo; i < hi; i++ {
+			v := parts[i]
+			if !st.Live(v) || len(st.Rem[v]) == 0 {
+				continue
 			}
+			b := bitsFor(src, v, &cur)
+			base := len(arena)
+			arena = appendSample(arena, &palBufs[wk], st.Rem[v], x, b)
+			sets[v] = arena[base:len(arena):len(arena)]
 		}
-		for _, c := range sets[v] {
-			if !blocked[c] {
-				prop.Color[v] = c
-				break
+		arenas[wk] = arena
+	})
+	prop := sc.proposal(n)
+	maps := sc.mapsBuf(par.Workers(len(parts)))
+	par.ForChunkedWorker(len(parts), func(wk, lo, hi int) {
+		blocked := maps[wk]
+		for i := lo; i < hi; i++ {
+			v := parts[i]
+			if sets[v] == nil {
+				continue
+			}
+			clear(blocked)
+			for _, u := range st.In.G.Neighbors(v) {
+				for _, c := range sets[u] {
+					blocked[c] = true
+				}
+			}
+			for _, c := range sets[v] {
+				if !blocked[c] {
+					prop.Color[v] = c
+					break
+				}
 			}
 		}
 	})
@@ -108,6 +123,22 @@ func sampleColors(pal []int32, x int, b *rng.Bits) []int32 {
 	return cp[:x]
 }
 
+// appendSample appends the same draw sampleColors makes — identical bit
+// consumption and output order — into a worker-local arena, shuffling in a
+// reused palette buffer instead of a fresh copy.
+func appendSample(arena []int32, palBuf *[]int32, pal []int32, x int, b *rng.Bits) []int32 {
+	if x >= len(pal) {
+		return append(arena, pal...)
+	}
+	cp := append((*palBuf)[:0], pal...)
+	*palBuf = cp
+	for i := 0; i < x; i++ {
+		j := i + b.TakeIntn(len(cp)-i)
+		cp[i], cp[j] = cp[j], cp[i]
+	}
+	return append(arena, cp[:x]...)
+}
+
 // GenerateSlackBits returns the per-node bit budget of GenerateSlack.
 func GenerateSlackBits(maxPalette int) int {
 	return rng.IntnBits(10) + rng.IntnBits(maxPalette)
@@ -116,26 +147,25 @@ func GenerateSlackBits(maxPalette int) int {
 // GenerateSlackPropose implements Algorithm 6: sample each participant
 // into S independently with probability 1/10, then run one
 // TryRandomColor among S. The colored sample creates permanent slack for
-// its uncolored neighbors.
-func GenerateSlackPropose(st *State, parts []int32, src RandSource) Proposal {
+// its uncolored neighbors. sc may be nil (allocate fresh).
+func GenerateSlackPropose(st *State, parts []int32, src RandSource, sc *Scratch) Proposal {
 	n := st.In.G.N()
-	cand := make([]int32, n)
-	for i := range cand {
-		cand[i] = d1lc.Uncolored
-	}
-	par.For(len(parts), func(i int) {
-		v := parts[i]
-		if !st.Live(v) || len(st.Rem[v]) == 0 {
-			return
+	cand := sc.candidates(n)
+	par.ForChunkedWorker(len(parts), func(_, lo, hi int) {
+		var cur rng.Bits
+		for i := lo; i < hi; i++ {
+			v := parts[i]
+			if !st.Live(v) || len(st.Rem[v]) == 0 {
+				continue
+			}
+			b := bitsFor(src, v, &cur)
+			if !b.TakeBool(1, 10) {
+				continue
+			}
+			cand[v] = st.Rem[v][b.TakeIntn(len(st.Rem[v]))]
 		}
-		b := src.BitsFor(v)
-		inS := b.TakeBool(1, 10)
-		if !inS {
-			return
-		}
-		cand[v] = st.Rem[v][b.TakeIntn(len(st.Rem[v]))]
 	})
-	prop := NewProposal(n)
+	prop := sc.proposal(n)
 	par.For(len(parts), func(i int) {
 		v := parts[i]
 		c := cand[v]
@@ -172,38 +202,38 @@ func SynchColorTrialBits(maxClique, maxPalette int) int {
 // accepts iff the proposed color is in its own remaining palette and no
 // neighbor was proposed (or trial-picked) the same color. Distinctness
 // within a clique is automatic (a permutation); conflicts can only arise
-// across cliques or from an inlier's outside neighbors.
-func SynchColorTrialPropose(st *State, cliques []CliqueInfo, src RandSource) Proposal {
+// across cliques or from an inlier's outside neighbors. sc may be nil.
+func SynchColorTrialPropose(st *State, cliques []CliqueInfo, src RandSource, sc *Scratch) Proposal {
 	n := st.In.G.N()
-	cand := make([]int32, n)
-	for i := range cand {
-		cand[i] = d1lc.Uncolored
-	}
-	par.For(len(cliques), func(ci int) {
-		c := cliques[ci]
-		if st.Colored(c.Leader) {
-			return // leaderless trials are skipped; SSP will fail the clique
-		}
-		live := make([]int32, 0, len(c.Inliers))
-		for _, v := range c.Inliers {
-			if st.Live(v) && v != c.Leader {
-				live = append(live, v)
+	cand := sc.candidates(n)
+	par.ForChunkedWorker(len(cliques), func(_, lo, hi int) {
+		var cur rng.Bits
+		for ci := lo; ci < hi; ci++ {
+			c := cliques[ci]
+			if st.Colored(c.Leader) {
+				continue // leaderless trials are skipped; SSP will fail the clique
+			}
+			live := make([]int32, 0, len(c.Inliers))
+			for _, v := range c.Inliers {
+				if st.Live(v) && v != c.Leader {
+					live = append(live, v)
+				}
+			}
+			if len(live) == 0 {
+				continue
+			}
+			pal := st.Rem[c.Leader]
+			k := len(live)
+			if k > len(pal) {
+				k = len(pal)
+			}
+			perm := sampleColors(pal, k, bitsFor(src, c.Leader, &cur))
+			for i := 0; i < k; i++ {
+				cand[live[i]] = perm[i]
 			}
 		}
-		if len(live) == 0 {
-			return
-		}
-		pal := st.Rem[c.Leader]
-		k := len(live)
-		if k > len(pal) {
-			k = len(pal)
-		}
-		perm := sampleColors(pal, k, src.BitsFor(c.Leader))
-		for i := 0; i < k; i++ {
-			cand[live[i]] = perm[i]
-		}
 	})
-	prop := NewProposal(n)
+	prop := sc.proposal(n)
 	par.For(n, func(i int) {
 		v := int32(i)
 		c := cand[v]
@@ -245,27 +275,30 @@ func PutAsideProb(ell float64, maxDegC, maxDen int) (num, den int) {
 // (paper: ℓ²/(48·Δ_C)); the put-aside set P_C keeps the members of S_C
 // with no neighbor anywhere in S. The returned proposal carries marks, not
 // colors. Put-aside sets of different cliques have no edges between them
-// by construction.
-func PutAsidePropose(st *State, cliques []CliqueInfo, probFor func(c *CliqueInfo) (num, den int), src RandSource) Proposal {
+// by construction. sc may be nil (allocate fresh).
+func PutAsidePropose(st *State, cliques []CliqueInfo, probFor func(c *CliqueInfo) (num, den int), src RandSource, sc *Scratch) Proposal {
 	n := st.In.G.N()
-	inS := make([]bool, n)
-	par.For(len(cliques), func(ci int) {
-		c := cliques[ci]
-		if !c.LowSlack {
-			return
-		}
-		num, den := probFor(&cliques[ci])
-		for _, v := range c.Inliers {
-			if !st.Live(v) {
+	inS := sc.bools(n)
+	par.ForChunkedWorker(len(cliques), func(_, lo, hi int) {
+		var cur rng.Bits
+		for ci := lo; ci < hi; ci++ {
+			c := cliques[ci]
+			if !c.LowSlack {
 				continue
 			}
-			if src.BitsFor(v).TakeBool(num, den) {
-				inS[v] = true
+			num, den := probFor(&cliques[ci])
+			for _, v := range c.Inliers {
+				if !st.Live(v) {
+					continue
+				}
+				if bitsFor(src, v, &cur).TakeBool(num, den) {
+					inS[v] = true
+				}
 			}
 		}
 	})
-	prop := NewProposal(n)
-	prop.Mark = make([]bool, n)
+	prop := sc.proposal(n)
+	prop.Mark = sc.markBuf(n)
 	par.For(n, func(i int) {
 		v := int32(i)
 		if !inS[v] {

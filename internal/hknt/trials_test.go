@@ -35,7 +35,7 @@ func TestTryRandomColorConflictFree(t *testing.T) {
 		g := graph.Gnp(40, 0.15, seed)
 		st := NewState(d1lc.TrivialPalettes(g))
 		parts := st.LiveNodes(nil)
-		prop := TryRandomColorPropose(st, parts, FreshSource{Root: seed, Bits: 256})
+		prop := TryRandomColorPropose(st, parts, FreshSource{Root: seed, Bits: 256}, nil)
 		proposalConflictFree(t, st, prop)
 		return true
 	}
@@ -48,8 +48,8 @@ func TestTryRandomColorDeterministic(t *testing.T) {
 	g := graph.Gnp(50, 0.1, 7)
 	st := NewState(d1lc.TrivialPalettes(g))
 	parts := st.LiveNodes(nil)
-	a := TryRandomColorPropose(st, parts, FreshSource{Root: 9, Bits: 256})
-	b := TryRandomColorPropose(st, parts, FreshSource{Root: 9, Bits: 256})
+	a := TryRandomColorPropose(st, parts, FreshSource{Root: 9, Bits: 256}, nil)
+	b := TryRandomColorPropose(st, parts, FreshSource{Root: 9, Bits: 256}, nil)
 	for v := range a.Color {
 		if a.Color[v] != b.Color[v] {
 			t.Fatal("same source, different proposal")
@@ -61,7 +61,7 @@ func TestTryRandomColorMakesProgress(t *testing.T) {
 	g := graph.Cycle(100)
 	st := NewState(d1lc.TrivialPalettes(g))
 	parts := st.LiveNodes(nil)
-	prop := TryRandomColorPropose(st, parts, FreshSource{Root: 3, Bits: 256})
+	prop := TryRandomColorPropose(st, parts, FreshSource{Root: 3, Bits: 256}, nil)
 	wins := 0
 	for _, c := range prop.Color {
 		if c != d1lc.Uncolored {
@@ -79,8 +79,8 @@ func TestMultiTrialConflictFreeAndStrongerThanTRC(t *testing.T) {
 	in := d1lc.RandomPalettes(g, 4, 40, 5)
 	st := NewState(in)
 	parts := st.LiveNodes(nil)
-	prop1 := MultiTrialPropose(st, parts, 1, FreshSource{Root: 11, Bits: 2048})
-	prop4 := MultiTrialPropose(st, parts, 4, FreshSource{Root: 11, Bits: 2048})
+	prop1 := MultiTrialPropose(st, parts, 1, FreshSource{Root: 11, Bits: 2048}, nil)
+	prop4 := MultiTrialPropose(st, parts, 4, FreshSource{Root: 11, Bits: 2048}, nil)
 	proposalConflictFree(t, st, prop1)
 	proposalConflictFree(t, st, prop4)
 	count := func(p Proposal) int {
@@ -122,7 +122,7 @@ func TestGenerateSlackSamplingRate(t *testing.T) {
 	g := graph.Empty(4000) // no conflicts: every sampled node wins
 	st := NewState(d1lc.TrivialPalettes(g))
 	parts := st.LiveNodes(nil)
-	prop := GenerateSlackPropose(st, parts, FreshSource{Root: 5, Bits: 64})
+	prop := GenerateSlackPropose(st, parts, FreshSource{Root: 5, Bits: 64}, nil)
 	wins := 0
 	for _, c := range prop.Color {
 		if c != d1lc.Uncolored {
@@ -144,7 +144,7 @@ func TestSynchColorTrialDistinctWithinClique(t *testing.T) {
 		all[i] = int32(i)
 	}
 	ci := CliqueInfo{ID: 0, Members: all, Leader: 0, Inliers: all[1:], MaxDeg: 11}
-	prop := SynchColorTrialPropose(st, []CliqueInfo{ci}, FreshSource{Root: 2, Bits: 4096})
+	prop := SynchColorTrialPropose(st, []CliqueInfo{ci}, FreshSource{Root: 2, Bits: 4096}, nil)
 	proposalConflictFree(t, st, prop)
 	wins := 0
 	for _, c := range prop.Color {
@@ -166,7 +166,7 @@ func TestSynchColorTrialRespectsOwnPalette(t *testing.T) {
 	in := &d1lc.Instance{G: g, Palettes: pal}
 	st := NewState(in)
 	ci := CliqueInfo{ID: 0, Members: []int32{0, 1, 2, 3}, Leader: 0, Inliers: []int32{1, 2, 3}}
-	prop := SynchColorTrialPropose(st, []CliqueInfo{ci}, FreshSource{Root: 3, Bits: 4096})
+	prop := SynchColorTrialPropose(st, []CliqueInfo{ci}, FreshSource{Root: 3, Bits: 4096}, nil)
 	for v, c := range prop.Color {
 		if c != d1lc.Uncolored {
 			t.Fatalf("node %d won %d despite disjoint palettes", v, c)
@@ -180,7 +180,7 @@ func TestPutAsideMarksIndependentSet(t *testing.T) {
 	st := NewState(in)
 	a := acd.Compute(in, acd.Options{})
 	infos := ComputeCliqueInfos(g, a, 1e9) // everything low-slack
-	prop := PutAsidePropose(st, infos, func(*CliqueInfo) (int, int) { return 1, 3 }, FreshSource{Root: 8, Bits: 64})
+	prop := PutAsidePropose(st, infos, func(*CliqueInfo) (int, int) { return 1, 3 }, FreshSource{Root: 8, Bits: 64}, nil)
 	if prop.Mark == nil {
 		t.Fatal("no marks")
 	}
@@ -208,7 +208,7 @@ func TestPutAsideOnlyLowSlackCliques(t *testing.T) {
 	for i := range infos {
 		infos[i].LowSlack = i == 0 // only clique 0
 	}
-	prop := PutAsidePropose(st, infos, func(*CliqueInfo) (int, int) { return 1, 2 }, FreshSource{Root: 4, Bits: 64})
+	prop := PutAsidePropose(st, infos, func(*CliqueInfo) (int, int) { return 1, 2 }, FreshSource{Root: 4, Bits: 64}, nil)
 	for v := int32(8); v < 16; v++ {
 		if prop.Mark[v] {
 			t.Fatalf("node %d of high-slack clique marked", v)
@@ -222,6 +222,6 @@ func BenchmarkTryRandomColorPropose(b *testing.B) {
 	parts := st.LiveNodes(nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = TryRandomColorPropose(st, parts, FreshSource{Root: uint64(i), Bits: 512})
+		_ = TryRandomColorPropose(st, parts, FreshSource{Root: uint64(i), Bits: 512}, nil)
 	}
 }

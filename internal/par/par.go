@@ -74,12 +74,20 @@ func For(n int, body func(i int)) {
 // and Reduce; use it directly when per-chunk setup (scratch buffers, local
 // accumulators) matters.
 func ForChunked(n int, body func(lo, hi int)) {
+	ForChunkedWorker(n, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForChunkedWorker is ForChunked with the worker index exposed: body runs
+// with w ∈ [0, Workers(n)) identifying the goroutine's slot, so callers can
+// reuse per-worker scratch (size it with Workers(n)). Chunk boundaries are
+// the same deterministic partition ForChunked uses.
+func ForChunkedWorker(n int, body func(w, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	w := Workers(n)
 	if w == 1 {
-		body(0, n)
+		body(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -87,14 +95,51 @@ func ForChunked(n int, body func(lo, hi int)) {
 	for k := 0; k < w; k++ {
 		lo := k * n / w
 		hi := (k + 1) * n / w
-		go func(lo, hi int) {
+		go func(k, lo, hi int) {
 			defer wg.Done()
 			if lo < hi {
-				body(lo, hi)
+				body(k, lo, hi)
 			}
-		}(lo, hi)
+		}(k, lo, hi)
 	}
 	wg.Wait()
+}
+
+// partialPool recycles the per-call partial vectors of ReduceChunked so a
+// hot selection loop performs no steady-state allocation.
+var partialPool = sync.Pool{New: func() any {
+	s := make([]int64, 0, 128)
+	return &s
+}}
+
+// ReduceChunked folds body over [0, n) at chunk granularity: body(lo, hi)
+// returns the partial for one contiguous chunk, and partials are summed in
+// chunk order, so the result equals the sequential sum regardless of worker
+// count. It is the chunk-granular counterpart of ReduceInt, letting the
+// callee amortize per-chunk setup across its range.
+func ReduceChunked(n int, body func(lo, hi int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	w := Workers(n)
+	if w == 1 {
+		return body(0, n)
+	}
+	pp := partialPool.Get().(*[]int64)
+	partial := (*pp)[:0]
+	for k := 0; k < w; k++ {
+		partial = append(partial, 0)
+	}
+	ForChunkedWorker(n, func(k, lo, hi int) {
+		partial[k] = body(lo, hi)
+	})
+	var total int64
+	for _, p := range partial {
+		total += p
+	}
+	*pp = partial
+	partialPool.Put(pp)
+	return total
 }
 
 // ReduceInt folds body over [0, n): each worker accumulates a chunk-local

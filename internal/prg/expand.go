@@ -1,0 +1,168 @@
+package prg
+
+import (
+	"fmt"
+
+	"parcolor/internal/hashfam"
+	"parcolor/internal/rng"
+)
+
+// This file implements the allocation-free expansion path of the
+// incremental seed-scoring engine: an Expander re-expands a generator into
+// caller-owned storage, and a ChunkedScratch turns that into a reseedable
+// ChunkedSource. Together they let the Lemma 10 scorer walk an entire seed
+// space while reusing one buffer set per worker, where the naive path
+// (Expand + NewChunkedSource) allocates a fresh string per seed.
+//
+// Both paths are bit-identical by construction and by test: the seed chosen
+// by the method of conditional expectations must not depend on which path
+// scored it.
+
+// Expander re-expands a PRG into caller-owned storage without per-seed
+// allocation. It carries the generator-specific scratch (polynomial
+// coefficients for KWise, the block tree for Nisan) and is therefore NOT
+// safe for concurrent use; give each worker its own Expander.
+type Expander struct {
+	p    PRG
+	buf  []uint64
+	poly hashfam.Poly
+}
+
+// NewExpander prepares an allocation-free expander for p.
+func NewExpander(p PRG) *Expander {
+	return &Expander{p: p}
+}
+
+// grow returns a scratch slice of n words, reusing prior capacity.
+func (e *Expander) grow(n int) []uint64 {
+	if cap(e.buf) < n {
+		e.buf = make([]uint64, n)
+	}
+	return e.buf[:n]
+}
+
+// ExpandInto writes the first nbits bits of p's expansion at seed into dst,
+// in rng.Bits storage layout (bit i at dst[i>>6], position i&63) — the same
+// layout Expand produces, verified bit-for-bit by tests. dst must hold at
+// least ⌈nbits/64⌉ words; nbits must not exceed the generator's OutputBits.
+// KWise and Nisan take dedicated zero-allocation paths; any other generator
+// falls back to Expand plus a copy.
+func (e *Expander) ExpandInto(seed uint64, dst []uint64, nbits int) {
+	if nbits < 0 || nbits > e.p.OutputBits() {
+		panic(fmt.Sprintf("prg: ExpandInto(%d bits) outside %s's %d output bits",
+			nbits, e.p.Name(), e.p.OutputBits()))
+	}
+	words := (nbits + 63) / 64
+	if words > len(dst) {
+		panic("prg: ExpandInto destination too short")
+	}
+	for i := range dst[:words] {
+		dst[i] = 0
+	}
+	switch p := e.p.(type) {
+	case *KWise:
+		e.expandKWise(p, seed, dst, nbits)
+	case *Nisan:
+		e.expandNisan(p, seed, dst, nbits)
+	default:
+		b := e.p.Expand(seed)
+		for i := 0; i < nbits; i++ {
+			dst[i>>6] |= b.Take(1) << uint(i&63)
+		}
+	}
+}
+
+// expandKWise mirrors KWise.Expand with reused coefficient storage.
+func (e *Expander) expandKWise(p *KWise, seed uint64, dst []uint64, nbits int) {
+	raw := e.grow(p.k)
+	s := rng.New(rng.Hash2(0x5EED<<32|seed, uint64(p.k)))
+	for i := range raw {
+		raw[i] = s.Uint64()
+	}
+	e.poly.SetCoef(raw)
+	for i := 0; i < nbits; i++ {
+		if e.poly.Eval(uint64(i)+1)&1 == 1 {
+			dst[i>>6] |= 1 << uint(i&63)
+		}
+	}
+}
+
+// expandNisan mirrors Nisan.Expand, building the recursion tree in place:
+// blocks double bottom-up inside one reused buffer (writing positions
+// 2i, 2i+1 while scanning i downward never clobbers an unread block).
+func (e *Expander) expandNisan(p *Nisan, seed uint64, dst []uint64, nbits int) {
+	s := rng.New(rng.Hash2(0x417A<<32|seed, uint64(p.levels)))
+	x0 := s.Uint64()
+	if p.w < 64 {
+		x0 &= (1 << uint(p.w)) - 1
+	}
+	nBlocks := 1 << p.levels
+	buf := e.grow(p.levels + nBlocks)
+	mult := buf[:p.levels]
+	blocks := buf[p.levels:]
+	for i := range mult {
+		mult[i] = s.Uint64() | 1
+	}
+	blocks[0] = x0
+	m := 1
+	for lvl := 0; lvl < p.levels; lvl++ {
+		a := mult[lvl]
+		for i := m - 1; i >= 0; i-- {
+			b := blocks[i]
+			hb := a * b
+			hb = hb ^ (hb >> 29)
+			if p.w < 64 {
+				hb &= (1 << uint(p.w)) - 1
+			}
+			blocks[2*i], blocks[2*i+1] = b, hb
+		}
+		m <<= 1
+	}
+	pos := 0
+	for i := 0; i < m && pos < nbits; i++ {
+		b := blocks[i]
+		for j := 0; j < p.w && pos < nbits; j++ {
+			if b>>uint(j)&1 == 1 {
+				dst[pos>>6] |= 1 << uint(pos&63)
+			}
+			pos++
+		}
+	}
+}
+
+// ChunkedScratch is a reseedable ChunkedSource: the chunk layout and the
+// expansion buffer are validated and allocated once, then Reseed re-expands
+// in place for each candidate seed. One ChunkedScratch per worker; the
+// returned source is valid until the next Reseed.
+type ChunkedScratch struct {
+	src  ChunkedSource
+	exp  *Expander
+	need int
+}
+
+// NewChunkedScratch validates the layout (as NewChunkedSource does) and
+// allocates the reusable buffers.
+func NewChunkedScratch(p PRG, chunkOf []int32, numChunks, bitsPer int) (*ChunkedScratch, error) {
+	if need := numChunks * bitsPer; p.OutputBits() < need {
+		return nil, fmt.Errorf("prg: %s outputs %d bits, need %d (%d chunks × %d)",
+			p.Name(), p.OutputBits(), need, numChunks, bitsPer)
+	}
+	need := numChunks * bitsPer
+	return &ChunkedScratch{
+		src: ChunkedSource{
+			words:    make([]uint64, (need+63)/64),
+			bitsPer:  bitsPer,
+			chunkOf:  chunkOf,
+			numChunk: numChunks,
+		},
+		exp:  NewExpander(p),
+		need: need,
+	}, nil
+}
+
+// Reseed re-expands the generator at seed into the reused buffer and
+// returns the chunk view, bit-identical to NewChunkedSource(p, seed, …).
+func (cs *ChunkedScratch) Reseed(seed uint64) *ChunkedSource {
+	cs.exp.ExpandInto(seed, cs.src.words, cs.need)
+	return &cs.src
+}

@@ -1,0 +1,136 @@
+package prg
+
+import (
+	"testing"
+)
+
+// expandRef repacks the first nbits of p.Expand(seed) the way the naive
+// ChunkedSource construction does: the reference for bit-identity.
+func expandRef(p PRG, seed uint64, nbits int) []uint64 {
+	b := p.Expand(seed)
+	words := make([]uint64, (nbits+63)/64)
+	for i := 0; i < nbits; i++ {
+		words[i>>6] |= b.Take(1) << uint(i&63)
+	}
+	return words
+}
+
+func TestExpandIntoBitIdentical(t *testing.T) {
+	gens := []PRG{
+		NewKWise(4, 6, 300),
+		NewKWise(2, 5, 64),
+		NewNisan(64, 3, 6),
+		NewNisan(17, 4, 5),
+	}
+	for _, p := range gens {
+		e := NewExpander(p)
+		for _, nbits := range []int{1, 63, 64, 65, p.OutputBits()} {
+			if nbits > p.OutputBits() {
+				continue
+			}
+			dst := make([]uint64, (nbits+63)/64)
+			for seed := uint64(0); seed < uint64(NumSeeds(p)); seed += 3 {
+				e.ExpandInto(seed, dst, nbits)
+				ref := expandRef(p, seed, nbits)
+				for i := range ref {
+					if dst[i] != ref[i] {
+						t.Fatalf("%s seed=%d nbits=%d word %d: %x != %x",
+							p.Name(), seed, nbits, i, dst[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExpandIntoFallbackPath(t *testing.T) {
+	tests := ParityTests(4, 2)
+	p, err := FindBruteForce(3, 8, tests, 1, 3, 4096)
+	if err != nil {
+		t.Fatalf("brute force search failed: %v", err)
+	}
+	e := NewExpander(p)
+	dst := make([]uint64, 1)
+	for seed := uint64(0); seed < uint64(NumSeeds(p)); seed++ {
+		e.ExpandInto(seed, dst, p.OutputBits())
+		ref := expandRef(p, seed, p.OutputBits())
+		if dst[0] != ref[0] {
+			t.Fatalf("seed %d: %x != %x", seed, dst[0], ref[0])
+		}
+	}
+}
+
+func TestChunkedScratchMatchesNewChunkedSource(t *testing.T) {
+	const numChunks, bitsPer = 7, 33
+	p := NewKWise(4, 5, RequiredOutputBits(numChunks, bitsPer))
+	chunkOf := make([]int32, 20)
+	for v := range chunkOf {
+		chunkOf[v] = int32(v % numChunks)
+	}
+	cs, err := NewChunkedScratch(p, chunkOf, numChunks, bitsPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the seed space twice in different orders to prove reseeding
+	// leaves no residue.
+	order := append(seedOrder(NumSeeds(p)), seedOrderRev(NumSeeds(p))...)
+	for _, seed := range order {
+		got := cs.Reseed(seed)
+		want, err := NewChunkedSource(p, seed, chunkOf, numChunks, bitsPer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := int32(0); v < int32(len(chunkOf)); v++ {
+			g, w := got.BitsFor(v), want.BitsFor(v)
+			for w.Remaining() > 0 {
+				if a, b := g.Take(1), w.Take(1); a != b {
+					t.Fatalf("seed=%d node=%d: chunk bits differ", seed, v)
+				}
+			}
+			if g.Remaining() != 0 {
+				t.Fatalf("seed=%d node=%d: leftover bits", seed, v)
+			}
+		}
+	}
+}
+
+func TestChunkedScratchRejectsShortGenerator(t *testing.T) {
+	p := NewKWise(4, 5, 64)
+	if _, err := NewChunkedScratch(p, []int32{0, 1}, 2, 64); err == nil {
+		t.Fatal("expected output-length error")
+	}
+}
+
+func seedOrder(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	return out
+}
+
+func seedOrderRev(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(n - 1 - i)
+	}
+	return out
+}
+
+func BenchmarkExpandNaive(b *testing.B) {
+	p := NewKWise(4, 8, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Expand(uint64(i) & 255)
+	}
+}
+
+func BenchmarkExpandInto(b *testing.B) {
+	p := NewKWise(4, 8, 4096)
+	e := NewExpander(p)
+	dst := make([]uint64, 4096/64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ExpandInto(uint64(i)&255, dst, 4096)
+	}
+}

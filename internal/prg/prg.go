@@ -378,16 +378,19 @@ func NewChunkedSource(p PRG, seed uint64, chunkOf []int32, numChunks, bitsPer in
 	return &ChunkedSource{words: words, bitsPer: bitsPer, chunkOf: chunkOf, numChunk: numChunks}, nil
 }
 
-// BitsFor returns node v's chunk as a fresh Bits cursor.
+// BitsFor returns node v's chunk as a zero-copy cursor over the shared
+// expansion: nodes in the same chunk get independent cursors over the same
+// bits, so concurrent readers are safe.
 func (c *ChunkedSource) BitsFor(v int32) *rng.Bits {
 	start := int(c.chunkOf[v]) * c.bitsPer
-	// Repack the chunk into word-aligned storage for a clean cursor.
-	words := make([]uint64, (c.bitsPer+63)/64)
-	for i := 0; i < c.bitsPer; i++ {
-		bit := c.words[(start+i)>>6] >> uint((start+i)&63) & 1
-		words[i>>6] |= bit << uint(i&63)
-	}
-	return rng.NewBits(words, c.bitsPer)
+	return rng.NewBitsView(c.words, start, c.bitsPer)
+}
+
+// BitsForInto points dst at node v's chunk without allocating: the trials'
+// worker loops reuse one cursor per worker across all their nodes. dst must
+// not be shared between concurrent readers.
+func (c *ChunkedSource) BitsForInto(v int32, dst *rng.Bits) {
+	dst.SetView(c.words, int(c.chunkOf[v])*c.bitsPer, c.bitsPer)
 }
 
 // RequiredOutputBits reports the PRG output length needed for numChunks

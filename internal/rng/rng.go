@@ -130,6 +130,27 @@ func NewBits(words []uint64, n int) *Bits {
 	return &Bits{words: words, n: n}
 }
 
+// NewBitsView returns a read cursor over bits [off, off+n) of words,
+// sharing the backing storage: no bits are copied. It is the zero-copy
+// chunk accessor of the derandomization hot path — many views over one
+// expanded PRG string may be read concurrently, since a view only mutates
+// its own cursor.
+func NewBitsView(words []uint64, off, n int) *Bits {
+	b := &Bits{}
+	b.SetView(words, off, n)
+	return b
+}
+
+// SetView reinitializes b in place as a view over bits [off, off+n) of
+// words: the allocation-free counterpart of NewBitsView for worker-local
+// cursors reused across many nodes.
+func (b *Bits) SetView(words []uint64, off, n int) {
+	if off < 0 || n < 0 || off+n > 64*len(words) {
+		panic("rng: bits view range exceeds backing words")
+	}
+	b.words, b.pos, b.n = words, off, off+n
+}
+
 // FreshBits draws n truly-pseudorandom bits from stream s.
 func FreshBits(s *Stream, n int) *Bits {
 	words := make([]uint64, (n+63)/64)

@@ -280,3 +280,58 @@ func TestBoolPanicsOnBadArgs(t *testing.T) {
 	}()
 	New(1).Bool(5, 4)
 }
+
+func TestNewBitsViewMatchesRepackedBits(t *testing.T) {
+	s := New(77)
+	words := make([]uint64, 8)
+	for i := range words {
+		words[i] = s.Uint64()
+	}
+	for _, tc := range []struct{ off, n int }{
+		{0, 64}, {3, 61}, {64, 64}, {70, 100}, {511, 1}, {0, 512}, {100, 0},
+	} {
+		// Reference: repack bits [off, off+n) into fresh storage, as the old
+		// ChunkedSource.BitsFor did.
+		ref := make([]uint64, (tc.n+63)/64)
+		for i := 0; i < tc.n; i++ {
+			bit := words[(tc.off+i)>>6] >> uint((tc.off+i)&63) & 1
+			ref[i>>6] |= bit << uint(i&63)
+		}
+		a := NewBits(ref, tc.n)
+		b := NewBitsView(words, tc.off, tc.n)
+		if a.Remaining() != b.Remaining() {
+			t.Fatalf("off=%d n=%d: remaining %d vs %d", tc.off, tc.n, a.Remaining(), b.Remaining())
+		}
+		for a.Remaining() > 0 {
+			if x, y := a.Take(1), b.Take(1); x != y {
+				t.Fatalf("off=%d n=%d: bit mismatch %d vs %d", tc.off, tc.n, x, y)
+			}
+		}
+	}
+}
+
+func TestNewBitsViewConcurrentReaders(t *testing.T) {
+	words := []uint64{0xDEADBEEFCAFEF00D, 0x0123456789ABCDEF}
+	done := make(chan uint64, 16)
+	for k := 0; k < 16; k++ {
+		go func() {
+			b := NewBitsView(words, 8, 32)
+			done <- b.Take(32)
+		}()
+	}
+	want := NewBitsView(words, 8, 32).Take(32)
+	for k := 0; k < 16; k++ {
+		if got := <-done; got != want {
+			t.Fatalf("concurrent view read %x want %x", got, want)
+		}
+	}
+}
+
+func TestNewBitsViewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range view")
+		}
+	}()
+	NewBitsView([]uint64{0}, 60, 5)
+}

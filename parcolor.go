@@ -103,6 +103,10 @@ type Options struct {
 	// Bitwise selects bit-by-bit conditional expectations instead of full
 	// parallel seed enumeration.
 	Bitwise bool
+	// NaiveScoring forces the derandomizer's monolithic per-seed scoring
+	// path instead of the incremental contribution-table engine; results
+	// are identical, only cost differs (ablation/benchmark baseline).
+	NaiveScoring bool
 	// Bins is the sparsification fan-out n^δ (0 = auto).
 	Bins int
 	// MidDegree is the degree threshold below which nodes skip
@@ -172,9 +176,10 @@ func Solve(in *Instance, o Options) (*Result, error) {
 
 func deframeOptions(o Options) deframe.Options {
 	dopt := deframe.Options{
-		SeedBits: o.SeedBits,
-		Bitwise:  o.Bitwise,
-		Tunables: hknt.Tunables{LowDeg: o.LowDeg},
+		SeedBits:     o.SeedBits,
+		Bitwise:      o.Bitwise,
+		NaiveScoring: o.NaiveScoring,
+		Tunables:     hknt.Tunables{LowDeg: o.LowDeg},
 	}
 	if o.UseNisan {
 		dopt.PRG = deframe.PRGNisan
