@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt bench bench-smoke
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# bench-smoke runs every benchmark exactly once: the CI smoke step that
+# keeps the benchmark suite compiling and terminating.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench regenerates the seed-selection benchmark suite (the contribution-
+# table engine vs its naive oracles in deframe, mis and lowdeg, plus the
+# synthetic condexp shape) as a machine-readable test2json stream, so the
+# perf trajectory is diffable across PRs.
+bench:
+	$(GO) test -run '^$$' -bench 'SeedSelection' -benchmem -count 1 -json \
+		./internal/condexp ./internal/deframe ./internal/mis ./internal/lowdeg \
+		> BENCH_seed_selection.json
+	@echo "wrote BENCH_seed_selection.json"

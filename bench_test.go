@@ -79,6 +79,10 @@ func BenchmarkE14PRGBias(b *testing.B) { runExperiment(b, "E14") }
 // BenchmarkE15ACDAblation regenerates Table E15 (ACD ε sweep).
 func BenchmarkE15ACDAblation(b *testing.B) { runExperiment(b, "E15") }
 
+// BenchmarkE16SeedSelectionProtocols regenerates Table E16 (scalar vs
+// row-converge-cast MPC seed selection).
+func BenchmarkE16SeedSelectionProtocols(b *testing.B) { runExperiment(b, "E16") }
+
 // --- End-to-end solver benchmarks -------------------------------------------
 
 func solveBench(b *testing.B, alg parcolor.Algorithm, graphName string, n int) {

@@ -32,6 +32,27 @@
 // Both paths return bit-identical Results (seed, score, sum, certificate)
 // on the same objective; they differ only in Evals, the scorer-invocation
 // count. Tests check the agreement and the guarantee for both.
+//
+// Who uses the table engine — every seed selection in the repository runs
+// through ContribTable, each with its naive-Scorer oracle kept for
+// differential tests:
+//
+//   - deframe.stepEngine: Lemma 10 over the HKNT schedule steps; per-chunk
+//     SSP-failure counts with pooled per-worker PRG scratch
+//     (Options.NaiveScoring is the oracle).
+//   - mis.Derandomized: Luby rounds; per-chunk still-undecided counts with
+//     chunk-sparse PRG re-expansion of only the live nodes
+//     (mis.Options.NaiveScoring).
+//   - lowdeg.IterativeDerandomized: trial rounds; per-chunk −wins with
+//     pooled candidate/proposal buffers (lowdeg.Options.NaiveScoring).
+//   - mpc.DistributedSelectSeedRows: the same converge-cast executed as an
+//     MPC protocol — simulated machines fill distributed table rows, the
+//     aggregation tree sums row vectors, and the root's selection is
+//     ContribTable aggregation (mpc.DistributedSelectSeed is the
+//     scalar-batched oracle).
+//
+// ScoreChunks is the shared chunking policy: all shared-memory call sites
+// size their tables participant-proportionally through it.
 package condexp
 
 import (

@@ -1,6 +1,8 @@
 package condexp
 
 import (
+	"sync"
+
 	"parcolor/internal/par"
 )
 
@@ -14,6 +16,67 @@ import (
 // zero further scorer invocations. The naive Scorer-driven entry points in
 // condexp.go remain the oracle the table path is differentially tested
 // against.
+
+// scoreChunkLine is the number of participants per score chunk: one CPU
+// cache line of int32 participant ids (64 bytes). Participant-proportional
+// chunking keeps each row's fill loop cache-resident while giving the
+// converge-cast enough rows to parallelize on large instances, where a
+// fixed row count left most workers idle.
+const scoreChunkLine = 16
+
+// maxScoreChunks caps the table rows so Contrib (NumChunks × NumSeeds
+// words) stays bounded on very large participant sets.
+const maxScoreChunks = 1024
+
+// ScoreChunks returns the number of machine-local score chunks (table
+// rows) for a participant set of the given size:
+// ⌈nParts/scoreChunkLine⌉ clamped to [1, maxScoreChunks]. It is a pure
+// function of the participant count, so the table shape — though never the
+// selected Result, which is invariant under any chunk partition — is
+// independent of GOMAXPROCS. Every table-engine call site (deframe, mis,
+// lowdeg) sizes its tables through this one policy.
+func ScoreChunks(nParts int) int {
+	k := (nParts + scoreChunkLine - 1) / scoreChunkLine
+	if k < 1 {
+		k = 1
+	}
+	if k > maxScoreChunks {
+		k = maxScoreChunks
+	}
+	return k
+}
+
+// BestSeen tracks the (score, seed)-lexicographic minimum offered during a
+// table build: exactly the seed flat selection returns, because the
+// comparison mirrors SelectSeed/par.ReduceMin's smallest-seed tie-break.
+// The table engines use it to materialize the flat winner's proposal while
+// walking the seed space, so committing it needs no recomputation. Safe
+// for concurrent Offer calls; the ordering makes the winner deterministic
+// under any evaluation order.
+type BestSeen struct {
+	mu    sync.Mutex
+	have  bool
+	seed  uint64
+	score int64
+}
+
+// Offer proposes (seed, score). If it takes the minimum slot, keep runs
+// while the lock pins the slot — the caller materializes the winner there
+// (cloning out of per-worker scratch). keep runs O(log numSeeds) expected
+// times over a random-order walk.
+func (b *BestSeen) Offer(seed uint64, score int64, keep func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.have && (b.score < score || (b.score == score && b.seed < seed)) {
+		return
+	}
+	b.have, b.seed, b.score = true, seed, score
+	keep()
+}
+
+// Matches reports whether seed holds the minimum slot — true for the flat
+// winner by construction; bitwise selection may pick another seed.
+func (b *BestSeen) Matches(seed uint64) bool { return b.have && b.seed == seed }
 
 // ChunkFiller computes one seed's per-chunk contributions: fill(seed, row)
 // must set row[c] for every chunk c. Calls with distinct seeds may run

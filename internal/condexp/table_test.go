@@ -127,6 +127,79 @@ func TestTableDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestScoreChunksParticipantProportional(t *testing.T) {
+	cases := []struct{ parts, want int }{
+		{0, 1},
+		{1, 1},
+		{15, 1},
+		{16, 1},
+		{17, 2},
+		{300, 19},
+		{3000, 188},
+		{16 * maxScoreChunks, maxScoreChunks},
+		{1 << 30, maxScoreChunks}, // capped
+	}
+	for _, tc := range cases {
+		if got := ScoreChunks(tc.parts); got != tc.want {
+			t.Fatalf("ScoreChunks(%d) = %d, want %d", tc.parts, got, tc.want)
+		}
+	}
+	// Monotone and never exceeding the participant count beyond 1.
+	prev := 0
+	for n := 0; n < 2000; n++ {
+		k := ScoreChunks(n)
+		if k < prev {
+			t.Fatalf("ScoreChunks not monotone at %d", n)
+		}
+		if n > 0 && k > n {
+			t.Fatalf("ScoreChunks(%d) = %d exceeds participants", n, k)
+		}
+		prev = k
+	}
+}
+
+func TestScoreChunksSelectionInvariant(t *testing.T) {
+	// The chunk partition must never change the selected Result: compare a
+	// 1-chunk table against the ScoreChunks-sized table on the same
+	// objective.
+	const d = 6
+	numSeeds := 1 << d
+	for _, parts := range []int{1, 40, 333} {
+		k := ScoreChunks(parts)
+		fill, score := randomObjective(uint64(parts), k)
+		tbl := BuildTable(numSeeds, k, fill)
+		naive := SelectSeed(numSeeds, score)
+		if got := tbl.SelectSeed(); !sameSelection(naive, got) {
+			t.Fatalf("parts=%d k=%d: selection differs", parts, k)
+		}
+	}
+}
+
+func TestBestSeenTracksFlatWinner(t *testing.T) {
+	// Under any offer order, the kept seed must be the flat selection's
+	// winner: minimum score, smallest seed on ties.
+	scores := []int64{5, 3, 9, 3, 7, 3, 11, 4}
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{7, 6, 5, 4, 3, 2, 1, 0},
+		{5, 3, 1, 0, 2, 4, 6, 7},
+	}
+	for _, order := range orders {
+		var b BestSeen
+		var kept uint64
+		for _, s := range order {
+			seed := uint64(s)
+			b.Offer(seed, scores[s], func() { kept = seed })
+		}
+		if !b.Matches(1) || kept != 1 {
+			t.Fatalf("order %v: kept seed %d, want 1 (smallest argmin)", order, kept)
+		}
+		if b.Matches(3) || b.Matches(0) {
+			t.Fatalf("order %v: Matches accepts a non-winner", order)
+		}
+	}
+}
+
 func TestBuildTablePanicsOnEmptySpace(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -2,8 +2,10 @@ package deframe
 
 // Cross-tier validation of Section 5.1's simulation argument: Lemma 10's
 // seed selection computed with shared-memory parallelism (DerandomizeStep)
-// must match the faithful distributed protocol on the MPC cluster
-// (mpc.DistributedSelectSeed) when each machine scores the nodes it hosts.
+// must match the faithful distributed protocols on the MPC cluster — both
+// the scalar-batched aggregation (mpc.DistributedSelectSeed) and the
+// row-sharded converge-cast (mpc.DistributedSelectSeedRows) — when each
+// machine scores the nodes it hosts.
 
 import (
 	"testing"
@@ -73,5 +75,29 @@ func TestSeedSelectionMatchesClusterProtocol(t *testing.T) {
 	}
 	if rounds <= 0 || c.Metrics.Violations != 0 {
 		t.Fatalf("protocol accounting: rounds=%d violations=%d", rounds, c.Metrics.Violations)
+	}
+
+	// Row-sharded converge-cast path: each home fills its whole row of the
+	// distributed contribution table. Must agree with both of the above and
+	// never exceed the scalar protocol's simulated rounds.
+	cr, err := mpc.NewCluster(mpc.Config{Machines: g.N(), LocalSpace: 4096, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rowRounds, err := mpc.DistributedSelectSeedRows(cr, numSeeds,
+		mpc.RowsFromScalar(func(mid int, s uint64) int64 { return fail[s][mid] }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != rep.SeedChosen || res.Score != rep.Score {
+		t.Fatalf("row converge-cast picked (%d,%d), shared-memory picked (%d,%d)",
+			res.Seed, res.Score, rep.SeedChosen, rep.Score)
+	}
+	if res.MeanUpper() != rep.MeanUpper {
+		t.Fatalf("row converge-cast certificate %d, shared-memory %d", res.MeanUpper(), rep.MeanUpper)
+	}
+	if rowRounds > rounds || cr.Metrics.Violations != 0 {
+		t.Fatalf("row protocol accounting: rounds=%d (scalar %d) violations=%d",
+			rowRounds, rounds, cr.Metrics.Violations)
 	}
 }

@@ -28,20 +28,6 @@ import (
 // which also remains available via Options.NaiveScoring as the oracle for
 // differential tests.
 
-// maxScoreChunks bounds the number of machine-local chunks (table rows).
-// The partition is a fixed function of the participant count so the table
-// shape — though never the selected Result — is independent of GOMAXPROCS.
-const maxScoreChunks = 64
-
-// scoreChunkCount returns the number of contiguous participant chunks the
-// table scores: min(participants, maxScoreChunks).
-func scoreChunkCount(nParts int) int {
-	if nParts < maxScoreChunks {
-		return nParts
-	}
-	return maxScoreChunks
-}
-
 // seedScratch is one worker's reusable evaluation state.
 type seedScratch struct {
 	src *prg.ChunkedScratch
@@ -60,10 +46,7 @@ type stepEngine struct {
 
 	pool sync.Pool
 
-	mu          sync.Mutex
-	haveBest    bool
-	bestSeed    uint64
-	bestScore   int64
+	best        condexp.BestSeen
 	bestColor   []int32
 	bestMark    []bool
 	bestHasMark bool
@@ -73,7 +56,7 @@ func newStepEngine(st *hknt.State, step *hknt.Step, parts []int32, gen prg.PRG, 
 	e := &stepEngine{
 		st: st, step: step, parts: parts,
 		gen: gen, chunkOf: chunkOf, numChunks: numChunks,
-		nChunks: scoreChunkCount(len(parts)),
+		nChunks: condexp.ScoreChunks(len(parts)),
 	}
 	e.pool.New = func() any {
 		src, err := prg.NewChunkedScratch(e.gen, e.chunkOf, e.numChunks, e.step.Bits)
@@ -104,31 +87,25 @@ func (e *stepEngine) fill(seed uint64, row []int64) {
 	e.pool.Put(ss)
 }
 
-// offerBest tracks the (score, seed)-lexicographic minimum proposal seen so
-// far — exactly the flat selection's winner — cloning it out of the
-// worker's scratch. The comparison makes the cache deterministic under any
-// evaluation order.
+// offerBest offers the proposal to the best-seen cache (the flat
+// selection's winner), cloning it out of the worker's scratch when it
+// takes the slot.
 func (e *stepEngine) offerBest(seed uint64, score int64, prop hknt.Proposal) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.haveBest && (e.bestScore < score || (e.bestScore == score && e.bestSeed < seed)) {
-		return
-	}
-	e.haveBest = true
-	e.bestSeed, e.bestScore = seed, score
-	cloned := hknt.CloneProposal(prop, e.bestColor, e.bestMark)
-	e.bestColor = cloned.Color
-	e.bestHasMark = cloned.Mark != nil
-	if cloned.Mark != nil {
-		e.bestMark = cloned.Mark
-	}
+	e.best.Offer(seed, score, func() {
+		cloned := hknt.CloneProposal(prop, e.bestColor, e.bestMark)
+		e.bestColor = cloned.Color
+		e.bestHasMark = cloned.Mark != nil
+		if cloned.Mark != nil {
+			e.bestMark = cloned.Mark
+		}
+	})
 }
 
 // proposalFor returns the chosen seed's proposal: the cached clone when the
 // seed matches (always, for flat selection), otherwise one fresh
 // re-proposal (bitwise selection may pick a non-argmin seed).
 func (e *stepEngine) proposalFor(seed uint64) hknt.Proposal {
-	if e.haveBest && e.bestSeed == seed {
+	if e.best.Matches(seed) {
 		p := hknt.Proposal{Color: e.bestColor}
 		if e.bestHasMark {
 			p.Mark = e.bestMark

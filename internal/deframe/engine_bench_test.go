@@ -13,9 +13,11 @@ import (
 // benchSelection builds a real pipeline-shaped scoring problem — a
 // GenerateSlack step over a G(n,p) instance with Linial power-graph
 // chunking — and measures one full seed selection (no state mutation), the
-// exact hot path DerandomizeStep runs per schedule step.
-func benchSelection(b *testing.B, bitwise, naive bool) {
-	in := d1lc.TrivialPalettes(graph.Gnp(300, 0.04, 1))
+// exact hot path DerandomizeStep runs per schedule step. n sweeps the
+// participant-proportional chunking policy (condexp.ScoreChunks) across
+// the small and large regimes.
+func benchSelection(b *testing.B, n int, bitwise, naive bool) {
+	in := d1lc.TrivialPalettes(graph.Gnp(n, 12.0/float64(n), 1))
 	st := hknt.NewState(in)
 	build := hknt.BuildColorMiddle(st, hknt.Tunables{LowDeg: 4})
 	o := Options{SeedBits: 5, Bitwise: bitwise, NaiveScoring: naive}.withDefaults(in.G.MaxDegree())
@@ -50,10 +52,19 @@ func benchSelection(b *testing.B, bitwise, naive bool) {
 }
 
 func BenchmarkSeedSelection(b *testing.B) {
-	b.Run("naive/flat", func(b *testing.B) { benchSelection(b, false, true) })
-	b.Run("naive/bitwise", func(b *testing.B) { benchSelection(b, true, true) })
-	b.Run("table/flat", func(b *testing.B) { benchSelection(b, false, false) })
-	b.Run("table/bitwise", func(b *testing.B) { benchSelection(b, true, false) })
+	b.Run("naive/flat", func(b *testing.B) { benchSelection(b, 300, false, true) })
+	b.Run("naive/bitwise", func(b *testing.B) { benchSelection(b, 300, true, true) })
+	b.Run("table/flat", func(b *testing.B) { benchSelection(b, 300, false, false) })
+	b.Run("table/bitwise", func(b *testing.B) { benchSelection(b, 300, true, false) })
+}
+
+// BenchmarkSeedSelectionLarge is the n=3000 point of the adaptive
+// score-chunk sweep: participant-proportional chunking gives the table
+// ~188 rows here where the old fixed cap gave 64.
+func BenchmarkSeedSelectionLarge(b *testing.B) {
+	b.Run("naive/flat", func(b *testing.B) { benchSelection(b, 3000, false, true) })
+	b.Run("table/flat", func(b *testing.B) { benchSelection(b, 3000, false, false) })
+	b.Run("table/bitwise", func(b *testing.B) { benchSelection(b, 3000, true, false) })
 }
 
 // BenchmarkChunkedSourceReseed isolates the PRG re-expansion cost: naive

@@ -8,7 +8,7 @@ import (
 func quickCfg() Config { return Config{Quick: true, Seed: 7, SeedBits: 4} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v", got)
@@ -212,6 +212,23 @@ func TestE14BiasBounded(t *testing.T) {
 	}
 	if len(tb.Rows) < 3 {
 		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+}
+
+func TestE16ProtocolsAgreeAndNeverRegress(t *testing.T) {
+	tb, err := Run("E16", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, row := range tb.Rows {
+		// agree column encodes seed equality, colored equality, AND
+		// rowRounds ≤ scalarRounds.
+		if row[len(row)-2] != "yes" {
+			t.Fatalf("E16 protocols disagree or rounds regressed: %v", row)
+		}
 	}
 }
 

@@ -51,10 +51,22 @@ func TestScratchReuseBitIdentical(t *testing.T) {
 		fresh = GenerateSlackPropose(st, parts, srcGS, nil)
 		propEqual(t, withSc, fresh, "genslack")
 
-		cliques := []CliqueInfo{{
-			ID: 0, Members: parts[:8], Leader: parts[0],
-			Inliers: parts[:8], LowSlack: true, MaxDeg: 8,
-		}}
+		// Multiple cliques per worker: the arena-backed live/permutation
+		// carving must leave no residue between consecutive cliques.
+		cliques := []CliqueInfo{
+			{
+				ID: 0, Members: parts[:8], Leader: parts[0],
+				Inliers: parts[:8], LowSlack: true, MaxDeg: 8,
+			},
+			{
+				ID: 1, Members: parts[8:16], Leader: parts[8],
+				Inliers: parts[8:16], LowSlack: true, MaxDeg: 8,
+			},
+			{
+				ID: 2, Members: parts[16:20], Leader: parts[16],
+				Inliers: parts[16:20], LowSlack: true, MaxDeg: 4,
+			},
+		}
 		srcSy := FreshSource{Root: seed, Round: 4, Bits: 8192}
 		withSc = SynchColorTrialPropose(st, cliques, srcSy, sc)
 		fresh = SynchColorTrialPropose(st, cliques, srcSy, nil)

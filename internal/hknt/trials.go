@@ -202,23 +202,29 @@ func SynchColorTrialBits(maxClique, maxPalette int) int {
 // accepts iff the proposed color is in its own remaining palette and no
 // neighbor was proposed (or trial-picked) the same color. Distinctness
 // within a clique is automatic (a permutation); conflicts can only arise
-// across cliques or from an inlier's outside neighbors. sc may be nil.
+// across cliques or from an inlier's outside neighbors. The per-clique
+// live list and leader permutation are carved out of the Scratch's worker
+// arenas (the MultiTrial pattern) instead of being allocated per clique
+// per seed; draws are bit-identical to sampleColors. sc may be nil.
 func SynchColorTrialPropose(st *State, cliques []CliqueInfo, src RandSource, sc *Scratch) Proposal {
 	n := st.In.G.N()
 	cand := sc.candidates(n)
-	par.ForChunkedWorker(len(cliques), func(_, lo, hi int) {
+	arenas, palBufs := sc.workerBufs(par.Workers(len(cliques)))
+	par.ForChunkedWorker(len(cliques), func(wk, lo, hi int) {
 		var cur rng.Bits
+		arena := arenas[wk]
 		for ci := lo; ci < hi; ci++ {
 			c := cliques[ci]
 			if st.Colored(c.Leader) {
 				continue // leaderless trials are skipped; SSP will fail the clique
 			}
-			live := make([]int32, 0, len(c.Inliers))
+			arena = arena[:0]
 			for _, v := range c.Inliers {
 				if st.Live(v) && v != c.Leader {
-					live = append(live, v)
+					arena = append(arena, v)
 				}
 			}
+			live := arena
 			if len(live) == 0 {
 				continue
 			}
@@ -227,11 +233,13 @@ func SynchColorTrialPropose(st *State, cliques []CliqueInfo, src RandSource, sc 
 			if k > len(pal) {
 				k = len(pal)
 			}
-			perm := sampleColors(pal, k, bitsFor(src, c.Leader, &cur))
+			arena = appendSample(arena, &palBufs[wk], pal, k, bitsFor(src, c.Leader, &cur))
+			perm := arena[len(live):]
 			for i := 0; i < k; i++ {
 				cand[live[i]] = perm[i]
 			}
 		}
+		arenas[wk] = arena
 	})
 	prop := sc.proposal(n)
 	par.For(n, func(i int) {

@@ -42,18 +42,29 @@ type Options struct {
 	SeedBits int
 	// MaxRounds caps trial rounds before greedy takeover (default 8·log₂n+16).
 	MaxRounds int
+	// Bitwise switches seed selection from flat enumeration to the
+	// bit-by-bit method of conditional expectations (same guarantee; on the
+	// table path the branch means are subset sums of precomputed totals).
+	Bitwise bool
+	// NaiveScoring forces the monolithic per-seed rescoring oracle instead
+	// of the incremental contribution-table engine (engine.go). Both
+	// produce identical results (seed, score, certificate, coloring); the
+	// naive path exists for differential tests and ablation baselines.
+	NaiveScoring bool
 }
 
 // Stats reports a run.
 type Stats struct {
-	Rounds        int
-	GreedyFallbck int // nodes colored by zero-progress fallbacks
-	Certificates  []condexp.Result
+	Rounds         int
+	GreedyFallback int // nodes colored by zero-progress fallbacks
+	Certificates   []condexp.Result
 }
 
 // IterativeDerandomized colors the instance deterministically by
-// conditional-expectation-selected trial rounds. Always returns a complete
-// proper coloring (or an error only for invalid instances).
+// conditional-expectation-selected trial rounds. Seed scoring runs on the
+// incremental contribution-table engine (engine.go) unless
+// Options.NaiveScoring forces the per-seed oracle. Always returns a
+// complete proper coloring (or an error only for invalid instances).
 func IterativeDerandomized(in *d1lc.Instance, o Options) (*d1lc.Coloring, Stats, error) {
 	n := in.G.N()
 	if o.SeedBits == 0 {
@@ -69,9 +80,14 @@ func IterativeDerandomized(in *d1lc.Instance, o Options) (*d1lc.Coloring, Stats,
 		if len(parts) == 0 {
 			break
 		}
-		sel := condexp.SelectSeed(1<<o.SeedBits, func(seed uint64) int64 {
-			return -int64(countWins(st, parts, seed, uint64(r)))
-		})
+		var sel condexp.Result
+		var eng *trialEngine
+		if o.NaiveScoring {
+			sel = selectSeedNaive(st, parts, uint64(r), o)
+		} else {
+			eng = newTrialEngine(st, parts, uint64(r))
+			sel = eng.selectSeedTable(o)
+		}
 		stats.Certificates = append(stats.Certificates, sel)
 		stats.Rounds++
 		if sel.Score == 0 {
@@ -83,16 +99,34 @@ func IterativeDerandomized(in *d1lc.Instance, o Options) (*d1lc.Coloring, Stats,
 				return nil, stats, err
 			}
 			st.SetColor(v, c)
-			stats.GreedyFallbck++
+			stats.GreedyFallback++
 			continue
 		}
-		prop := proposeRound(st, parts, sel.Seed, uint64(r))
+		var prop hknt.Proposal
+		if eng != nil {
+			prop = eng.proposalFor(sel.Seed)
+		} else {
+			prop = proposeRound(st, parts, sel.Seed, uint64(r))
+		}
 		st.Apply(prop)
 	}
 	if err := hknt.FinishGreedy(st); err != nil {
 		return nil, stats, err
 	}
 	return st.Col, stats, nil
+}
+
+// selectSeedNaive is the monolithic oracle: one full proposal plus score
+// per evaluated seed. It is the path the table engine is differentially
+// tested against.
+func selectSeedNaive(st *hknt.State, parts []int32, round uint64, o Options) condexp.Result {
+	scorer := func(seed uint64) int64 {
+		return -int64(countWins(st, parts, seed, round))
+	}
+	if o.Bitwise {
+		return condexp.SelectSeedBitwise(o.SeedBits, scorer)
+	}
+	return condexp.SelectSeed(1<<o.SeedBits, scorer)
 }
 
 // proposeRound computes the trial proposal for a (seed, round) pair: node

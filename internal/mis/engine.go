@@ -1,0 +1,173 @@
+package mis
+
+import (
+	"sync"
+
+	"parcolor/internal/condexp"
+	"parcolor/internal/graph"
+	"parcolor/internal/prg"
+	"parcolor/internal/rng"
+)
+
+// This file is the contribution-table seed-selection engine for the
+// derandomized Luby rounds: the mis instantiation of the condexp table
+// path. Where the naive oracle re-runs a monolithic full-graph scorer per
+// seed — expanding the PRG over every node's chunk and allocating fresh
+// priority/join arrays and a ChunkedSource each time — the engine
+//
+//   - walks the seed space once, reusing per-worker scratch (a reseedable
+//     prg.ChunkedScratch plus priority/join buffers) pooled across seeds,
+//   - re-expands only the undecided nodes' chunks per seed
+//     (ChunkedScratch.ReseedChunks), so per-seed expansion cost tracks the
+//     shrinking live set instead of n,
+//   - records each participant chunk's still-undecided count into a
+//     condexp.ContribTable, making flat and bitwise selection pure table
+//     aggregation, and
+//   - caches the best-scoring join seen during the walk, so the flat
+//     winner's join is committed without being recomputed.
+//
+// The naive path remains available via Options.NaiveScoring as the oracle
+// for differential tests; both paths are bit-identical in selected seed,
+// score, certificate, and resulting MIS.
+
+// misScratch is one worker's reusable evaluation state. prio and join are
+// written for every undecided node on every fill, and read only at
+// undecided nodes, so they need no per-seed reset.
+type misScratch struct {
+	src  *prg.ChunkedScratch
+	prio []uint64
+	join []bool
+}
+
+// roundEngine scores one Luby round's seed space incrementally.
+type roundEngine struct {
+	g          *graph.Graph
+	state      []NodeState
+	parts      []int32 // undecided nodes, ascending
+	liveChunks []int32 // distinct chunk ids covering parts
+	gen        prg.PRG
+	chunkOf    []int32
+	numChunks  int
+	nChunks    int // score chunks (table rows)
+
+	pool sync.Pool
+
+	best     condexp.BestSeen
+	bestJoin []bool
+}
+
+func newRoundEngine(g *graph.Graph, state []NodeState, parts []int32, gen prg.PRG, chunkOf []int32, numChunks int) *roundEngine {
+	e := &roundEngine{
+		g: g, state: state, parts: parts,
+		gen: gen, chunkOf: chunkOf, numChunks: numChunks,
+		nChunks: condexp.ScoreChunks(len(parts)),
+	}
+	seen := make([]bool, numChunks)
+	e.liveChunks = make([]int32, 0, len(parts))
+	for _, v := range parts {
+		if c := chunkOf[v]; !seen[c] {
+			seen[c] = true
+			e.liveChunks = append(e.liveChunks, c)
+		}
+	}
+	n := g.N()
+	e.pool.New = func() any {
+		src, err := prg.NewChunkedScratch(e.gen, e.chunkOf, e.numChunks, priorityBits)
+		if err != nil {
+			// Generator too short is a construction bug; make it loud.
+			panic(err)
+		}
+		return &misScratch{src: src, prio: make([]uint64, n), join: make([]bool, n)}
+	}
+	return e
+}
+
+// fill is the condexp.ChunkFiller: simulate one Luby round for the seed
+// with pooled scratch, count each participant chunk's still-undecided
+// contribution, and offer the join to the best-seen cache.
+func (e *roundEngine) fill(seed uint64, row []int64) {
+	ss := e.pool.Get().(*misScratch)
+	src := ss.src.ReseedChunks(seed, e.liveChunks)
+	var cur rng.Bits
+	for _, v := range e.parts {
+		src.BitsForInto(v, &cur)
+		ss.prio[v] = priority(v, &cur)
+	}
+	for _, v := range e.parts {
+		best := true
+		for _, u := range e.g.Neighbors(v) {
+			if e.state[u] == Undecided && ss.prio[u] > ss.prio[v] {
+				best = false
+				break
+			}
+		}
+		ss.join[v] = best
+	}
+	k := len(row)
+	np := len(e.parts)
+	var total int64
+	for c := 0; c < k; c++ {
+		var undone int64
+		for _, v := range e.parts[c*np/k : (c+1)*np/k] {
+			if !stillUndecided(e.g, ss.join, v) {
+				continue
+			}
+			undone++
+		}
+		row[c] = undone
+		total += undone
+	}
+	e.offerBest(seed, total, ss.join)
+	e.pool.Put(ss)
+}
+
+// stillUndecided reports whether undecided node v stays undecided under
+// the join: it neither joins nor has a joining neighbor — the complement
+// of simulateDecided's per-node predicate.
+func stillUndecided(g *graph.Graph, join []bool, v int32) bool {
+	if join[v] {
+		return false
+	}
+	for _, u := range g.Neighbors(v) {
+		if join[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// offerBest offers the join to the best-seen cache (the flat selection's
+// winner), cloning it out of the worker's scratch when it takes the slot.
+func (e *roundEngine) offerBest(seed uint64, score int64, join []bool) {
+	e.best.Offer(seed, score, func() {
+		e.bestJoin = append(e.bestJoin[:0], join...)
+	})
+}
+
+// joinFor returns the chosen seed's join: the cached clone when the seed
+// matches (always, for flat selection), otherwise one fresh re-simulation
+// (bitwise selection may pick a non-argmin seed).
+func (e *roundEngine) joinFor(seed uint64) []bool {
+	if e.best.Matches(seed) {
+		return e.bestJoin
+	}
+	src, err := prg.NewChunkedSource(e.gen, seed, e.chunkOf, e.numChunks, priorityBits)
+	if err != nil {
+		panic(err)
+	}
+	return lubyRound(e.g, e.state, src.BitsFor)
+}
+
+// selectSeedTable runs the full table path for one round: build the
+// contribution table in one parallel pass, aggregate (flat or bitwise),
+// and return the selected seed's result plus its join.
+func (e *roundEngine) selectSeedTable(o Options) (condexp.Result, []bool) {
+	tbl := condexp.BuildTable(1<<o.SeedBits, e.nChunks, e.fill)
+	var res condexp.Result
+	if o.Bitwise {
+		res = tbl.SelectSeedBitwise(o.SeedBits)
+	} else {
+		res = tbl.SelectSeed()
+	}
+	return res, e.joinFor(res.Seed)
+}

@@ -92,6 +92,15 @@ func IsMaximal(g *graph.Graph, state []NodeState) bool {
 // priorityBits is the per-node randomness of one Luby round.
 const priorityBits = 32
 
+// priority packs node v's drawn bits (high word) with its id (low word) as
+// the tiebreak — exact for every int32 id, so adjacent equal draws can
+// never produce two local maxima. Both the naive lubyRound and the table
+// engine's fill must use exactly this expression for the two scoring paths
+// to stay bit-identical.
+func priority(v int32, b *rng.Bits) uint64 {
+	return b.Take(priorityBits)<<32 | uint64(uint32(v))
+}
+
 // lubyRound computes, without mutating, the set of nodes that join this
 // round: live local maxima of the drawn priorities (ties by node id).
 func lubyRound(g *graph.Graph, state []NodeState, bitsFor func(v int32) *rng.Bits) []bool {
@@ -102,7 +111,7 @@ func lubyRound(g *graph.Graph, state []NodeState, bitsFor func(v int32) *rng.Bit
 		if state[v] != Undecided {
 			return
 		}
-		prio[v] = bitsFor(v).Take(priorityBits)<<20 | uint64(v) // id tiebreak
+		prio[v] = priority(v, bitsFor(v))
 	})
 	join := make([]bool, n)
 	par.For(n, func(i int) {
@@ -169,12 +178,23 @@ func Randomized(g *graph.Graph, seed uint64, maxRounds int) Result {
 type Options struct {
 	SeedBits  int // PRG seed length (default Θ(log Δ) capped at 10)
 	MaxRounds int // safety cap (default 4·log₂ n + 8)
+	// Bitwise switches seed selection from flat enumeration to the
+	// bit-by-bit method of conditional expectations (same guarantee; on the
+	// table path the branch means are subset sums of precomputed totals).
+	Bitwise bool
+	// NaiveScoring forces the monolithic per-seed rescoring oracle instead
+	// of the incremental contribution-table engine (engine.go). Both
+	// produce identical results (seed, score, certificate, MIS); the naive
+	// path exists for differential tests and ablation baselines.
+	NaiveScoring bool
 }
 
 // Derandomized runs Luby's algorithm under the framework: each round is
 // one Lemma 10 invocation — chunk the PRG output by node (identity
 // chunking suffices for MIS since the success property is radius-1),
 // select the seed minimizing the number of still-undecided nodes, commit.
+// Seed scoring runs on the incremental contribution-table engine
+// (engine.go) unless Options.NaiveScoring forces the per-seed oracle.
 // The result is deterministic, independent with certainty, and maximal
 // with Skipped nodes (if any) excluded — mirroring that failed nodes defer
 // without breaking WSP for the rest. A final sequential sweep decides any
@@ -194,24 +214,20 @@ func Derandomized(g *graph.Graph, o Options) Result {
 		chunkOf[v] = int32(v)
 	}
 	for r := 0; r < o.MaxRounds; r++ {
-		undecided := countUndecided(state)
-		if undecided == 0 {
+		parts := undecidedNodes(state)
+		if len(parts) == 0 {
 			break
 		}
 		gen := prg.NewKWise(4, o.SeedBits, n*priorityBits)
-		scorer := func(seed uint64) int64 {
-			src, err := prg.NewChunkedSource(gen, seed, chunkOf, n, priorityBits)
-			if err != nil {
-				panic(err)
-			}
-			join := lubyRound(g, state, src.BitsFor)
-			// Pessimistic estimator: nodes still undecided afterwards.
-			return int64(undecided) - int64(simulateDecided(g, state, join))
+		var sel condexp.Result
+		var join []bool
+		if o.NaiveScoring {
+			sel, join = selectSeedNaive(g, state, gen, chunkOf, len(parts), o)
+		} else {
+			eng := newRoundEngine(g, state, parts, gen, chunkOf, n)
+			sel, join = eng.selectSeedTable(o)
 		}
-		sel := condexp.SelectSeed(1<<o.SeedBits, scorer)
 		res.SeedReports = append(res.SeedReports, sel)
-		src, _ := prg.NewChunkedSource(gen, sel.Seed, chunkOf, n, priorityBits)
-		join := lubyRound(g, state, src.BitsFor)
 		applyJoin(g, state, join)
 		res.Rounds++
 	}
@@ -235,6 +251,43 @@ func Derandomized(g *graph.Graph, o Options) Result {
 		}
 	}
 	return res
+}
+
+// selectSeedNaive is the monolithic oracle: one full PRG expansion plus
+// full-graph Luby simulation per evaluated seed, and a final re-simulation
+// of the winner. It is the path the table engine is differentially tested
+// against.
+func selectSeedNaive(g *graph.Graph, state []NodeState, gen prg.PRG, chunkOf []int32, undecided int, o Options) (condexp.Result, []bool) {
+	n := g.N()
+	scorer := func(seed uint64) int64 {
+		src, err := prg.NewChunkedSource(gen, seed, chunkOf, n, priorityBits)
+		if err != nil {
+			panic(err)
+		}
+		join := lubyRound(g, state, src.BitsFor)
+		// Pessimistic estimator: nodes still undecided afterwards.
+		return int64(undecided) - int64(simulateDecided(g, state, join))
+	}
+	var sel condexp.Result
+	if o.Bitwise {
+		sel = condexp.SelectSeedBitwise(o.SeedBits, scorer)
+	} else {
+		sel = condexp.SelectSeed(1<<o.SeedBits, scorer)
+	}
+	src, _ := prg.NewChunkedSource(gen, sel.Seed, chunkOf, n, priorityBits)
+	return sel, lubyRound(g, state, src.BitsFor)
+}
+
+// undecidedNodes lists the current round's participants in ascending node
+// order.
+func undecidedNodes(state []NodeState) []int32 {
+	var out []int32
+	for v, s := range state {
+		if s == Undecided {
+			out = append(out, int32(v))
+		}
+	}
+	return out
 }
 
 // simulateDecided counts how many currently-undecided nodes would become

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"parcolor/internal/graph"
+	"parcolor/internal/par"
 	"parcolor/internal/rng"
 )
 
@@ -142,6 +143,87 @@ func TestMISSizesComparable(t *testing.T) {
 	}
 }
 
+// TestTableScoringMatchesNaive is the differential test of the
+// contribution-table engine: per-round seed, score and certificate, and
+// the final MIS must be bit-identical to the naive per-seed oracle —
+// across graphs, both selection strategies, and worker counts 1, 4 and
+// GOMAXPROCS (the default bound).
+func TestTableScoringMatchesNaive(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnp":   graph.Gnp(150, 0.05, 4),
+		"cycle": graph.Cycle(60),
+		"mixed": graph.Mixed(120, 5),
+		"k20":   graph.Complete(20),
+		"star":  graph.Star(40),
+	}
+	for name, g := range graphs {
+		for _, bitwise := range []bool{false, true} {
+			for _, workers := range []int{1, 4, 0} { // 0 = GOMAXPROCS default
+				o := Options{SeedBits: 6, Bitwise: bitwise}
+				oNaive := o
+				oNaive.NaiveScoring = true
+				prev := par.SetMaxWorkers(workers)
+				tab := Derandomized(g, o)
+				naive := Derandomized(g, oNaive)
+				par.SetMaxWorkers(prev)
+				if len(tab.SeedReports) != len(naive.SeedReports) {
+					t.Fatalf("%s/bitwise=%v/w=%d: round counts diverge: %d vs %d",
+						name, bitwise, workers, len(tab.SeedReports), len(naive.SeedReports))
+				}
+				for i := range tab.SeedReports {
+					a, b := tab.SeedReports[i], naive.SeedReports[i]
+					if a.Seed != b.Seed || a.Score != b.Score ||
+						a.SumScores != b.SumScores || a.MeanUpper() != b.MeanUpper() {
+						t.Fatalf("%s/bitwise=%v/w=%d round %d diverges:\ntable %+v\nnaive %+v",
+							name, bitwise, workers, i, a, b)
+					}
+				}
+				for v := range tab.State {
+					if tab.State[v] != naive.State[v] {
+						t.Fatalf("%s/bitwise=%v/w=%d: states diverge at node %d",
+							name, bitwise, workers, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTableEvalReduction pins the bitwise eval saving on the live solver:
+// the naive bitwise oracle spends 2^(d+1)−2 scorer calls per round, the
+// table path 2^d fills.
+func TestTableEvalReduction(t *testing.T) {
+	g := graph.Gnp(100, 0.06, 2)
+	const d = 5
+	tab := Derandomized(g, Options{SeedBits: d, Bitwise: true})
+	naive := Derandomized(g, Options{SeedBits: d, Bitwise: true, NaiveScoring: true})
+	for i := range tab.SeedReports {
+		if got, want := tab.SeedReports[i].Evals, 1<<d; got != want {
+			t.Fatalf("round %d: table evals %d, want %d", i, got, want)
+		}
+		if got, want := naive.SeedReports[i].Evals, 1<<(d+1)-2; got != want {
+			t.Fatalf("round %d: naive bitwise evals %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestDerandomizedBitwiseCorrect(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"gnp": graph.Gnp(120, 0.05, 6),
+		"k15": graph.Complete(15),
+	} {
+		res := Derandomized(g, Options{SeedBits: 6, Bitwise: true})
+		if !IsIndependent(g, res.State) || !IsMaximal(g, res.State) {
+			t.Fatalf("%s: bitwise result invalid", name)
+		}
+		for _, sel := range res.SeedReports {
+			if !sel.Guarantee() {
+				t.Fatalf("%s: bitwise certificate violated", name)
+			}
+		}
+	}
+}
+
 func BenchmarkRandomizedMIS(b *testing.B) {
 	g := graph.Gnp(1000, 0.01, 1)
 	b.ResetTimer()
@@ -155,5 +237,31 @@ func BenchmarkDerandomizedMIS(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Derandomized(g, Options{SeedBits: 5})
+	}
+}
+
+// BenchmarkSeedSelectionMIS ablates the scoring engine on a full
+// derandomized solve at n=300 (every Luby round goes through seed
+// selection): the contribution-table path (chunk-sparse re-expansion +
+// pooled scratch + cached winning join) against the naive per-seed
+// oracle, for both selection strategies. Results are identical across the
+// axis; only cost differs.
+func BenchmarkSeedSelectionMIS(b *testing.B) {
+	g := graph.Gnp(300, 0.04, 1)
+	for _, cfg := range []struct {
+		name           string
+		naive, bitwise bool
+	}{
+		{"naive/flat", true, false},
+		{"naive/bitwise", true, true},
+		{"table/flat", false, false},
+		{"table/bitwise", false, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = Derandomized(g, Options{SeedBits: 8, Bitwise: cfg.bitwise, NaiveScoring: cfg.naive})
+			}
+		})
 	}
 }

@@ -2,16 +2,33 @@ package mpc
 
 import (
 	"fmt"
+
+	"parcolor/internal/condexp"
 )
 
 // This file implements the distributed method of conditional expectations
 // exactly as Lemma 10 runs it on the cluster: every machine scores each
-// candidate PRG seed against the nodes it hosts, the per-seed failure
-// counts are combined up an aggregation tree, and the argmin seed is
-// broadcast back. The in-process derandomizer (package deframe) computes
-// the same argmin with shared-memory parallelism; the test suite checks
-// the two agree, which is the simulation argument of Section 5.1 made
-// executable.
+// candidate PRG seed against the nodes it hosts, the per-seed scores are
+// combined up an aggregation tree, and the argmin seed is broadcast back.
+// The in-process derandomizer (package deframe) computes the same argmin
+// with shared-memory parallelism; the test suite checks the two agree,
+// which is the simulation argument of Section 5.1 made executable.
+//
+// Two protocols coexist, mirroring the condexp package's two scoring
+// architectures:
+//
+//   - DistributedSelectSeed (scalar batching) processes the seed space in
+//     batches, paying one compute round plus a full tree ascent per batch:
+//     B·L rounds for B batches over an L-level tree. It is the oracle the
+//     row protocol is differentially tested against.
+//   - DistributedSelectSeedRows (row-sharded converge-cast) is the
+//     paper's shape: each machine fills its whole row of the distributed
+//     [machines × seeds] contribution table in ONE compute round, then the
+//     row vectors ascend the tree as pipelined batches — level l forwards
+//     batch b in the round after its children sent it — so B batches
+//     clear L levels in L+B−1 rounds, never more than the scalar
+//     protocol's B·L. The root's final selection is pure
+//     condexp.ContribTable aggregation over the converge-cast totals.
 
 // SeedScorer evaluates, for one machine, the summed objective of the
 // nodes that machine is responsible for under the given seed.
@@ -32,16 +49,7 @@ func DistributedSelectSeed(c *Cluster, numSeeds int, score SeedScorer) (bestSeed
 		return 0, 0, 0, fmt.Errorf("mpc: empty seed space")
 	}
 	nm := len(c.Machines)
-	// Batch so that a parent receiving k child vectors of batch+1 words
-	// stays within local space: k·(batch+1) ≤ s with k ≥ 2.
-	batch := c.cfg.LocalSpace/4 - 1
-	if batch < 1 {
-		batch = 1
-	}
-	k := c.cfg.LocalSpace / (batch + 1)
-	if k < 2 {
-		k = 2
-	}
+	batch, k := c.batchGeometry()
 	startRounds := c.Metrics.Rounds
 	totals := make([]int64, numSeeds)
 
@@ -106,4 +114,137 @@ func DistributedSelectSeed(c *Cluster, numSeeds int, score SeedScorer) (bestSeed
 		return 0, 0, 0, err
 	}
 	return bestSeed, bestScore, c.Metrics.Rounds - startRounds, nil
+}
+
+// batchGeometry returns the seed-batch width and aggregation-tree fanout
+// both selection protocols share: a parent receiving k child records of
+// batch+1 words stays within local space, k·(batch+1) ≤ s with k ≥ 2.
+// Keeping this in one place is what makes the protocols' round counts
+// comparable (rows ≤ scalar is tested against exactly this geometry).
+func (c *Cluster) batchGeometry() (batch, k int) {
+	batch = c.cfg.LocalSpace/4 - 1
+	if batch < 1 {
+		batch = 1
+	}
+	k = c.cfg.LocalSpace / (batch + 1)
+	if k < 2 {
+		k = 2
+	}
+	return batch, k
+}
+
+// RowScorer fills one machine's full contribution row: row[s] must be set
+// to the machine's summed local objective for seed s, for every s in
+// [0, len(row)). It is called once per machine per selection, so
+// implementations can amortize per-seed setup (PRG expansions, gathered
+// palettes) across the whole row.
+type RowScorer func(machineID int, row []int64)
+
+// RowsFromScalar adapts a per-seed SeedScorer to the row protocol's
+// whole-row fill. It forgoes RowScorer's per-row amortization — use it
+// when the objective has no per-seed setup worth hoisting, and in
+// differential tests against the scalar protocol.
+func RowsFromScalar(score SeedScorer) RowScorer {
+	return func(mid int, row []int64) {
+		for s := range row {
+			row[s] = score(mid, uint64(s))
+		}
+	}
+}
+
+// DistributedSelectSeedRows selects the minimum-total seed by the
+// row-sharded converge-cast (see the file comment for the protocol) and
+// returns the selection as a condexp.Result — seed, score, and the
+// conditional-expectations certificate (SumScores/MeanUpper) that the
+// scalar protocol never materialized — together with the MPC rounds
+// consumed. The chosen seed and score are bit-identical to
+// DistributedSelectSeed over the same objective.
+func DistributedSelectSeedRows(c *Cluster, numSeeds int, fill RowScorer) (res condexp.Result, rounds int, err error) {
+	if numSeeds <= 0 {
+		return condexp.Result{}, 0, fmt.Errorf("mpc: empty seed space")
+	}
+	nm := len(c.Machines)
+	batch, k := c.batchGeometry()
+	startRounds := c.Metrics.Rounds
+
+	// Compute round: every machine fills its local row of the distributed
+	// contribution table. In the paper's regime the whole row fits in
+	// local space (2^d ≤ poly(Δ) ≤ s); the simulation keeps rows in
+	// host-side accumulators — like the scalar protocol's batch partials,
+	// though a full row is numSeeds words where those are ≤ batch+1 — so
+	// for numSeeds > s the resident table is NOT charged against
+	// Metrics.MaxStored. The engine accounts every message either way;
+	// the round/traffic comparison with the scalar oracle is what the
+	// tests certify.
+	acc := make([][]int64, nm)
+	err = c.Round(func(m *Machine, out *Mailer) {
+		row := make([]int64, numSeeds)
+		fill(m.ID, row)
+		acc[m.ID] = row
+	})
+	if err != nil {
+		return condexp.Result{}, 0, err
+	}
+
+	nBatches := (numSeeds + batch - 1) / batch
+	levels := levelsOf(nm, k)
+	// Pipelined converge-cast: at tick t, machines on level l forward
+	// batch b = t − (levels−1−l) — one round after their children sent b,
+	// so the vector sums are complete when forwarded. Leaves start at
+	// t = 0 with batch 0; the last batch reaches level 1 at the last tick.
+	for t := 0; levels >= 2 && t <= (levels-2)+(nBatches-1); t++ {
+		err := c.Round(func(m *Machine, out *Mailer) {
+			l := levelOfPos(m.ID, k)
+			if l < 1 {
+				return
+			}
+			b := t - (levels - 1 - l)
+			if b < 0 || b >= nBatches {
+				return
+			}
+			lo := b * batch
+			hi := lo + batch
+			if hi > numSeeds {
+				hi = numSeeds
+			}
+			rec := make([]int64, 0, hi-lo+1)
+			rec = append(rec, int64(b))
+			rec = append(rec, acc[m.ID][lo:hi]...)
+			out.Send((m.ID-1)/k, rec)
+		})
+		if err != nil {
+			return condexp.Result{}, 0, err
+		}
+		for p := 0; p < nm; p++ {
+			for _, d := range c.Machines[p].Inbox {
+				b := int(d.Rec[0])
+				lo := b * batch
+				for i, v := range d.Rec[1:] {
+					acc[p][lo+i] += v
+				}
+			}
+			c.Machines[p].Inbox = nil
+		}
+	}
+
+	// Root selection: acc[0] now holds the converge-cast totals; selection
+	// is pure table aggregation over a one-row ContribTable, which also
+	// yields the certificate.
+	tbl := &condexp.ContribTable{NumSeeds: numSeeds, NumChunks: 1, Contrib: acc[0], Totals: acc[0]}
+	res = tbl.SelectSeed()
+	if err := c.Broadcast(0, []int64{int64(res.Seed), res.Score}); err != nil {
+		return condexp.Result{}, 0, err
+	}
+	return res, c.Metrics.Rounds - startRounds, nil
+}
+
+// levelOfPos returns the level of position p in a k-ary heap (root = 0).
+func levelOfPos(p, k int) int {
+	l, lo, size := 0, 0, 1
+	for p > lo+size-1 {
+		lo += size
+		size *= k
+		l++
+	}
+	return l
 }

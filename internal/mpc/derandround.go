@@ -3,6 +3,7 @@ package mpc
 import (
 	"fmt"
 
+	"parcolor/internal/condexp"
 	"parcolor/internal/d1lc"
 	"parcolor/internal/prg"
 )
@@ -15,14 +16,26 @@ import (
 // protocol is O(1) MPC rounds for seed spaces of size O(s), matching the
 // paper's accounting.
 
+// RoundOptions configures one derandomized round's seed-selection
+// protocol.
+type RoundOptions struct {
+	// NaiveScoring selects the scalar-batched DistributedSelectSeed oracle
+	// instead of the row-sharded converge-cast (the default). Both choose
+	// the identical seed; the scalar protocol spends at least as many
+	// simulated rounds. Kept for differential tests and ablations.
+	NaiveScoring bool
+}
+
 // DerandomizedTRCRound runs one derandomized Algorithm 3 trial over the
 // uncolored nodes. remaining[v] holds current palettes and is pruned in
 // place; col gains the winners of the selected seed. chunkOf/numChunks
 // distribute gen's output as in Lemma 10 (nodes within distance 4τ must
 // hold distinct chunks for the simulation to be faithful; identity
-// chunking always qualifies). Returns the chosen seed, the number of
+// chunking always qualifies). Seed selection runs the row-sharded
+// converge-cast (DistributedSelectSeedRows) unless opt.NaiveScoring forces
+// the scalar-batched oracle. Returns the chosen seed, the number of
 // colored nodes, and the MPC rounds used.
-func DerandomizedTRCRound(c *Cluster, in *d1lc.Instance, col *d1lc.Coloring, remaining [][]int32, chunkOf []int32, numChunks int, gen prg.PRG, numSeeds int) (seed uint64, colored int, rounds int, err error) {
+func DerandomizedTRCRound(c *Cluster, in *d1lc.Instance, col *d1lc.Coloring, remaining [][]int32, chunkOf []int32, numChunks int, gen prg.PRG, numSeeds int, opt RoundOptions) (seed uint64, colored int, rounds int, err error) {
 	g := in.G
 	n := g.N()
 	if numSeeds < 1 || numSeeds > (1<<gen.SeedBits()) {
@@ -106,7 +119,14 @@ func DerandomizedTRCRound(c *Cluster, in *d1lc.Instance, col *d1lc.Coloring, rem
 		}
 		return 0
 	}
-	best, _, _, err := DistributedSelectSeed(c, numSeeds, failure)
+	var best uint64
+	if opt.NaiveScoring {
+		best, _, _, err = DistributedSelectSeed(c, numSeeds, failure)
+	} else {
+		var res condexp.Result
+		res, _, err = DistributedSelectSeedRows(c, numSeeds, RowsFromScalar(failure))
+		best = res.Seed
+	}
 	if err != nil {
 		return 0, 0, 0, err
 	}

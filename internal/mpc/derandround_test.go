@@ -43,7 +43,7 @@ func TestDerandomizedTRCRoundProperAndDeterministic(t *testing.T) {
 
 	var seeds []uint64
 	for round := 0; round < 25 && col.UncoloredCount() > 0; round++ {
-		seed, colored, rounds, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 64)
+		seed, colored, rounds, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 64, RoundOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +62,7 @@ func TestDerandomizedTRCRoundProperAndDeterministic(t *testing.T) {
 	// Determinism: replay from scratch must choose identical seeds.
 	c2, col2, rem2, chunk2, gen2 := setupDerand(t, g, in, 64)
 	for i := 0; i < len(seeds) && col2.UncoloredCount() > 0; i++ {
-		seed, _, _, err := DerandomizedTRCRound(c2, in, col2, rem2, chunk2, g.N(), gen2, 64)
+		seed, _, _, err := DerandomizedTRCRound(c2, in, col2, rem2, chunk2, g.N(), gen2, 64, RoundOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +84,7 @@ func TestDerandomizedTRCMakesDeterministicProgress(t *testing.T) {
 	g := graph.RandomRegular(60, 4, 2)
 	in := d1lc.RandomPalettes(g, 2, 20, 3)
 	c, col, remaining, chunkOf, gen := setupDerand(t, g, in, 64)
-	_, colored, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 64)
+	_, colored, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 64, RoundOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,14 +93,61 @@ func TestDerandomizedTRCMakesDeterministicProgress(t *testing.T) {
 	}
 }
 
+func TestDerandomizedTRCRoundRowsMatchesNaive(t *testing.T) {
+	// Full-round differential: the row-sharded converge-cast and the
+	// scalar-batched oracle must drive identical derandomized rounds —
+	// same seeds, same colorings, same palette pruning — with the row
+	// protocol using no more simulated rounds.
+	g := graph.Gnp(40, 0.12, 11)
+	in := d1lc.TrivialPalettes(g)
+	cR, colR, remR, chunkR, genR := setupDerand(t, g, in, 64)
+	cN, colN, remN, chunkN, genN := setupDerand(t, g, in, 64)
+	for round := 0; round < 25 && colR.UncoloredCount() > 0; round++ {
+		seedR, coloredR, roundsR, err := DerandomizedTRCRound(cR, in, colR, remR, chunkR, g.N(), genR, 64, RoundOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedN, coloredN, roundsN, err := DerandomizedTRCRound(cN, in, colN, remN, chunkN, g.N(), genN, 64, RoundOptions{NaiveScoring: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seedR != seedN || coloredR != coloredN {
+			t.Fatalf("round %d: rows (seed=%d colored=%d) vs naive (seed=%d colored=%d)",
+				round, seedR, coloredR, seedN, coloredN)
+		}
+		if roundsR > roundsN {
+			t.Fatalf("round %d: rows protocol used %d MPC rounds, naive %d — regression",
+				round, roundsR, roundsN)
+		}
+	}
+	for v := range colR.Colors {
+		if colR.Colors[v] != colN.Colors[v] {
+			t.Fatalf("colorings diverge at node %d", v)
+		}
+	}
+	for v := range remR {
+		if len(remR[v]) != len(remN[v]) {
+			t.Fatalf("palette pruning diverges at node %d", v)
+		}
+		for i := range remR[v] {
+			if remR[v][i] != remN[v][i] {
+				t.Fatalf("palette pruning diverges at node %d slot %d", v, i)
+			}
+		}
+	}
+	if cR.Metrics.Violations != 0 || cN.Metrics.Violations != 0 {
+		t.Fatal("space violations")
+	}
+}
+
 func TestDerandomizedTRCSeedSpaceValidation(t *testing.T) {
 	g := graph.Path(4)
 	in := d1lc.TrivialPalettes(g)
 	c, col, remaining, chunkOf, gen := setupDerand(t, g, in, 64)
-	if _, _, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 1<<20); err == nil {
+	if _, _, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 1<<20, RoundOptions{}); err == nil {
 		t.Fatal("oversized seed space accepted")
 	}
-	if _, _, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 0); err == nil {
+	if _, _, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, g.N(), gen, 0, RoundOptions{}); err == nil {
 		t.Fatal("empty seed space accepted")
 	}
 }

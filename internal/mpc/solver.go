@@ -60,7 +60,7 @@ func DeterministicColorMPC(c *Cluster, in *d1lc.Instance, seedBits int, maxRound
 	start := c.Metrics.Rounds
 
 	for round := 0; round < maxRounds && col.UncoloredCount() > 0; round++ {
-		_, colored, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, n, gen, numSeeds)
+		_, colored, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, n, gen, numSeeds, RoundOptions{})
 		if err != nil {
 			return nil, stats, err
 		}

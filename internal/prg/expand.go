@@ -72,6 +72,113 @@ func (e *Expander) ExpandInto(seed uint64, dst []uint64, nbits int) {
 	}
 }
 
+// ExpandChunksInto writes only the listed chunks' bit ranges of p's
+// expansion at seed into dst (chunk c covers bits [c·bitsPer,
+// (c+1)·bitsPer)), leaving all other bit positions untouched — callers
+// must read only the listed chunks until the next full expansion.
+// Duplicate chunk ids are allowed. The written bits are identical to the
+// same positions of ExpandInto(seed, dst, nbits); nbits bounds the
+// addressable range as there. KWise output bits are random-access (one
+// polynomial evaluation per bit) and Nisan leaf blocks are reachable by an
+// O(levels) hash walk, so for both the cost is proportional to the
+// requested chunks, not the generator's full output — the saving the
+// derandomized Luby rounds live off once most nodes are decided. Other
+// generators fall back to a full ExpandInto.
+func (e *Expander) ExpandChunksInto(seed uint64, dst []uint64, chunks []int32, bitsPer, nbits int) {
+	if nbits < 0 || nbits > e.p.OutputBits() {
+		panic(fmt.Sprintf("prg: ExpandChunksInto(%d bits) outside %s's %d output bits",
+			nbits, e.p.Name(), e.p.OutputBits()))
+	}
+	if (nbits+63)/64 > len(dst) {
+		panic("prg: ExpandChunksInto destination too short")
+	}
+	for _, c := range chunks {
+		if c < 0 || (int(c)+1)*bitsPer > nbits {
+			panic(fmt.Sprintf("prg: ExpandChunksInto chunk %d outside %d bits", c, nbits))
+		}
+	}
+	switch p := e.p.(type) {
+	case *KWise:
+		e.expandKWiseChunks(p, seed, dst, chunks, bitsPer)
+	case *Nisan:
+		e.expandNisanChunks(p, seed, dst, chunks, bitsPer)
+	default:
+		e.ExpandInto(seed, dst, nbits)
+	}
+}
+
+// setBit writes one expansion bit as a set-or-clear so no range zeroing is
+// needed before a sparse rewrite.
+func setBit(dst []uint64, i int, b uint64) {
+	mask := uint64(1) << uint(i&63)
+	if b == 1 {
+		dst[i>>6] |= mask
+	} else {
+		dst[i>>6] &^= mask
+	}
+}
+
+// expandKWiseChunks evaluates exactly the requested bit positions: KWise
+// bit i is the LSB of the seed polynomial at i+1, independent of every
+// other position.
+func (e *Expander) expandKWiseChunks(p *KWise, seed uint64, dst []uint64, chunks []int32, bitsPer int) {
+	raw := e.grow(p.k)
+	s := rng.New(rng.Hash2(0x5EED<<32|seed, uint64(p.k)))
+	for i := range raw {
+		raw[i] = s.Uint64()
+	}
+	e.poly.SetCoef(raw)
+	for _, c := range chunks {
+		lo := int(c) * bitsPer
+		for i := lo; i < lo+bitsPer; i++ {
+			setBit(dst, i, e.poly.Eval(uint64(i)+1)&1)
+		}
+	}
+}
+
+// expandNisanChunks reconstructs only the leaf blocks covering the
+// requested chunks. Leaf b's value is x0 pushed through the level hashes
+// selected by b's bits (bit L−1−lvl chooses whether level lvl hashed), the
+// random-access form of the in-place doubling expandNisan performs.
+func (e *Expander) expandNisanChunks(p *Nisan, seed uint64, dst []uint64, chunks []int32, bitsPer int) {
+	s := rng.New(rng.Hash2(0x417A<<32|seed, uint64(p.levels)))
+	x0 := s.Uint64()
+	if p.w < 64 {
+		x0 &= (1 << uint(p.w)) - 1
+	}
+	mult := e.grow(p.levels)
+	for i := range mult {
+		mult[i] = s.Uint64() | 1
+	}
+	block := func(b int) uint64 {
+		x := x0
+		for lvl := 0; lvl < p.levels; lvl++ {
+			if b>>uint(p.levels-1-lvl)&1 == 1 {
+				x = mult[lvl] * x
+				x ^= x >> 29
+				if p.w < 64 {
+					x &= (1 << uint(p.w)) - 1
+				}
+			}
+		}
+		return x
+	}
+	for _, c := range chunks {
+		lo, hi := int(c)*bitsPer, (int(c)+1)*bitsPer
+		for blk := lo / p.w; blk*p.w < hi; blk++ {
+			x := block(blk)
+			base := blk * p.w
+			for j := 0; j < p.w; j++ {
+				pos := base + j
+				if pos < lo || pos >= hi {
+					continue
+				}
+				setBit(dst, pos, x>>uint(j)&1)
+			}
+		}
+	}
+}
+
 // expandKWise mirrors KWise.Expand with reused coefficient storage.
 func (e *Expander) expandKWise(p *KWise, seed uint64, dst []uint64, nbits int) {
 	raw := e.grow(p.k)
@@ -164,5 +271,16 @@ func NewChunkedScratch(p PRG, chunkOf []int32, numChunks, bitsPer int) (*Chunked
 // returns the chunk view, bit-identical to NewChunkedSource(p, seed, …).
 func (cs *ChunkedScratch) Reseed(seed uint64) *ChunkedSource {
 	cs.exp.ExpandInto(seed, cs.src.words, cs.need)
+	return &cs.src
+}
+
+// ReseedChunks re-expands only the listed chunks' bit ranges at seed and
+// returns the chunk view. The returned source is valid for exactly those
+// chunks — other chunks' bits are stale from earlier seeds — and on the
+// listed chunks it is bit-identical to Reseed. Seed-selection loops over a
+// shrinking participant set use this to pay expansion cost proportional to
+// the live chunks instead of the generator's full output.
+func (cs *ChunkedScratch) ReseedChunks(seed uint64, chunks []int32) *ChunkedSource {
+	cs.exp.ExpandChunksInto(seed, cs.src.words, chunks, cs.src.bitsPer, cs.need)
 	return &cs.src
 }

@@ -94,6 +94,117 @@ func TestChunkedScratchMatchesNewChunkedSource(t *testing.T) {
 	}
 }
 
+func TestExpandChunksIntoBitIdentical(t *testing.T) {
+	// The sparse rewrite of an arbitrary chunk subset must reproduce
+	// exactly the full expansion's bits on those ranges — for both
+	// random-access generators, at chunk widths that straddle word
+	// boundaries, on top of a dirty buffer left by another seed.
+	const numChunks, bitsPer = 11, 37
+	nbits := numChunks * bitsPer
+	gens := []PRG{
+		NewKWise(4, 5, nbits),
+		NewNisan(64, 4, 5),
+		NewNisan(23, 5, 4),
+	}
+	subsets := [][]int32{
+		{0},
+		{numChunks - 1},
+		{3, 7, 8},
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{5, 5, 2}, // duplicates allowed
+	}
+	for _, p := range gens {
+		if p.OutputBits() < nbits {
+			t.Fatalf("%s too short for the test shape", p.Name())
+		}
+		e := NewExpander(p)
+		dst := make([]uint64, (nbits+63)/64)
+		for seed := uint64(0); seed < uint64(NumSeeds(p)); seed += 5 {
+			// Dirty the buffer with a different seed's full expansion.
+			e.ExpandInto(seed^1, dst, nbits)
+			for _, chunks := range subsets {
+				e.ExpandChunksInto(seed, dst, chunks, bitsPer, nbits)
+				ref := expandRef(p, seed, nbits)
+				for _, c := range chunks {
+					for i := int(c) * bitsPer; i < (int(c)+1)*bitsPer; i++ {
+						if dst[i>>6]>>uint(i&63)&1 != ref[i>>6]>>uint(i&63)&1 {
+							t.Fatalf("%s seed=%d chunk=%d bit %d differs", p.Name(), seed, c, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExpandChunksIntoFallbackPath(t *testing.T) {
+	// Non-random-access generators fall back to a full expansion, which
+	// covers all chunks by definition.
+	tests := ParityTests(4, 2)
+	p, err := FindBruteForce(3, 64, tests, 1, 2, 8192)
+	if err != nil {
+		t.Fatalf("brute force search failed: %v", err)
+	}
+	e := NewExpander(p)
+	dst := []uint64{0xDEADBEEF}
+	e.ExpandChunksInto(2, dst, []int32{1}, 16, 64)
+	ref := expandRef(p, 2, 64)
+	if dst[0] != ref[0] {
+		t.Fatalf("fallback differs: %x != %x", dst[0], ref[0])
+	}
+}
+
+func TestExpandChunksIntoBoundsPanic(t *testing.T) {
+	p := NewKWise(4, 4, 128)
+	e := NewExpander(p)
+	dst := make([]uint64, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range chunk")
+		}
+	}()
+	e.ExpandChunksInto(0, dst, []int32{4}, 32, 128)
+}
+
+func TestReseedChunksMatchesReseed(t *testing.T) {
+	const numChunks, bitsPer = 9, 29
+	for _, p := range []PRG{
+		NewKWise(4, 5, RequiredOutputBits(numChunks, bitsPer)),
+		NewNisan(64, 3, 5),
+	} {
+		chunkOf := make([]int32, 18)
+		for v := range chunkOf {
+			chunkOf[v] = int32(v % numChunks)
+		}
+		cs, err := NewChunkedScratch(p, chunkOf, numChunks, bitsPer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := []int32{0, 4, 13, 17} // nodes, not chunks: chunkOf maps them
+		liveChunks := make([]int32, len(live))
+		for i, v := range live {
+			liveChunks[i] = chunkOf[v]
+		}
+		for seed := uint64(0); seed < uint64(NumSeeds(p)); seed += 7 {
+			// Dirty the scratch with another seed first.
+			cs.Reseed(seed ^ 3)
+			got := cs.ReseedChunks(seed, liveChunks)
+			want, err := NewChunkedSource(p, seed, chunkOf, numChunks, bitsPer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range live {
+				g, w := got.BitsFor(v), want.BitsFor(v)
+				for w.Remaining() > 0 {
+					if g.Take(1) != w.Take(1) {
+						t.Fatalf("%s seed=%d node=%d: live chunk bits differ", p.Name(), seed, v)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestChunkedScratchRejectsShortGenerator(t *testing.T) {
 	p := NewKWise(4, 5, 64)
 	if _, err := NewChunkedScratch(p, []int32{0, 1}, 2, 64); err == nil {

@@ -242,7 +242,11 @@ func solveLowDeg(in *Instance, o Options) (*Result, error) {
 	if sb == 0 {
 		sb = 10
 	}
-	col, stats, err := lowdeg.IterativeDerandomized(in, lowdeg.Options{SeedBits: sb})
+	col, stats, err := lowdeg.IterativeDerandomized(in, lowdeg.Options{
+		SeedBits:     sb,
+		Bitwise:      o.Bitwise,
+		NaiveScoring: o.NaiveScoring,
+	})
 	if err != nil {
 		return nil, err
 	}
