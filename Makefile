@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke
+.PHONY: all build test race vet vet-bitset fmt bench bench-smoke bench-diff
 
 all: build test
 
@@ -15,6 +15,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# vet-bitset is the dedicated vet gate for the word-parallel mask layer:
+# every engine's per-seed state rides this package, so it stays vet-clean
+# on its own (CI runs it even if the broad vet target is ever narrowed).
+vet-bitset:
+	$(GO) vet ./internal/bitset/...
 
 fmt:
 	gofmt -l .
@@ -33,3 +39,12 @@ bench:
 		./internal/condexp ./internal/deframe ./internal/mis ./internal/lowdeg \
 		> BENCH_seed_selection.json
 	@echo "wrote BENCH_seed_selection.json"
+
+# bench-diff gates the mask-based engine path against the recorded flat
+# numbers (BENCH_seed_selection_flat.json, captured on the same machine
+# just before the bitset refactor): any table/* row more than 10% slower
+# than its recorded baseline fails the target. Regenerate the current
+# stream with `make bench` first.
+bench-diff:
+	$(GO) run ./cmd/benchdiff -old BENCH_seed_selection_flat.json \
+		-new BENCH_seed_selection.json -tol 0.10 -filter table/

@@ -1,0 +1,145 @@
+// Command benchdiff compares two BENCH_seed_selection.json test2json
+// streams (see `make bench`) and fails loudly when the current engine
+// path regresses beyond a tolerance against the recorded baseline.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -old BENCH_seed_selection_flat.json \
+//	    -new BENCH_seed_selection.json -tol 0.10 -filter table/
+//
+// Rows are keyed by (package, benchmark) and matched by exact name; only
+// rows whose name contains the filter substring (default "table/", the
+// mask-based engine path) gate the exit status — the naive-oracle rows
+// are printed for context but cannot fail the run, since the oracle is
+// the unoptimized reference. Exit status 1 on any gated regression
+// > tol, so `make bench-diff` wires straight into scripts and CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type event struct {
+	Action  string
+	Package string
+	Test    string
+	Output  string
+}
+
+var nsOp = regexp.MustCompile(`([0-9][0-9.]*) ns/op`)
+
+// parse reads a test2json stream and returns ns/op keyed by
+// "package benchmark". Output fragments of one benchmark arrive as
+// multiple events (the name line and the measurement line are separate),
+// so fragments are concatenated per key before matching.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	frags := map[string]*strings.Builder{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e event
+		if json.Unmarshal(sc.Bytes(), &e) != nil {
+			continue
+		}
+		if e.Action != "output" || !strings.HasPrefix(e.Test, "Benchmark") {
+			continue
+		}
+		key := e.Package + " " + e.Test
+		b, ok := frags[key]
+		if !ok {
+			b = &strings.Builder{}
+			frags[key] = b
+		}
+		b.WriteString(e.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for key, b := range frags {
+		m := nsOp.FindStringSubmatch(b.String())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		out[key] = v
+	}
+	return out, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_seed_selection_flat.json", "baseline test2json stream (recorded flat numbers)")
+	newPath := flag.String("new", "BENCH_seed_selection.json", "current test2json stream")
+	tol := flag.Float64("tol", 0.10, "allowed fractional regression on gated rows")
+	filter := flag.String("filter", "table/", "substring selecting the rows that gate the exit status")
+	flag.Parse()
+
+	oldNs, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newNs, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	var keys []string
+	for k := range newNs {
+		if _, ok := oldNs[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping benchmarks between the two streams")
+		os.Exit(2)
+	}
+	sort.Strings(keys)
+
+	failed := false
+	gatedRows := 0
+	fmt.Printf("%-70s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, k := range keys {
+		o, n := oldNs[k], newNs[k]
+		delta := (n - o) / o
+		gated := strings.Contains(k, *filter)
+		status := ""
+		if gated {
+			gatedRows++
+			if delta > *tol {
+				status = "  REGRESSION"
+				failed = true
+			}
+		}
+		fmt.Printf("%-70s %14.0f %14.0f %+7.1f%%%s\n", k, o, n, delta*100, status)
+	}
+	if gatedRows == 0 {
+		// A filter that matches nothing (renamed benchmarks, typo) must not
+		// pass vacuously: the gate would silently check nothing.
+		fmt.Fprintf(os.Stderr, "benchdiff: no overlapping benchmark matches filter %q — gate checked nothing\n", *filter)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %q rows regressed more than %.0f%% vs %s\n",
+			*filter, *tol*100, *oldPath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok — no %q row regressed more than %.0f%%\n", *filter, *tol*100)
+}

@@ -1,0 +1,273 @@
+// Package bitset provides the dense word-wide participant masks shared by
+// every seed-selection engine: per-seed candidate/loser/win/live state
+// packed 64 nodes to a machine word, so the hot loops of the Lemma 10
+// derandomizers turn from branch-bound scans into memory-bound word
+// operations — chunk contributions become popcounts (CountRange),
+// conflict elimination becomes and-not (AndNot), and commit walks only
+// the set bits (ForEach).
+//
+// A Mask is a plain []uint64 in LSB-first bit order: bit i lives at
+// word i>>6, position i&63 — the same layout rng.Bits uses for PRG
+// output, so masks and expanded randomness share one storage discipline.
+//
+// Invariant: bits at positions ≥ the mask's logical length are zero.
+// Every bulk constructor (Fill, FillPar, FromNeq32, FromBools, Arena.Grab)
+// maintains it; Set/Clear/SetTo callers must stay within the length they
+// allocated. Count and ForEach rely on it.
+//
+// Concurrency: distinct bits of one word share a read-modify-write, so
+// parallel writers must own word-aligned ranges. FillPar and FromNeq32
+// partition on word boundaries for exactly that reason; per-bit Set/Clear
+// is safe only from a single goroutine (the engines' per-seed fills, which
+// parallelize across seeds, not within one).
+package bitset
+
+import (
+	"math/bits"
+
+	"parcolor/internal/par"
+)
+
+// Mask is a dense bitset; see the package comment for layout and
+// invariants.
+type Mask []uint64
+
+// Words returns the number of 64-bit words needed for n bits.
+func Words(n int) int { return (n + 63) >> 6 }
+
+// New returns a zeroed mask with room for n bits.
+func New(n int) Mask { return make(Mask, Words(n)) }
+
+// Grow returns m resized to hold n bits, reusing capacity. Contents are
+// unspecified (callers reset or bulk-fill); prior tail bits may be stale.
+func (m Mask) Grow(n int) Mask {
+	w := Words(n)
+	if cap(m) < w {
+		return make(Mask, w)
+	}
+	return m[:w]
+}
+
+// Reset zeroes every word.
+func (m Mask) Reset() {
+	clear(m)
+}
+
+// Set sets bit i.
+func (m Mask) Set(i int) { m[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+func (m Mask) Clear(i int) { m[i>>6] &^= 1 << uint(i&63) }
+
+// SetTo writes bit i to b: the branch-free form the per-participant fill
+// loops use when every bit is rewritten on every seed, so stale state
+// from the previous seed never needs a separate reset pass.
+func (m Mask) SetTo(i int, b bool) {
+	mask := uint64(1) << uint(i&63)
+	if b {
+		m[i>>6] |= mask
+	} else {
+		m[i>>6] &^= mask
+	}
+}
+
+// Test reports bit i.
+func (m Mask) Test(i int) bool { return m[i>>6]>>uint(i&63)&1 == 1 }
+
+// Bit returns bit i as 0 or 1: the branchless gather primitive
+// (word |= m.Bit(v) << k).
+func (m Mask) Bit(i int) uint64 { return m[i>>6] >> uint(i&63) & 1 }
+
+// Count returns the number of set bits (popcount over all words).
+func (m Mask) Count() int {
+	c := 0
+	for _, w := range m {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountRange returns the number of set bits in [lo, hi): one chunk's
+// contribution as a popcount over 64 participants at a time.
+func (m Mask) CountRange(lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	wlo, whi := lo>>6, (hi-1)>>6
+	first := ^uint64(0) << uint(lo&63)
+	last := ^uint64(0) >> uint(63-(hi-1)&63)
+	if wlo == whi {
+		return bits.OnesCount64(m[wlo] & first & last)
+	}
+	c := bits.OnesCount64(m[wlo] & first)
+	for w := wlo + 1; w < whi; w++ {
+		c += bits.OnesCount64(m[w])
+	}
+	return c + bits.OnesCount64(m[whi]&last)
+}
+
+// Copy overwrites m with src (lengths must match).
+func (m Mask) Copy(src Mask) {
+	if len(m) != len(src) {
+		panic("bitset: Copy length mismatch")
+	}
+	copy(m, src)
+}
+
+// AndNot clears every bit of m that is set in b: the elimination step
+// (candidates &^ losers = winners), 64 participants per operation.
+func (m Mask) AndNot(b Mask) {
+	if len(m) != len(b) {
+		panic("bitset: AndNot length mismatch")
+	}
+	for i := range m {
+		m[i] &^= b[i]
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order, skipping zero
+// words and peeling set bits with trailing-zero counts — commit loops
+// visit winners without scanning the misses.
+func (m Mask) ForEach(fn func(i int)) {
+	for wi, w := range m {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Fill rewrites the first n bits of m as pred(i), word at a time, zeroing
+// any tail bits. Single-goroutine; see FillPar for the parallel form.
+func (m Mask) Fill(n int, pred func(i int) bool) {
+	fillRange(m, 0, Words(n), n, pred)
+}
+
+// parWordThreshold is the mask size (in words) below which the parallel
+// fills run sequentially: under ~4096 bits the goroutine fan-out costs
+// more than the word loop it would split, and the seed-scoring oracles
+// rebuild small masks once per evaluated seed.
+const parWordThreshold = 64
+
+// FillPar is Fill with word-aligned ranges distributed across workers:
+// each worker owns whole words, so no two goroutines share a
+// read-modify-write. The result is identical to Fill for any worker
+// count; small masks take the sequential path outright.
+func (m Mask) FillPar(n int, pred func(i int) bool) {
+	w := Words(n)
+	if w < parWordThreshold {
+		fillRange(m, 0, w, n, pred)
+		return
+	}
+	par.ForChunkedWorker(w, func(_, wlo, whi int) {
+		fillRange(m, wlo, whi, n, pred)
+	})
+}
+
+// fillRange rewrites words [wlo, whi) from pred over bit positions < n.
+func fillRange(m Mask, wlo, whi, n int, pred func(i int) bool) {
+	for wi := wlo; wi < whi; wi++ {
+		base := wi << 6
+		end := base + 64
+		if end > n {
+			end = n
+		}
+		var w uint64
+		for i := base; i < end; i++ {
+			if pred(i) {
+				w |= 1 << uint(i-base)
+			}
+		}
+		m[wi] = w
+	}
+}
+
+// FromNeq32 rewrites the first len(xs) bits of m as xs[i] != sentinel —
+// the colors-with-sentinel array to win-mask compaction, parallel over
+// word-aligned ranges (sequential below the small-mask threshold). m must
+// hold Words(len(xs)) words.
+func (m Mask) FromNeq32(xs []int32, sentinel int32) {
+	n := len(xs)
+	fill := func(wlo, whi int) {
+		for wi := wlo; wi < whi; wi++ {
+			base := wi << 6
+			end := base + 64
+			if end > n {
+				end = n
+			}
+			var w uint64
+			for i := base; i < end; i++ {
+				if xs[i] != sentinel {
+					w |= 1 << uint(i-base)
+				}
+			}
+			m[wi] = w
+		}
+	}
+	w := Words(n)
+	if w < parWordThreshold {
+		fill(0, w)
+		return
+	}
+	par.ForChunkedWorker(w, func(_, wlo, whi int) { fill(wlo, whi) })
+}
+
+// FromBools rewrites the first len(bs) bits of m as bs[i] — the bridge
+// from a naive oracle's bool-slice output into mask space.
+func (m Mask) FromBools(bs []bool) {
+	m.Fill(len(bs), func(i int) bool { return bs[i] })
+}
+
+// Gather rewrites the first n bits of m as bit(i) ∈ {0, 1}, accumulating
+// into a register word flushed once per destination word (including the
+// trailing partial word): the dense participant-index gather under the
+// engines' per-chunk popcount fills. Single-goroutine — the fills
+// parallelize across seeds, not within one.
+func (m Mask) Gather(n int, bit func(i int) uint64) {
+	var w uint64
+	wi := 0
+	for i := 0; i < n; i++ {
+		w |= bit(i) << uint(i&63)
+		if i&63 == 63 {
+			m[wi] = w
+			w, wi = 0, wi+1
+		}
+	}
+	if n&63 != 0 {
+		m[wi] = w
+	}
+}
+
+// Arena carves multiple masks out of one contiguous backing buffer: the
+// pooled per-worker scratch pattern. All of a worker's per-seed masks
+// live adjacently (one cache-friendly block), and a Reset re-carves the
+// same storage for the next participant layout without reallocating.
+//
+// Grab panics if the reserved capacity is exceeded — carved masks alias
+// the backing array, so growing it would silently detach them.
+type Arena struct {
+	buf []uint64
+	off int
+}
+
+// NewArena reserves capacity for words 64-bit words.
+func NewArena(words int) *Arena {
+	return &Arena{buf: make([]uint64, words)}
+}
+
+// Grab returns a zeroed mask of n bits carved from the arena.
+func (a *Arena) Grab(n int) Mask {
+	w := Words(n)
+	if a.off+w > len(a.buf) {
+		panic("bitset: arena capacity exceeded")
+	}
+	m := Mask(a.buf[a.off : a.off+w : a.off+w])
+	a.off += w
+	m.Reset()
+	return m
+}
+
+// Reset releases every carved mask so the storage can be re-carved.
+// Previously grabbed masks must no longer be used.
+func (a *Arena) Reset() { a.off = 0 }

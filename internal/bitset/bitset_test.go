@@ -1,0 +1,271 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+
+	"parcolor/internal/par"
+)
+
+// raggedSizes covers the word-boundary cases the engines hit: empty and
+// single-node participant sets, exact multiples of 64, and stragglers on
+// either side of a word boundary.
+var raggedSizes = []int{0, 1, 2, 63, 64, 65, 127, 128, 130, 191, 192, 300, 1000}
+
+// reference is the naive bool-slice oracle every mask operation is pinned
+// against.
+type reference []bool
+
+func (r reference) countRange(lo, hi int) int {
+	c := 0
+	for i := lo; i < hi && i < len(r); i++ {
+		if r[i] {
+			c++
+		}
+	}
+	return c
+}
+
+func randomPair(n int, rng *rand.Rand) (Mask, reference) {
+	m, r := New(n), make(reference, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			m.Set(i)
+			r[i] = true
+		}
+	}
+	return m, r
+}
+
+func checkAgainst(t *testing.T, m Mask, r reference, label string) {
+	t.Helper()
+	for i := range r {
+		if m.Test(i) != r[i] {
+			t.Fatalf("%s: Test(%d) = %v, want %v", label, i, m.Test(i), r[i])
+		}
+		if got := m.Bit(i); (got == 1) != r[i] {
+			t.Fatalf("%s: Bit(%d) = %d, want %v", label, i, got, r[i])
+		}
+	}
+	if got, want := m.Count(), r.countRange(0, len(r)); got != want {
+		t.Fatalf("%s: Count = %d, want %d", label, got, want)
+	}
+}
+
+func TestMaskOpsMatchReference(t *testing.T) {
+	for _, n := range raggedSizes {
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		m, r := New(n), make(reference, n)
+		for op := 0; op < 4*n+8; op++ {
+			if n > 0 {
+				i := rng.Intn(n)
+				switch rng.Intn(3) {
+				case 0:
+					m.Set(i)
+					r[i] = true
+				case 1:
+					m.Clear(i)
+					r[i] = false
+				default:
+					b := rng.Intn(2) == 0
+					m.SetTo(i, b)
+					r[i] = b
+				}
+			}
+		}
+		checkAgainst(t, m, r, "ops")
+	}
+}
+
+func TestCountRangeMatchesReference(t *testing.T) {
+	for _, n := range raggedSizes {
+		if n == 0 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(int64(n) + 7))
+		m, r := randomPair(n, rng)
+		// Every boundary pair around word edges plus random pairs.
+		bounds := []int{0, 1, 63, 64, 65, n - 1, n}
+		for k := 0; k < 40; k++ {
+			bounds = append(bounds, rng.Intn(n+1))
+		}
+		for _, lo := range bounds {
+			for _, hi := range bounds {
+				if lo < 0 || hi > n {
+					continue
+				}
+				want := 0
+				if lo < hi {
+					want = r.countRange(lo, hi)
+				}
+				if got := m.CountRange(lo, hi); got != want {
+					t.Fatalf("n=%d CountRange(%d,%d) = %d, want %d", n, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAndNotAndCopy(t *testing.T) {
+	for _, n := range raggedSizes {
+		rng := rand.New(rand.NewSource(int64(n) + 13))
+		a, ra := randomPair(n, rng)
+		b, rb := randomPair(n, rng)
+		c := New(n)
+		c.Copy(a)
+		c.AndNot(b)
+		rc := make(reference, n)
+		for i := 0; i < n; i++ {
+			rc[i] = ra[i] && !rb[i]
+		}
+		checkAgainst(t, c, rc, "andnot")
+		checkAgainst(t, a, ra, "andnot-src-a")
+		checkAgainst(t, b, rb, "andnot-src-b")
+	}
+}
+
+func TestForEachAscendingAndComplete(t *testing.T) {
+	for _, n := range raggedSizes {
+		rng := rand.New(rand.NewSource(int64(n) + 19))
+		m, r := randomPair(n, rng)
+		last := -1
+		var seen []int
+		m.ForEach(func(i int) {
+			if i <= last {
+				t.Fatalf("n=%d: ForEach not ascending (%d after %d)", n, i, last)
+			}
+			last = i
+			seen = append(seen, i)
+		})
+		want := 0
+		for i, b := range r {
+			if !b {
+				continue
+			}
+			if want >= len(seen) || seen[want] != i {
+				t.Fatalf("n=%d: ForEach missed bit %d", n, i)
+			}
+			want++
+		}
+		if want != len(seen) {
+			t.Fatalf("n=%d: ForEach visited %d extra bits", n, len(seen)-want)
+		}
+	}
+}
+
+// TestFillParWorkerInvariance pins the parallel fills bit-identical to the
+// sequential Fill under worker counts 1, 4 and GOMAXPROCS — the ISSUE's
+// ragged-count × worker matrix, run under -race in CI.
+func TestFillParWorkerInvariance(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} { // 0 = GOMAXPROCS default
+		prev := par.SetMaxWorkers(workers)
+		for _, n := range raggedSizes {
+			pred := func(i int) bool { return i%3 == 0 || i%7 == 2 }
+			want := New(n)
+			want.Fill(n, pred)
+
+			got := New(n)
+			// Poison the backing words: Fill* must fully rewrite them.
+			for i := range got {
+				got[i] = ^uint64(0)
+			}
+			got.FillPar(n, pred)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d n=%d: FillPar word %d = %x, want %x", workers, n, i, got[i], want[i])
+				}
+			}
+
+			xs := make([]int32, n)
+			bs := make([]bool, n)
+			for i := range xs {
+				if pred(i) {
+					xs[i] = int32(i)
+					bs[i] = true
+				} else {
+					xs[i] = -1
+				}
+			}
+			got.FromNeq32(xs, -1)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d n=%d: FromNeq32 word %d mismatch", workers, n, i)
+				}
+			}
+			got.Reset()
+			got.FromBools(bs)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d n=%d: FromBools word %d mismatch", workers, n, i)
+				}
+			}
+		}
+		par.SetMaxWorkers(prev)
+	}
+}
+
+func TestArenaCarveAndReset(t *testing.T) {
+	a := NewArena(Words(130) + Words(65) + Words(1))
+	m1, m2, m3 := a.Grab(130), a.Grab(65), a.Grab(1)
+	for _, m := range []Mask{m1, m2, m3} {
+		if m.Count() != 0 {
+			t.Fatal("Grab must return a zeroed mask")
+		}
+	}
+	m1.Set(129)
+	m2.Set(64)
+	m3.Set(0)
+	// Carved masks must not alias each other.
+	if m1.CountRange(0, 129) != 0 || m2.CountRange(0, 64) != 0 {
+		t.Fatal("arena masks alias")
+	}
+	a.Reset()
+	n1 := a.Grab(130)
+	if n1.Count() != 0 {
+		t.Fatal("re-carved mask must be zeroed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-capacity Grab must panic")
+		}
+	}()
+	a.Grab(64 * 64 * 100)
+}
+
+func TestGrowPreservesCapacityContract(t *testing.T) {
+	m := New(64)
+	m.Set(3)
+	g := m.Grow(128)
+	if len(g) != 2 {
+		t.Fatalf("Grow(128) len = %d, want 2", len(g))
+	}
+	g.Reset()
+	if g.Count() != 0 {
+		t.Fatal("Reset after Grow must zero")
+	}
+	// Shrinking reuses the same backing array.
+	s := g.Grow(10)
+	if len(s) != 1 {
+		t.Fatalf("Grow(10) len = %d, want 1", len(s))
+	}
+}
+
+func BenchmarkCountRangeVsBoolScan(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(99))
+	m, r := randomPair(n, rng)
+	b.Run("mask-popcount", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if m.CountRange(17, n-17) < 0 {
+				b.Fatal("impossible")
+			}
+		}
+	})
+	b.Run("bool-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r.countRange(17, n-17) < 0 {
+				b.Fatal("impossible")
+			}
+		}
+	})
+}

@@ -35,19 +35,28 @@
 //
 // Who uses the table engine — every seed selection in the repository runs
 // through ContribTable, each with its naive-Scorer oracle kept for
-// differential tests:
+// differential tests, and all of them keep their per-seed participant
+// state in internal/bitset masks (the shared word-parallel layer under
+// the fills: win/loser/join sets packed 64 participants per word, chunk
+// contributions read off as popcounts over index ranges):
 //
-//   - deframe.stepEngine: Lemma 10 over the HKNT schedule steps; per-chunk
-//     SSP-failure counts with pooled per-worker PRG scratch
-//     (Options.NaiveScoring is the oracle).
-//   - mis.Derandomized: Luby rounds; per-chunk still-undecided counts with
-//     chunk-sparse PRG re-expansion of only the live nodes
-//     (mis.Options.NaiveScoring).
-//   - lowdeg.IterativeDerandomized: trial rounds; per-chunk −wins with
-//     pooled candidate/proposal buffers (lowdeg.Options.NaiveScoring).
+//   - deframe.stepEngine: Lemma 10 over the HKNT schedule steps; win
+//     steps gather the proposal's win mask into dense participant space
+//     and popcount each chunk, SSP steps count failures per participant,
+//     both with pooled per-worker PRG scratch re-expanding only the live
+//     chunks (Options.NaiveScoring is the oracle).
+//   - mis.Derandomized: Luby rounds; the join set is a node mask, each
+//     seed's still-undecided outcomes gather into a dense mask, chunk
+//     counts are popcounts, with chunk-sparse PRG re-expansion of only
+//     the live nodes (mis.Options.NaiveScoring).
+//   - lowdeg.IterativeDerandomized: trial rounds; collision losers are a
+//     dense mask, wins = seed-invariant candidate counts − loser
+//     popcounts, the best seed's winners materialize by one and-not
+//     (lowdeg.Options.NaiveScoring).
 //   - mpc.DistributedSelectSeedRows: the same converge-cast executed as an
-//     MPC protocol — simulated machines fill distributed table rows, the
-//     aggregation tree sums row vectors, and the root's selection is
+//     MPC protocol — simulated machines fill distributed table rows
+//     (packing a per-seed win bit alongside each score, reused at commit),
+//     the aggregation tree sums row vectors, and the root's selection is
 //     ContribTable aggregation (mpc.DistributedSelectSeed is the
 //     scalar-batched oracle).
 //

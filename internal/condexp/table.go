@@ -46,6 +46,19 @@ func ScoreChunks(nParts int) int {
 	return k
 }
 
+// ChunkBounds returns the participant-index partition the table engines
+// score against: bounds[c] = c·nParts/k, so chunk c covers indices
+// [bounds[c], bounds[c+1]) — the same ⌊c·n/k⌋ split the naive oracles'
+// ScoreChunk calls use. Centralizing it keeps every engine's chunk
+// boundaries in lockstep with the ScoreChunks policy.
+func ChunkBounds(nParts, k int) []int32 {
+	bounds := make([]int32, k+1)
+	for c := 0; c <= k; c++ {
+		bounds[c] = int32(c * nParts / k)
+	}
+	return bounds
+}
+
 // BestSeen tracks the (score, seed)-lexicographic minimum offered during a
 // table build: exactly the seed flat selection returns, because the
 // comparison mirrors SelectSeed/par.ReduceMin's smallest-seed tie-break.

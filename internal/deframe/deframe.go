@@ -17,7 +17,9 @@
 //     (engine.go): the participants are partitioned into machine-local
 //     chunks, one parallel pass over the seed space fills a
 //     [chunks × seeds] contribution table with pooled per-worker scratch
-//     (reseedable PRG expansion, reusable proposals), a parallel
+//     (PRG re-expansion of only the step's live chunks, reusable
+//     proposals whose win sets are internal/bitset masks so win-counting
+//     chunks are popcounts), a parallel
 //     converge-cast aggregates per-seed totals, and both flat and bitwise
 //     selection reduce to table aggregation — the paper's "each machine
 //     scores its nodes for every seed, then converge-cast" structure. The

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"parcolor/internal/bitset"
 	"parcolor/internal/condexp"
 	"parcolor/internal/hknt"
 	"parcolor/internal/prg"
@@ -17,21 +18,32 @@ import (
 //
 //   - walks the seed space once, reusing per-worker scratch (a reseedable
 //     ChunkedSource and an hknt.Scratch) pooled across seeds,
+//   - re-expands only the live chunks per seed: the chunks covering the
+//     step's participants (plus any declared extra bit readers, e.g.
+//     clique leaders), threaded through the pooled scratch's
+//     ReseedChunks, so per-seed expansion cost tracks the step's
+//     participant set instead of the whole graph,
 //   - records each seed's per-chunk score contributions into a
-//     condexp.ContribTable, so flat and bitwise selection are pure table
-//     aggregation with zero extra scorer invocations, and
-//   - caches the best-scoring proposal seen during the walk, so the flat
-//     winner's proposal is committed without being recomputed.
+//     condexp.ContribTable — win-counting steps (SSP == nil) gather the
+//     proposal's win mask into dense participant-index space and count
+//     each chunk by popcount, 64 participants per word — so flat and
+//     bitwise selection are pure table aggregation with zero extra scorer
+//     invocations, and
+//   - caches the best-scoring proposal seen during the walk (colors, win
+//     mask and marks cloned together), so the flat winner's proposal is
+//     committed without being recomputed.
 //
 // The engine requires a decomposable objective (Step.Score == nil, true
 // for every pipeline step); custom objectives fall back to the naive path,
 // which also remains available via Options.NaiveScoring as the oracle for
 // differential tests.
 
-// seedScratch is one worker's reusable evaluation state.
+// seedScratch is one worker's reusable evaluation state. partsWin is the
+// dense participant-index win mask the popcount scoring path gathers into.
 type seedScratch struct {
-	src *prg.ChunkedScratch
-	sc  *hknt.Scratch
+	src      *prg.ChunkedScratch
+	sc       *hknt.Scratch
+	partsWin bitset.Mask
 }
 
 // stepEngine scores one step's seed space incrementally.
@@ -44,12 +56,19 @@ type stepEngine struct {
 	numChunks int
 	nChunks   int // score chunks (table rows)
 
+	// liveChunks lists the distinct PRG chunks the step's Propose may
+	// read: those of the participants plus the step's declared extra
+	// readers. nil when every chunk is live (sparse re-expansion would
+	// save nothing).
+	liveChunks []int32
+	// bounds[c] is the first participant index of score chunk c — the
+	// c*np/k partition computed once instead of per chunk per seed.
+	bounds []int32
+
 	pool sync.Pool
 
-	best        condexp.BestSeen
-	bestColor   []int32
-	bestMark    []bool
-	bestHasMark bool
+	best     condexp.BestSeen
+	bestProp hknt.Proposal
 }
 
 func newStepEngine(st *hknt.State, step *hknt.Step, parts []int32, gen prg.PRG, chunkOf []int32, numChunks int) *stepEngine {
@@ -58,30 +77,78 @@ func newStepEngine(st *hknt.State, step *hknt.Step, parts []int32, gen prg.PRG, 
 		gen: gen, chunkOf: chunkOf, numChunks: numChunks,
 		nChunks: condexp.ScoreChunks(len(parts)),
 	}
+	seen := make([]bool, numChunks)
+	live := make([]int32, 0, len(parts))
+	mark := func(v int32) {
+		if c := chunkOf[v]; !seen[c] {
+			seen[c] = true
+			live = append(live, c)
+		}
+	}
+	for _, v := range parts {
+		mark(v)
+	}
+	if step.Readers != nil {
+		for _, v := range step.Readers(st) {
+			mark(v)
+		}
+	}
+	if len(live) < numChunks {
+		e.liveChunks = live
+	}
+	np := len(parts)
+	e.bounds = condexp.ChunkBounds(np, e.nChunks)
 	e.pool.New = func() any {
 		src, err := prg.NewChunkedScratch(e.gen, e.chunkOf, e.numChunks, e.step.Bits)
 		if err != nil {
 			// Generator too short is a construction bug; make it loud.
 			panic(fmt.Sprintf("deframe: %v", err))
 		}
-		return &seedScratch{src: src, sc: hknt.NewScratch()}
+		return &seedScratch{src: src, sc: hknt.NewScratch(), partsWin: bitset.New(np)}
 	}
 	return e
+}
+
+// reseed re-expands the worker's PRG source for one seed: only the live
+// chunks when the step reads a strict subset of them, the full output
+// otherwise. Bit-identical to a full expansion on every chunk Propose
+// reads.
+func (e *stepEngine) reseed(ss *seedScratch, seed uint64) *prg.ChunkedSource {
+	if e.liveChunks != nil {
+		return ss.src.ReseedChunks(seed, e.liveChunks)
+	}
+	return ss.src.Reseed(seed)
 }
 
 // fill is the condexp.ChunkFiller: propose once for the seed with pooled
 // scratch, score each participant chunk's contribution, and offer the
 // proposal to the best-seen cache.
+//
+// Win-counting steps (SSP == nil) take the mask path: the proposal's
+// node-indexed win mask is gathered into dense participant-index space
+// with a branchless bit gather, and every chunk's −wins is a popcount
+// over its index range — Lemma 10's per-machine contribution, 64
+// participants per word. SSP steps evaluate the predicate per
+// participant, exactly as the naive ScoreChunk does.
 func (e *stepEngine) fill(seed uint64, row []int64) {
 	ss := e.pool.Get().(*seedScratch)
-	src := ss.src.Reseed(seed)
+	src := e.reseed(ss, seed)
 	prop := e.step.Propose(e.st, e.parts, src, ss.sc)
 	var total int64
 	k := len(row)
-	n := len(e.parts)
-	for c := 0; c < k; c++ {
-		row[c] = e.step.ScoreChunk(e.st, e.parts, prop, c*n/k, (c+1)*n/k)
-		total += row[c]
+	if e.step.SSP == nil {
+		pw := ss.partsWin
+		pw.Gather(len(e.parts), func(i int) uint64 { return prop.Win.Bit(int(e.parts[i])) })
+		for c := 0; c < k; c++ {
+			wins := int64(pw.CountRange(int(e.bounds[c]), int(e.bounds[c+1])))
+			row[c] = -wins
+			total -= wins
+		}
+	} else {
+		for c := 0; c < k; c++ {
+			row[c] = e.step.ScoreChunk(e.st, e.parts, prop, int(e.bounds[c]), int(e.bounds[c+1]))
+			total += row[c]
+		}
 	}
 	e.offerBest(seed, total, prop)
 	e.pool.Put(ss)
@@ -92,12 +159,7 @@ func (e *stepEngine) fill(seed uint64, row []int64) {
 // takes the slot.
 func (e *stepEngine) offerBest(seed uint64, score int64, prop hknt.Proposal) {
 	e.best.Offer(seed, score, func() {
-		cloned := hknt.CloneProposal(prop, e.bestColor, e.bestMark)
-		e.bestColor = cloned.Color
-		e.bestHasMark = cloned.Mark != nil
-		if cloned.Mark != nil {
-			e.bestMark = cloned.Mark
-		}
+		e.bestProp = hknt.CloneProposal(prop, e.bestProp)
 	})
 }
 
@@ -106,11 +168,7 @@ func (e *stepEngine) offerBest(seed uint64, score int64, prop hknt.Proposal) {
 // re-proposal (bitwise selection may pick a non-argmin seed).
 func (e *stepEngine) proposalFor(seed uint64) hknt.Proposal {
 	if e.best.Matches(seed) {
-		p := hknt.Proposal{Color: e.bestColor}
-		if e.bestHasMark {
-			p.Mark = e.bestMark
-		}
-		return p
+		return e.bestProp
 	}
 	src, err := prg.NewChunkedSource(e.gen, seed, e.chunkOf, e.numChunks, e.step.Bits)
 	if err != nil {

@@ -40,6 +40,14 @@ func addmod61(a, b uint64) uint64 {
 	return s
 }
 
+// submod61 returns a−b mod 2^61−1 for a,b < 2^61−1.
+func submod61(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + MersennePrime61 - b
+}
+
 // Poly is a k-wise independent hash function h(x) = Σ coef[i]·x^i over
 // GF(2^61−1). A uniformly random Poly with k coefficients is k-wise
 // independent on inputs < p.
@@ -88,6 +96,65 @@ func (p Poly) Eval(x uint64) uint64 {
 func (p Poly) Bin(x uint64, bins int) int {
 	return int(p.Eval(x) % uint64(bins))
 }
+
+// PolyStepper evaluates a Poly at consecutive points x0, x0+1, … by
+// finite differences: a degree-(k−1) polynomial's k-th forward difference
+// vanishes, so after seeding the difference table with k Horner
+// evaluations, every further point costs k−1 modular additions instead of
+// k−1 modular multiplications. All arithmetic stays on canonical residues
+// in [0, p), so Value() is bit-identical to Eval at every point — the
+// property the PRG expansion paths rely on (the expanded bit is the
+// residue's LSB).
+//
+// This is the consecutive-point engine under the k-wise PRG re-expansion:
+// chunk c's bits are the polynomial at c·bitsPer+1, …, (c+1)·bitsPer, a
+// contiguous run per chunk.
+type PolyStepper struct {
+	diffs []uint64
+}
+
+// Stepper starts consecutive evaluation at x0, (re)using buf for the
+// difference table (len K() or it is reallocated). The returned stepper
+// is positioned at x0: Value() == Eval(x0).
+func (p Poly) Stepper(x0 uint64, buf []uint64) PolyStepper {
+	k := len(p.coef)
+	if cap(buf) < k {
+		buf = make([]uint64, k)
+	}
+	buf = buf[:k]
+	// buf[j] starts as f(x0+j), then in-place forward differencing turns
+	// it into Δ^j f(x0).
+	for j := 0; j < k; j++ {
+		buf[j] = p.Eval(x0 + uint64(j))
+	}
+	for lvl := 1; lvl < k; lvl++ {
+		for j := k - 1; j >= lvl; j-- {
+			buf[j] = submod61(buf[j], buf[j-1])
+		}
+	}
+	return PolyStepper{diffs: buf}
+}
+
+// Value returns the polynomial at the stepper's current point.
+func (s PolyStepper) Value() uint64 {
+	if len(s.diffs) == 0 {
+		return 0
+	}
+	return s.diffs[0]
+}
+
+// Advance moves the stepper one point forward: each difference absorbs
+// the next-higher one (ascending order reads the not-yet-updated
+// neighbor, which is exactly Δ^{j+1} at the old point).
+func (s PolyStepper) Advance() {
+	for j := 0; j+1 < len(s.diffs); j++ {
+		s.diffs[j] = addmod61(s.diffs[j], s.diffs[j+1])
+	}
+}
+
+// Diffs returns the stepper's difference-table storage so callers can
+// hand it back to Stepper and keep the evaluation loop allocation-free.
+func (s PolyStepper) Diffs() []uint64 { return s.diffs }
 
 // SeedWords reports how many uint64 seed words a k-wise Poly needs.
 func SeedWords(k int) int { return k }

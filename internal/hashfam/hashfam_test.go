@@ -222,3 +222,29 @@ func TestPolySetCoefReusesStorage(t *testing.T) {
 		t.Fatalf("K=%d want 3", p.K())
 	}
 }
+
+// TestPolyStepperMatchesEval pins the finite-difference consecutive-point
+// evaluator bit-identical to Horner evaluation for every independence k
+// the PRG layer uses, across runs starting at arbitrary points — the
+// contract the k-wise chunk re-expansion relies on (the expanded bit is
+// the residue's LSB, so the full residue must match exactly).
+func TestPolyStepperMatchesEval(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		seed := make([]uint64, k)
+		for i := range seed {
+			seed[i] = 0x9E3779B97F4A7C15 * uint64(k*31+i+1)
+		}
+		p := NewPoly(seed)
+		var buf []uint64
+		for _, x0 := range []uint64{0, 1, 63, 64, 1000, 1 << 40} {
+			st := p.Stepper(x0, buf)
+			for j := uint64(0); j < 200; j++ {
+				if got, want := st.Value(), p.Eval(x0+j); got != want {
+					t.Fatalf("k=%d x0=%d: Value at +%d = %d, Eval = %d", k, x0, j, got, want)
+				}
+				st.Advance()
+			}
+			buf = st.Diffs()
+		}
+	}
+}

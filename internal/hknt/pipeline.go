@@ -152,7 +152,7 @@ func stepPutAside(name string, cliques []CliqueInfo, tun Tunables) Step {
 			for _, u := range c.Inliers {
 				if st.Live(u) {
 					live++
-					if prop.Mark != nil && prop.Mark[u] {
+					if prop.Mark != nil && prop.Mark.Test(int(u)) {
 						marked++
 					}
 				}
@@ -197,6 +197,18 @@ func stepSynch(name string, cliques []CliqueInfo, maxPal int, tun Tunables) Step
 					if st.Live(v) {
 						out = append(out, v)
 					}
+				}
+			}
+			return out
+		},
+		// Leaders draw the permutation bits but need not be participants
+		// themselves (an uncolored leader may be deferred or put aside):
+		// declare them so the sparse-chunk engine expands their chunks.
+		Readers: func(st *State) []int32 {
+			var out []int32
+			for i := range cliques {
+				if !st.Colored(cliques[i].Leader) {
+					out = append(out, cliques[i].Leader)
 				}
 			}
 			return out

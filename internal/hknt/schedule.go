@@ -24,6 +24,13 @@ type Step struct {
 	// Participants selects the nodes running the procedure, given the
 	// current state. Non-live nodes are filtered by the trials themselves.
 	Participants func(st *State) []int32
+	// Readers optionally lists extra non-participant nodes whose random
+	// bits Propose may consult (e.g. clique leaders drawing permutations
+	// for their inliers). The sparse-chunk scoring engine re-expands only
+	// the PRG chunks of participants ∪ Readers per seed; nil means Propose
+	// reads bits for participants only, which holds for every trial that
+	// draws per-participant.
+	Readers func(st *State) []int32
 	// Propose runs the procedure without mutating state. sc, when non-nil,
 	// supplies reusable buffers (see Scratch); the returned Proposal then
 	// aliases them and is invalidated by the next Propose on the same sc.
@@ -99,20 +106,24 @@ func (s *Step) Failures(st *State, parts []int32, prop Proposal) []int32 {
 // wins, and its live degree and slack afterwards. Slack is nondecreasing
 // under any proposal: a winning neighbor removes one unit of degree and at
 // most one palette color.
+//
+// The neighbor scan rides the proposal's win mask: a losing neighbor is
+// rejected by one bit test (1/8 the memory traffic of loading its color),
+// and the colors array is touched only at actual winners — the dominant
+// case once proposals are sparse. The result is identical to scanning
+// Color for the Uncolored sentinel, which the win-mask invariant
+// guarantees.
 func PostStats(st *State, prop Proposal, v int32) (won bool, liveDeg, slack int) {
-	won = prop.Color[v] != d1lc.Uncolored
+	won = prop.Win.Test(int(v))
 	liveDeg = st.LiveDegree(v)
 	palLoss := 0
 	var seenBuf [24]int32
 	seen := seenBuf[:0]
 	for _, u := range st.In.G.Neighbors(v) {
-		if !st.Live(u) {
+		if !prop.Win.Test(int(u)) || !st.Live(u) {
 			continue
 		}
 		c := prop.Color[u]
-		if c == d1lc.Uncolored {
-			continue
-		}
 		liveDeg--
 		if !containsColor(seen, c) && st.HasRem(v, c) {
 			palLoss++

@@ -1,6 +1,7 @@
 package hknt
 
 import (
+	"parcolor/internal/bitset"
 	"parcolor/internal/d1lc"
 )
 
@@ -21,7 +22,7 @@ type Scratch struct {
 	cand    []int32
 	sets    [][]int32
 	prop    Proposal
-	mark    []bool
+	mark    bitset.Mask
 	boolBuf []bool
 	maps    []map[int32]bool
 	arenas  [][]int32
@@ -48,7 +49,9 @@ func (sc *Scratch) candidates(n int) []int32 {
 	return cand
 }
 
-// proposal returns an n-sized empty proposal (all Uncolored, no marks).
+// proposal returns an n-sized empty proposal (all Uncolored, zero win
+// mask, no marks). The colors array and win mask are carved from the
+// Scratch's buffers.
 func (sc *Scratch) proposal(n int) Proposal {
 	if sc == nil {
 		return NewProposal(n)
@@ -56,27 +59,23 @@ func (sc *Scratch) proposal(n int) Proposal {
 	if cap(sc.prop.Color) < n {
 		sc.prop.Color = make([]int32, n)
 	}
-	p := Proposal{Color: sc.prop.Color[:n]}
+	p := Proposal{Color: sc.prop.Color[:n], Win: sc.prop.Win.Grow(n)}
 	for i := range p.Color {
 		p.Color[i] = d1lc.Uncolored
 	}
+	p.Win.Reset()
 	sc.prop = p
 	return p
 }
 
-// markBuf returns an n-sized zeroed bool buffer for Proposal.Mark.
-func (sc *Scratch) markBuf(n int) []bool {
+// markBuf returns an n-bit zeroed mask for Proposal.Mark.
+func (sc *Scratch) markBuf(n int) bitset.Mask {
 	if sc == nil {
-		return make([]bool, n)
+		return bitset.New(n)
 	}
-	if cap(sc.mark) < n {
-		sc.mark = make([]bool, n)
-	}
-	m := sc.mark[:n]
-	for i := range m {
-		m[i] = false
-	}
-	return m
+	sc.mark = sc.mark.Grow(n)
+	sc.mark.Reset()
+	return sc.mark
 }
 
 // bools returns a second n-sized zeroed bool buffer (trial-internal sets).
@@ -140,12 +139,17 @@ func (sc *Scratch) mapsBuf(w int) []map[int32]bool {
 	return sc.maps[:w]
 }
 
-// CloneProposal copies p into dst buffers owned by the caller, detaching it
-// from any Scratch lifetime. dst slices are reused when large enough.
-func CloneProposal(p Proposal, dstColor []int32, dstMark []bool) Proposal {
-	out := Proposal{Color: append(dstColor[:0], p.Color...)}
+// CloneProposal copies p into dst's buffers, detaching it from any
+// Scratch lifetime. dst's slices (colors, win and mark masks) are reused
+// when large enough; the returned proposal owns the storage and should be
+// passed back as dst on the next clone.
+func CloneProposal(p Proposal, dst Proposal) Proposal {
+	out := Proposal{
+		Color: append(dst.Color[:0], p.Color...),
+		Win:   append(dst.Win[:0], p.Win...),
+	}
 	if p.Mark != nil {
-		out.Mark = append(dstMark[:0], p.Mark...)
+		out.Mark = append(dst.Mark[:0], p.Mark...)
 	}
 	return out
 }

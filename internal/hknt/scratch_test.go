@@ -8,20 +8,29 @@ import (
 	"parcolor/internal/graph"
 )
 
-// propEqual compares proposals field-for-field.
+// propEqual compares proposals field-for-field, including the win-mask
+// invariant on both sides.
 func propEqual(t *testing.T, a, b Proposal, label string) {
 	t.Helper()
 	for v := range a.Color {
 		if a.Color[v] != b.Color[v] {
 			t.Fatalf("%s: Color[%d] = %d vs %d", label, v, a.Color[v], b.Color[v])
 		}
+		if a.Win.Test(v) != (a.Color[v] != d1lc.Uncolored) {
+			t.Fatalf("%s: Win[%d] desynced from Color", label, v)
+		}
+		if a.Win.Test(v) != b.Win.Test(v) {
+			t.Fatalf("%s: Win[%d] differs", label, v)
+		}
 	}
 	if (a.Mark == nil) != (b.Mark == nil) {
 		t.Fatalf("%s: Mark presence differs", label)
 	}
-	for v := range a.Mark {
-		if a.Mark[v] != b.Mark[v] {
-			t.Fatalf("%s: Mark[%d] differs", label, v)
+	if a.Mark != nil {
+		for v := range a.Color {
+			if a.Mark.Test(v) != b.Mark.Test(v) {
+				t.Fatalf("%s: Mark[%d] differs", label, v)
+			}
 		}
 	}
 }

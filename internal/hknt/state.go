@@ -17,6 +17,7 @@ package hknt
 import (
 	"fmt"
 
+	"parcolor/internal/bitset"
 	"parcolor/internal/d1lc"
 	"parcolor/internal/local"
 	"parcolor/internal/rng"
@@ -77,6 +78,11 @@ type State struct {
 	// nodes (so neighbors gain slack) but colored by their clique leader in
 	// the pipeline's finisher rather than by recursion.
 	PutAside []bool
+	// live is the word-packed live set: live.Test(v) ⇔ uncolored ∧
+	// ¬deferred ∧ ¬put-aside. Maintained by SetColor/Defer/MarkPutAside so
+	// the per-(seed, node) Live checks of the scoring loops are one bit
+	// test instead of three array loads.
+	live bitset.Mask
 	// Meter accounts LOCAL rounds consumed.
 	Meter local.Meter
 }
@@ -91,7 +97,9 @@ func NewState(in *d1lc.Instance) *State {
 		liveDeg:  make([]int32, n),
 		Deferred: make([]bool, n),
 		PutAside: make([]bool, n),
+		live:     bitset.New(n),
 	}
+	st.live.Fill(n, func(int) bool { return true })
 	for v := 0; v < n; v++ {
 		st.Rem[v] = append([]int32(nil), in.Palettes[v]...)
 		st.liveDeg[v] = int32(in.G.Degree(int32(v)))
@@ -112,10 +120,9 @@ func (st *State) Slack(v int32) int {
 // Colored reports whether v has a permanent color.
 func (st *State) Colored(v int32) bool { return st.Col.Colors[v] != d1lc.Uncolored }
 
-// Live reports whether v is uncolored, not deferred, and not put aside.
-func (st *State) Live(v int32) bool {
-	return !st.Colored(v) && !st.Deferred[v] && !st.PutAside[v]
-}
+// Live reports whether v is uncolored, not deferred, and not put aside:
+// one test of the packed live mask.
+func (st *State) Live(v int32) bool { return st.live.Test(int(v)) }
 
 // HasRem reports whether c remains in v's palette.
 func (st *State) HasRem(v, c int32) bool {
@@ -145,6 +152,7 @@ func (st *State) SetColor(v, c int32) {
 	}
 	wasLive := st.Live(v) // deferred/put-aside nodes already left degrees
 	st.Col.Colors[v] = c
+	st.live.Clear(int(v))
 	for _, u := range st.In.G.Neighbors(v) {
 		if wasLive {
 			st.liveDeg[u]--
@@ -163,6 +171,7 @@ func (st *State) MarkPutAside(v int32) {
 		panic(fmt.Sprintf("hknt: MarkPutAside(%d) not live", v))
 	}
 	st.PutAside[v] = true
+	st.live.Clear(int(v))
 	for _, u := range st.In.G.Neighbors(v) {
 		st.liveDeg[u]--
 	}
@@ -176,6 +185,7 @@ func (st *State) Defer(v int32) {
 		panic(fmt.Sprintf("hknt: Defer(%d) not live", v))
 	}
 	st.Deferred[v] = true
+	st.live.Clear(int(v))
 	for _, u := range st.In.G.Neighbors(v) {
 		st.liveDeg[u]--
 	}
@@ -201,52 +211,79 @@ func removeColor(pal []int32, c int32) []int32 {
 	return pal
 }
 
-// Proposal is the pure outcome of one trial: for each node either a color
-// to commit (Uncolored = none) or a put-aside mark.
+// Proposal is the pure outcome of one trial, in struct-of-arrays form:
+// the colors array keeps the payload (which color each winner takes) and
+// the word-packed masks keep the membership sets, so consumers count wins
+// by popcount and walk winners by set-bit iteration instead of scanning
+// sentinels node by node.
+//
+// Invariant: Win.Test(v) ⇔ Color[v] != d1lc.Uncolored. Trials maintain it
+// by finishing with RecomputeWin (a word-parallel pass over Color);
+// callers that write Color directly must do the same, or use SetWin.
 type Proposal struct {
 	// Color[v] is the color v won this trial, or d1lc.Uncolored.
 	Color []int32
-	// Mark[v] flags v for the put-aside set (PutAside trials only; nil
+	// Win is the word-packed win set over nodes.
+	Win bitset.Mask
+	// Mark is the word-packed put-aside set (PutAside trials only; nil
 	// otherwise).
-	Mark []bool
+	Mark bitset.Mask
 }
 
 // NewProposal allocates an empty proposal for n nodes.
 func NewProposal(n int) Proposal {
-	p := Proposal{Color: make([]int32, n)}
+	p := Proposal{Color: make([]int32, n), Win: bitset.New(n)}
 	for i := range p.Color {
 		p.Color[i] = d1lc.Uncolored
 	}
 	return p
 }
 
-// Apply commits every win and put-aside mark in the proposal. Wins are
-// conflict-free by trial construction; they are applied in node order,
-// which is deterministic.
+// SetWin records that v won color c, keeping Color and Win in step.
+func (p Proposal) SetWin(v, c int32) {
+	p.Color[v] = c
+	p.Win.Set(int(v))
+}
+
+// RecomputeWin rebuilds the win mask from the colors array (word-parallel
+// over word-aligned ranges): the trials' finishing pass after their
+// node-parallel conflict loops, which cannot write shared mask words
+// without racing.
+func (p Proposal) RecomputeWin() {
+	p.Win.FromNeq32(p.Color, d1lc.Uncolored)
+}
+
+// Apply commits every win and put-aside mark in the proposal, walking the
+// set bits of the masks in node order (deterministic; wins are
+// conflict-free by trial construction).
 func (st *State) Apply(p Proposal) (colored int) {
-	for v := int32(0); v < int32(len(p.Color)); v++ {
-		if c := p.Color[v]; c != d1lc.Uncolored && st.Live(v) {
-			st.SetColor(v, c)
+	p.Win.ForEach(func(i int) {
+		v := int32(i)
+		if st.Live(v) {
+			st.SetColor(v, p.Color[v])
 			colored++
 		}
-	}
+	})
 	if p.Mark != nil {
-		for v := int32(0); v < int32(len(p.Mark)); v++ {
-			if p.Mark[v] && st.Live(v) {
+		p.Mark.ForEach(func(i int) {
+			v := int32(i)
+			if st.Live(v) {
 				st.MarkPutAside(v)
 			}
-		}
+		})
 	}
 	return colored
 }
 
-// LiveNodes returns all live nodes, optionally filtered.
+// LiveNodes returns all live nodes, optionally filtered, by walking the
+// set bits of the live mask.
 func (st *State) LiveNodes(filter func(v int32) bool) []int32 {
 	var out []int32
-	for v := int32(0); v < int32(st.In.G.N()); v++ {
-		if st.Live(v) && (filter == nil || filter(v)) {
+	st.live.ForEach(func(i int) {
+		v := int32(i)
+		if filter == nil || filter(v) {
 			out = append(out, v)
 		}
-	}
+	})
 	return out
 }

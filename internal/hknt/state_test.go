@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"parcolor/internal/bitset"
 	"parcolor/internal/d1lc"
 	"parcolor/internal/graph"
 )
@@ -124,9 +125,9 @@ func TestApplyProposalWithMarks(t *testing.T) {
 	in := d1lc.TrivialPalettes(g)
 	st := NewState(in)
 	prop := NewProposal(5)
-	prop.Color[0] = 0
-	prop.Mark = make([]bool, 5)
-	prop.Mark[2] = true
+	prop.SetWin(0, 0)
+	prop.Mark = bitset.New(5)
+	prop.Mark.Set(2)
 	if n := st.Apply(prop); n != 1 {
 		t.Fatalf("colored %d", n)
 	}

@@ -53,6 +53,7 @@ func TryRandomColorPropose(st *State, parts []int32, src RandSource, sc *Scratch
 		}
 		prop.Color[v] = c
 	})
+	prop.RecomputeWin()
 	return prop
 }
 
@@ -106,6 +107,7 @@ func MultiTrialPropose(st *State, parts []int32, x int, src RandSource, sc *Scra
 			}
 		}
 	})
+	prop.RecomputeWin()
 	return prop
 }
 
@@ -179,6 +181,7 @@ func GenerateSlackPropose(st *State, parts []int32, src RandSource, sc *Scratch)
 		}
 		prop.Color[v] = c
 	})
+	prop.RecomputeWin()
 	return prop
 }
 
@@ -255,6 +258,7 @@ func SynchColorTrialPropose(st *State, cliques []CliqueInfo, src RandSource, sc 
 		}
 		prop.Color[v] = c
 	})
+	prop.RecomputeWin()
 	return prop
 }
 
@@ -307,17 +311,19 @@ func PutAsidePropose(st *State, cliques []CliqueInfo, probFor func(c *CliqueInfo
 	})
 	prop := sc.proposal(n)
 	prop.Mark = sc.markBuf(n)
-	par.For(n, func(i int) {
+	// Word-parallel mark pass: each worker owns word-aligned node ranges,
+	// so the shared mask words are never written by two goroutines.
+	prop.Mark.FillPar(n, func(i int) bool {
 		v := int32(i)
 		if !inS[v] {
-			return
+			return false
 		}
 		for _, u := range st.In.G.Neighbors(v) {
 			if inS[u] {
-				return
+				return false
 			}
 		}
-		prop.Mark[v] = true
+		return true
 	})
 	return prop
 }

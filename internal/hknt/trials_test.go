@@ -186,12 +186,12 @@ func TestPutAsideMarksIndependentSet(t *testing.T) {
 	}
 	marked := 0
 	for v := int32(0); v < int32(g.N()); v++ {
-		if !prop.Mark[v] {
+		if !prop.Mark.Test(int(v)) {
 			continue
 		}
 		marked++
 		for _, u := range g.Neighbors(v) {
-			if prop.Mark[u] {
+			if prop.Mark.Test(int(u)) {
 				t.Fatalf("adjacent put-aside nodes %d,%d", v, u)
 			}
 		}
@@ -210,7 +210,7 @@ func TestPutAsideOnlyLowSlackCliques(t *testing.T) {
 	}
 	prop := PutAsidePropose(st, infos, func(*CliqueInfo) (int, int) { return 1, 2 }, FreshSource{Root: 4, Bits: 64}, nil)
 	for v := int32(8); v < 16; v++ {
-		if prop.Mark[v] {
+		if prop.Mark.Test(int(v)) {
 			t.Fatalf("node %d of high-slack clique marked", v)
 		}
 	}

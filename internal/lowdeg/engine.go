@@ -3,6 +3,7 @@ package lowdeg
 import (
 	"sync"
 
+	"parcolor/internal/bitset"
 	"parcolor/internal/condexp"
 	"parcolor/internal/d1lc"
 	"parcolor/internal/hknt"
@@ -21,12 +22,18 @@ import (
 //     every per-seed structure scales with the shrinking live set instead
 //     of n,
 //   - walks the seed space once, reusing per-worker candidate buffers
-//     pooled across seeds (the hknt.Scratch arena pattern),
+//     pooled across seeds (the hknt.Scratch arena pattern) with the
+//     per-seed loser state packed into a word-wide bitset.Mask — the
+//     elimination pass sets loser bits, each chunk's wins are the
+//     seed-invariant candidate count minus a popcount over the chunk's
+//     index range (64 participants per word), and the per-seed reset is
+//     a word clear instead of a byte-per-participant sweep,
 //   - records each participant chunk's −wins contribution into a
 //     condexp.ContribTable, making flat and bitwise selection pure table
 //     aggregation, and
 //   - caches the best-scoring seed's winner set during the walk (pairs
-//     materialized only when a seed takes the best-seen slot), so the flat
+//     materialized by an and-not of the candidate mask against the loser
+//     mask, only when a seed takes the best-seen slot), so the flat
 //     winner's proposal is committed without recomputation.
 //
 // The naive path remains available via Options.NaiveScoring as the oracle
@@ -35,12 +42,14 @@ import (
 
 // trialScratch is one worker's reusable evaluation state: cand[i] is
 // participant i's candidate this seed (rewritten in full by every fill),
-// loser[i] marks a candidate eliminated by a neighbor collision and
-// loss[c] counts chunk c's distinct losers (both cleared per seed).
+// loser marks candidates eliminated by a neighbor collision (cleared per
+// seed) and winners is the and-not scratch the best-seen materialization
+// carves winners into. The two masks are carved from one arena so a
+// worker's per-seed state sits in one contiguous block.
 type trialScratch struct {
-	cand  []int32
-	loser []bool
-	loss  []int64
+	cand    []int32
+	loser   bitset.Mask
+	winners bitset.Mask
 }
 
 // trialEngine scores one trial round's seed space incrementally.
@@ -70,12 +79,13 @@ type trialEngine struct {
 	// bounds[c] is the first participant index of score chunk c — the
 	// c*np/k partition computed once instead of per chunk per seed.
 	bounds []int32
-	// chunkIdx[i] is participant i's score chunk, and candCnt[c] the
-	// number of chunk-c participants with a non-empty palette. Every such
-	// participant draws a candidate on every seed, so a chunk's wins are
-	// candCnt[c] minus its distinct losers — the per-seed win scan
-	// disappears into the (rare) collision path.
-	chunkIdx []int32
+	// candMask marks participants with a non-empty palette, and candCnt[c]
+	// counts them per chunk (a CountRange over the chunk bounds). Every
+	// such participant draws a candidate on every seed — the mask and the
+	// counts are seed-invariant — so a chunk's wins are candCnt[c] minus a
+	// popcount of its loser bits, and the best seed's winner set is one
+	// and-not: candMask &^ losers.
+	candMask bitset.Mask
 	candCnt  []int64
 
 	pool sync.Pool
@@ -116,25 +126,19 @@ func newTrialEngine(st *hknt.State, parts []int32, round uint64) *trialEngine {
 			e.divs[i] = rng.NewDivisor(uint64(d))
 		}
 	}
-	e.bounds = make([]int32, e.nChunks+1)
-	for c := 0; c <= e.nChunks; c++ {
-		e.bounds[c] = int32(c * np / e.nChunks)
-	}
-	e.chunkIdx = make([]int32, np)
+	e.bounds = condexp.ChunkBounds(np, e.nChunks)
+	e.candMask = bitset.New(np)
+	e.candMask.Fill(np, func(i int) bool { return e.palOff[i] < e.palOff[i+1] })
 	e.candCnt = make([]int64, e.nChunks)
 	for c := 0; c < e.nChunks; c++ {
-		for i := e.bounds[c]; i < e.bounds[c+1]; i++ {
-			e.chunkIdx[i] = int32(c)
-			if e.palOff[i] < e.palOff[i+1] {
-				e.candCnt[c]++
-			}
-		}
+		e.candCnt[c] = int64(e.candMask.CountRange(int(e.bounds[c]), int(e.bounds[c+1])))
 	}
 	e.pool.New = func() any {
+		a := bitset.NewArena(2 * bitset.Words(np))
 		return &trialScratch{
-			cand:  make([]int32, np),
-			loser: make([]bool, np),
-			loss:  make([]int64, e.nChunks),
+			cand:    make([]int32, np),
+			loser:   a.Grab(np),
+			winners: a.Grab(np),
 		}
 	}
 	return e
@@ -160,47 +164,43 @@ func (e *trialEngine) fill(seed uint64, row []int64) {
 	}
 	// Pass 2: symmetric elimination over the live edge list — a collision
 	// eliminates both endpoints, exactly proposeRound's duplicate rule.
-	// Distinct losers are tallied per chunk as they transition, so no win
-	// scan is needed afterwards.
-	loser, loss := ss.loser, ss.loss
-	clear(loser)
-	clear(loss)
+	// Loser state is one bit per participant; setting an already-set bit
+	// is idempotent, so no distinct-transition bookkeeping is needed.
+	loser := ss.loser
+	loser.Reset()
 	edges := e.edges
 	for k := 0; k < len(edges); k += 2 {
 		a, b := edges[k], edges[k+1]
 		if ca := cand[a]; ca != d1lc.Uncolored && ca == cand[b] {
-			if !loser[a] {
-				loser[a] = true
-				loss[e.chunkIdx[a]]++
-			}
-			if !loser[b] {
-				loser[b] = true
-				loss[e.chunkIdx[b]]++
-			}
+			loser.Set(int(a))
+			loser.Set(int(b))
 		}
 	}
-	// Each chunk's −wins: seed-invariant candidate count minus its losers.
+	// Each chunk's −wins: seed-invariant candidate count minus a popcount
+	// of its loser bits, 64 participants per word.
 	var total int64
 	for c := range row {
-		wins := e.candCnt[c] - loss[c]
+		wins := e.candCnt[c] - int64(loser.CountRange(int(e.bounds[c]), int(e.bounds[c+1])))
 		row[c] = -wins
 		total -= wins
 	}
-	e.offerBest(seed, total, cand, loser)
+	e.offerBest(seed, total, cand, ss)
 	e.pool.Put(ss)
 }
 
 // offerBest offers the seed to the best-seen cache (the flat selection's
-// winner), materializing its winner pairs from the worker's candidate and
-// loser arrays when it takes the slot.
-func (e *trialEngine) offerBest(seed uint64, score int64, cand []int32, loser []bool) {
+// winner), materializing its winner pairs when it takes the slot: winners
+// = candidates &^ losers by one word-wide and-not, then a set-bit walk
+// collects the (node, color) pairs.
+func (e *trialEngine) offerBest(seed uint64, score int64, cand []int32, ss *trialScratch) {
 	e.best.Offer(seed, score, func() {
+		win := ss.winners
+		win.Copy(e.candMask)
+		win.AndNot(ss.loser)
 		e.bestWins = e.bestWins[:0]
-		for i, v := range e.parts {
-			if cand[i] != d1lc.Uncolored && !loser[i] {
-				e.bestWins = append(e.bestWins, v, cand[i])
-			}
-		}
+		win.ForEach(func(i int) {
+			e.bestWins = append(e.bestWins, e.parts[i], cand[i])
+		})
 	})
 }
 
@@ -212,7 +212,7 @@ func (e *trialEngine) proposalFor(seed uint64) hknt.Proposal {
 	if e.best.Matches(seed) {
 		p := hknt.NewProposal(e.st.In.G.N())
 		for i := 0; i < len(e.bestWins); i += 2 {
-			p.Color[e.bestWins[i]] = e.bestWins[i+1]
+			p.SetWin(e.bestWins[i], e.bestWins[i+1])
 		}
 		return p
 	}

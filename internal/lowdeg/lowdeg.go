@@ -129,10 +129,20 @@ func selectSeedNaive(st *hknt.State, parts []int32, round uint64, o Options) con
 	return condexp.SelectSeed(1<<o.SeedBits, scorer)
 }
 
-// proposeRound computes the trial proposal for a (seed, round) pair: node
-// v's candidate is Rem[v][h(seed, v, round) mod |Rem[v]|]; winners are the
-// candidates no neighbor duplicated.
+// proposeRound computes the trial proposal for a (seed, round) pair and
+// finishes its win mask, ready to commit.
 func proposeRound(st *hknt.State, parts []int32, seed, round uint64) hknt.Proposal {
+	prop := proposeRoundColors(st, parts, seed, round)
+	prop.RecomputeWin()
+	return prop
+}
+
+// proposeRoundColors computes the colors array only: node v's candidate
+// is Rem[v][h(seed, v, round) mod |Rem[v]|]; winners are the candidates
+// no neighbor duplicated. The win mask is left empty — the naive scoring
+// oracle counts wins by scanning the sentinels and never commits these
+// proposals, so it skips the mask pass it would pay once per seed.
+func proposeRoundColors(st *hknt.State, parts []int32, seed, round uint64) hknt.Proposal {
 	n := st.In.G.N()
 	cand := make([]int32, n)
 	for i := range cand {
@@ -165,7 +175,7 @@ func proposeRound(st *hknt.State, parts []int32, seed, round uint64) hknt.Propos
 
 // countWins scores a seed by the number of nodes its proposal colors.
 func countWins(st *hknt.State, parts []int32, seed, round uint64) int {
-	prop := proposeRound(st, parts, seed, round)
+	prop := proposeRoundColors(st, parts, seed, round)
 	wins := 0
 	for _, v := range parts {
 		if prop.Color[v] != d1lc.Uncolored {

@@ -3,6 +3,7 @@ package mis
 import (
 	"sync"
 
+	"parcolor/internal/bitset"
 	"parcolor/internal/condexp"
 	"parcolor/internal/graph"
 	"parcolor/internal/prg"
@@ -16,27 +17,35 @@ import (
 // priority/join arrays and a ChunkedSource each time — the engine
 //
 //   - walks the seed space once, reusing per-worker scratch (a reseedable
-//     prg.ChunkedScratch plus priority/join buffers) pooled across seeds,
+//     prg.ChunkedScratch plus a priority buffer and word-packed join/
+//     undone masks carved from one arena) pooled across seeds,
 //   - re-expands only the undecided nodes' chunks per seed
 //     (ChunkedScratch.ReseedChunks), so per-seed expansion cost tracks the
 //     shrinking live set instead of n,
-//   - records each participant chunk's still-undecided count into a
-//     condexp.ContribTable, making flat and bitwise selection pure table
-//     aggregation, and
-//   - caches the best-scoring join seen during the walk, so the flat
-//     winner's join is committed without being recomputed.
+//   - keeps the per-seed join set as a bitset.Mask over nodes (a decided
+//     neighbor's bit is permanently zero, so the dominance scan reads one
+//     bit per neighbor) and gathers each seed's still-undecided outcomes
+//     into a dense participant-index mask, so every chunk's contribution
+//     to the condexp.ContribTable is a popcount over its index range —
+//     64 participants per word — making flat and bitwise selection pure
+//     table aggregation, and
+//   - caches the best-scoring join mask seen during the walk, so the flat
+//     winner's join is committed from the mask without being recomputed.
 //
 // The naive path remains available via Options.NaiveScoring as the oracle
 // for differential tests; both paths are bit-identical in selected seed,
 // score, certificate, and resulting MIS.
 
-// misScratch is one worker's reusable evaluation state. prio and join are
-// written for every undecided node on every fill, and read only at
-// undecided nodes, so they need no per-seed reset.
+// misScratch is one worker's reusable evaluation state. prio and the join
+// mask are written for every undecided node on every fill, and read only
+// at undecided nodes (a decided node's join bit stays zero from the
+// arena's initial carve), so they need no per-seed reset; undone is fully
+// rewritten by each fill's gather.
 type misScratch struct {
-	src  *prg.ChunkedScratch
-	prio []uint64
-	join []bool
+	src    *prg.ChunkedScratch
+	prio   []uint64
+	join   bitset.Mask // over nodes
+	undone bitset.Mask // over dense participant indices
 }
 
 // roundEngine scores one Luby round's seed space incrementally.
@@ -49,11 +58,13 @@ type roundEngine struct {
 	chunkOf    []int32
 	numChunks  int
 	nChunks    int // score chunks (table rows)
+	// bounds[c] is the first participant index of score chunk c.
+	bounds []int32
 
 	pool sync.Pool
 
 	best     condexp.BestSeen
-	bestJoin []bool
+	bestJoin bitset.Mask
 }
 
 func newRoundEngine(g *graph.Graph, state []NodeState, parts []int32, gen prg.PRG, chunkOf []int32, numChunks int) *roundEngine {
@@ -70,6 +81,8 @@ func newRoundEngine(g *graph.Graph, state []NodeState, parts []int32, gen prg.PR
 			e.liveChunks = append(e.liveChunks, c)
 		}
 	}
+	np := len(parts)
+	e.bounds = condexp.ChunkBounds(np, e.nChunks)
 	n := g.N()
 	e.pool.New = func() any {
 		src, err := prg.NewChunkedScratch(e.gen, e.chunkOf, e.numChunks, priorityBits)
@@ -77,14 +90,16 @@ func newRoundEngine(g *graph.Graph, state []NodeState, parts []int32, gen prg.PR
 			// Generator too short is a construction bug; make it loud.
 			panic(err)
 		}
-		return &misScratch{src: src, prio: make([]uint64, n), join: make([]bool, n)}
+		a := bitset.NewArena(bitset.Words(n) + bitset.Words(np))
+		return &misScratch{src: src, prio: make([]uint64, n), join: a.Grab(n), undone: a.Grab(np)}
 	}
 	return e
 }
 
 // fill is the condexp.ChunkFiller: simulate one Luby round for the seed
-// with pooled scratch, count each participant chunk's still-undecided
-// contribution, and offer the join to the best-seen cache.
+// with pooled scratch, gather each participant's still-undecided outcome
+// into the dense undone mask, and read off every chunk's contribution as
+// a popcount over its index range.
 func (e *roundEngine) fill(seed uint64, row []int64) {
 	ss := e.pool.Get().(*misScratch)
 	src := ss.src.ReseedChunks(seed, e.liveChunks)
@@ -101,53 +116,56 @@ func (e *roundEngine) fill(seed uint64, row []int64) {
 				break
 			}
 		}
-		ss.join[v] = best
+		ss.join.SetTo(int(v), best)
 	}
-	k := len(row)
-	np := len(e.parts)
-	var total int64
-	for c := 0; c < k; c++ {
-		var undone int64
-		for _, v := range e.parts[c*np/k : (c+1)*np/k] {
-			if !stillUndecided(e.g, ss.join, v) {
-				continue
-			}
-			undone++
+	// Gather each participant's still-undecided outcome into the dense
+	// mask, then read chunks off as popcounts.
+	undone := ss.undone
+	undone.Gather(len(e.parts), func(i int) uint64 {
+		if stillUndecided(e.g, ss.join, e.parts[i]) {
+			return 1
 		}
-		row[c] = undone
-		total += undone
+		return 0
+	})
+	var total int64
+	for c := range row {
+		cnt := int64(undone.CountRange(int(e.bounds[c]), int(e.bounds[c+1])))
+		row[c] = cnt
+		total += cnt
 	}
 	e.offerBest(seed, total, ss.join)
 	e.pool.Put(ss)
 }
 
 // stillUndecided reports whether undecided node v stays undecided under
-// the join: it neither joins nor has a joining neighbor — the complement
-// of simulateDecided's per-node predicate.
-func stillUndecided(g *graph.Graph, join []bool, v int32) bool {
-	if join[v] {
+// the join mask: it neither joins nor has a joining neighbor — the
+// complement of simulateDecided's per-node predicate. Decided neighbors'
+// bits are permanently zero, so the scan needs no state check.
+func stillUndecided(g *graph.Graph, join bitset.Mask, v int32) bool {
+	if join.Test(int(v)) {
 		return false
 	}
 	for _, u := range g.Neighbors(v) {
-		if join[u] {
+		if join.Test(int(u)) {
 			return false
 		}
 	}
 	return true
 }
 
-// offerBest offers the join to the best-seen cache (the flat selection's
-// winner), cloning it out of the worker's scratch when it takes the slot.
-func (e *roundEngine) offerBest(seed uint64, score int64, join []bool) {
+// offerBest offers the join mask to the best-seen cache (the flat
+// selection's winner), cloning it out of the worker's scratch when it
+// takes the slot.
+func (e *roundEngine) offerBest(seed uint64, score int64, join bitset.Mask) {
 	e.best.Offer(seed, score, func() {
 		e.bestJoin = append(e.bestJoin[:0], join...)
 	})
 }
 
-// joinFor returns the chosen seed's join: the cached clone when the seed
-// matches (always, for flat selection), otherwise one fresh re-simulation
-// (bitwise selection may pick a non-argmin seed).
-func (e *roundEngine) joinFor(seed uint64) []bool {
+// joinFor returns the chosen seed's join mask: the cached clone when the
+// seed matches (always, for flat selection), otherwise one fresh
+// re-simulation (bitwise selection may pick a non-argmin seed).
+func (e *roundEngine) joinFor(seed uint64) bitset.Mask {
 	if e.best.Matches(seed) {
 		return e.bestJoin
 	}
@@ -155,13 +173,15 @@ func (e *roundEngine) joinFor(seed uint64) []bool {
 	if err != nil {
 		panic(err)
 	}
-	return lubyRound(e.g, e.state, src.BitsFor)
+	join := bitset.New(e.g.N())
+	join.FromBools(lubyRound(e.g, e.state, src.BitsFor))
+	return join
 }
 
 // selectSeedTable runs the full table path for one round: build the
 // contribution table in one parallel pass, aggregate (flat or bitwise),
-// and return the selected seed's result plus its join.
-func (e *roundEngine) selectSeedTable(o Options) (condexp.Result, []bool) {
+// and return the selected seed's result plus its join mask.
+func (e *roundEngine) selectSeedTable(o Options) (condexp.Result, bitset.Mask) {
 	tbl := condexp.BuildTable(1<<o.SeedBits, e.nChunks, e.fill)
 	var res condexp.Result
 	if o.Bitwise {

@@ -11,6 +11,7 @@
 package mis
 
 import (
+	"parcolor/internal/bitset"
 	"parcolor/internal/condexp"
 	"parcolor/internal/graph"
 	"parcolor/internal/par"
@@ -140,6 +141,26 @@ func applyJoin(g *graph.Graph, state []NodeState, join []bool) int {
 			decided++
 		}
 	}
+	return applyDominated(g, state, decided)
+}
+
+// applyJoinMask is applyJoin over a word-packed join mask: the commit
+// path of the table engine, reusing the win mask computed during scoring
+// by walking only its set bits.
+func applyJoinMask(g *graph.Graph, state []NodeState, join bitset.Mask) int {
+	decided := 0
+	join.ForEach(func(i int) {
+		if v := int32(i); state[v] == Undecided {
+			state[v] = InSet
+			decided++
+		}
+	})
+	return applyDominated(g, state, decided)
+}
+
+// applyDominated moves every undecided neighbor of a fresh set member Out,
+// completing a round's commit for both join representations.
+func applyDominated(g *graph.Graph, state []NodeState, decided int) int {
 	for v := int32(0); v < int32(g.N()); v++ {
 		if state[v] != Undecided {
 			continue
@@ -220,15 +241,17 @@ func Derandomized(g *graph.Graph, o Options) Result {
 		}
 		gen := prg.NewKWise(4, o.SeedBits, n*priorityBits)
 		var sel condexp.Result
-		var join []bool
 		if o.NaiveScoring {
+			var join []bool
 			sel, join = selectSeedNaive(g, state, gen, chunkOf, len(parts), o)
+			applyJoin(g, state, join)
 		} else {
 			eng := newRoundEngine(g, state, parts, gen, chunkOf, n)
+			var join bitset.Mask
 			sel, join = eng.selectSeedTable(o)
+			applyJoinMask(g, state, join)
 		}
 		res.SeedReports = append(res.SeedReports, sel)
-		applyJoin(g, state, join)
 		res.Rounds++
 	}
 	// Any undecided leftovers (possible only if MaxRounds hit) are decided

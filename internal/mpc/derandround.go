@@ -3,6 +3,7 @@ package mpc
 import (
 	"fmt"
 
+	"parcolor/internal/bitset"
 	"parcolor/internal/condexp"
 	"parcolor/internal/d1lc"
 	"parcolor/internal/prg"
@@ -119,19 +120,50 @@ func DerandomizedTRCRound(c *Cluster, in *d1lc.Instance, col *d1lc.Coloring, rem
 		}
 		return 0
 	}
+	// winsBySeed[v], on the row path, is machine v's row of the
+	// distributed win table: bit s says v's node wins under seed s —
+	// numSeeds bits, within local space in the paper's 2^d ≤ s regime.
+	// The row fill computes every per-seed outcome anyway, so packing the
+	// win bit alongside the score lets the commit round reuse the mask
+	// instead of re-deriving the winner set (a second full neighbor-
+	// collision pass on the scalar oracle path).
+	var winsBySeed []bitset.Mask
+	wins := func(mid int, seed uint64) bool {
+		if winsBySeed != nil {
+			return winsBySeed[mid].Test(int(seed))
+		}
+		v := int32(mid)
+		return col.Colors[v] == d1lc.Uncolored && failure(mid, seed) == 0
+	}
 	var best uint64
 	if opt.NaiveScoring {
 		best, _, _, err = DistributedSelectSeed(c, numSeeds, failure)
 	} else {
+		winsBySeed = make([]bitset.Mask, len(c.Machines))
+		fill := func(mid int, row []int64) {
+			w := bitset.New(numSeeds)
+			winsBySeed[mid] = w
+			uncolored := mid < n && col.Colors[mid] == d1lc.Uncolored
+			for s := range row {
+				f := failure(mid, uint64(s))
+				row[s] = f
+				if uncolored && f == 0 {
+					w.Set(s)
+				}
+			}
+		}
 		var res condexp.Result
-		res, _, err = DistributedSelectSeedRows(c, numSeeds, RowsFromScalar(failure))
+		res, _, err = DistributedSelectSeedRows(c, numSeeds, fill)
 		best = res.Seed
 	}
 	if err != nil {
 		return 0, 0, 0, err
 	}
 
-	// Commit round: winners color themselves and announce.
+	// Commit round: winners color themselves and announce. Winner-ness
+	// comes from the scoring pass's win mask on the row path (an
+	// uncolored, non-failing node's candidate is never Uncolored, since
+	// an empty draw counts as a failure).
 	won := make([]int32, n)
 	for v := range won {
 		won[v] = d1lc.Uncolored
@@ -141,7 +173,7 @@ func DerandomizedTRCRound(c *Cluster, in *d1lc.Instance, col *d1lc.Coloring, rem
 			return
 		}
 		v := int32(m.ID)
-		if failure(m.ID, best) != 0 || col.Colors[v] != d1lc.Uncolored {
+		if !wins(m.ID, best) {
 			return
 		}
 		cv := candidate(best, v, remaining[v])

@@ -23,9 +23,10 @@ import (
 // coefficients for KWise, the block tree for Nisan) and is therefore NOT
 // safe for concurrent use; give each worker its own Expander.
 type Expander struct {
-	p    PRG
-	buf  []uint64
-	poly hashfam.Poly
+	p     PRG
+	buf   []uint64
+	poly  hashfam.Poly
+	diffs []uint64 // PolyStepper difference table, reused across runs
 }
 
 // NewExpander prepares an allocation-free expander for p.
@@ -107,20 +108,14 @@ func (e *Expander) ExpandChunksInto(seed uint64, dst []uint64, chunks []int32, b
 	}
 }
 
-// setBit writes one expansion bit as a set-or-clear so no range zeroing is
-// needed before a sparse rewrite.
-func setBit(dst []uint64, i int, b uint64) {
-	mask := uint64(1) << uint(i&63)
-	if b == 1 {
-		dst[i>>6] |= mask
-	} else {
-		dst[i>>6] &^= mask
-	}
-}
-
 // expandKWiseChunks evaluates exactly the requested bit positions: KWise
 // bit i is the LSB of the seed polynomial at i+1, independent of every
-// other position.
+// other position. Each chunk is a contiguous run of points, so the
+// polynomial advances by finite differences (k−1 modular additions per
+// bit instead of Horner's multiplications), and bits accumulate into a
+// register word stored once per destination word — together ~2-3× less
+// arithmetic than per-bit Horner with per-bit stores, measured at n=3000
+// where expansion dominates the table fill.
 func (e *Expander) expandKWiseChunks(p *KWise, seed uint64, dst []uint64, chunks []int32, bitsPer int) {
 	raw := e.grow(p.k)
 	s := rng.New(rng.Hash2(0x5EED<<32|seed, uint64(p.k)))
@@ -129,10 +124,27 @@ func (e *Expander) expandKWiseChunks(p *KWise, seed uint64, dst []uint64, chunks
 	}
 	e.poly.SetCoef(raw)
 	for _, c := range chunks {
-		lo := int(c) * bitsPer
-		for i := lo; i < lo+bitsPer; i++ {
-			setBit(dst, i, e.poly.Eval(uint64(i)+1)&1)
+		lo, hi := int(c)*bitsPer, (int(c)+1)*bitsPer
+		st := e.poly.Stepper(uint64(lo)+1, e.diffs)
+		for i := lo; i < hi; {
+			wi := i >> 6
+			end := (wi + 1) << 6
+			if end > hi {
+				end = hi
+			}
+			w := dst[wi]
+			for ; i < end; i++ {
+				mask := uint64(1) << uint(i&63)
+				if st.Value()&1 == 1 {
+					w |= mask
+				} else {
+					w &^= mask
+				}
+				st.Advance()
+			}
+			dst[wi] = w
 		}
+		e.diffs = st.Diffs()
 	}
 }
 
@@ -168,18 +180,42 @@ func (e *Expander) expandNisanChunks(p *Nisan, seed uint64, dst []uint64, chunks
 		for blk := lo / p.w; blk*p.w < hi; blk++ {
 			x := block(blk)
 			base := blk * p.w
-			for j := 0; j < p.w; j++ {
+			// Clamp to the chunk's range, then write the block's bits with
+			// one read-modify-write per destination word.
+			j0, j1 := 0, p.w
+			if base+j0 < lo {
+				j0 = lo - base
+			}
+			if base+j1 > hi {
+				j1 = hi - base
+			}
+			for j := j0; j < j1; {
 				pos := base + j
-				if pos < lo || pos >= hi {
-					continue
+				wi := pos >> 6
+				end := j + (64 - pos&63)
+				if end > j1 {
+					end = j1
 				}
-				setBit(dst, pos, x>>uint(j)&1)
+				w := dst[wi]
+				for ; j < end; j++ {
+					pos = base + j
+					mask := uint64(1) << uint(pos&63)
+					if x>>uint(j)&1 == 1 {
+						w |= mask
+					} else {
+						w &^= mask
+					}
+				}
+				dst[wi] = w
 			}
 		}
 	}
 }
 
-// expandKWise mirrors KWise.Expand with reused coefficient storage.
+// expandKWise mirrors KWise.Expand with reused coefficient storage,
+// walking the whole output as one finite-difference run (KWise.Expand
+// itself stays per-bit Horner: it is the independent reference the
+// expander is differentially tested against).
 func (e *Expander) expandKWise(p *KWise, seed uint64, dst []uint64, nbits int) {
 	raw := e.grow(p.k)
 	s := rng.New(rng.Hash2(0x5EED<<32|seed, uint64(p.k)))
@@ -187,11 +223,14 @@ func (e *Expander) expandKWise(p *KWise, seed uint64, dst []uint64, nbits int) {
 		raw[i] = s.Uint64()
 	}
 	e.poly.SetCoef(raw)
+	st := e.poly.Stepper(1, e.diffs)
 	for i := 0; i < nbits; i++ {
-		if e.poly.Eval(uint64(i)+1)&1 == 1 {
+		if st.Value()&1 == 1 {
 			dst[i>>6] |= 1 << uint(i&63)
 		}
+		st.Advance()
 	}
+	e.diffs = st.Diffs()
 }
 
 // expandNisan mirrors Nisan.Expand, building the recursion tree in place:
