@@ -30,21 +30,35 @@ fmt:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# HOST_FINGERPRINT keys recorded bench baselines to the machine that
+# produced them: benchdiff gates hard only when the two streams' hosts
+# match, and downgrades regressions to warnings across hardware.
+# Lazily expanded (=) so the sub-shells run only for targets that use it.
+HOST_FINGERPRINT = $(shell $(GO) env GOOS)-$(shell $(GO) env GOARCH)-$(shell hostname)-$(shell nproc 2>/dev/null || echo ncpu)
+
 # bench regenerates the seed-selection benchmark suite (the contribution-
 # table engine vs its naive oracles in deframe, mis and lowdeg, plus the
-# synthetic condexp shape) as a machine-readable test2json stream, so the
-# perf trajectory is diffable across PRs.
+# synthetic condexp shape) as a machine-readable test2json stream — with
+# the recording host's fingerprint as the first line — so the perf
+# trajectory is diffable across PRs and baselines are keyed per machine.
 bench:
+	@echo '{"Host":"$(HOST_FINGERPRINT)"}' > BENCH_seed_selection.json
 	$(GO) test -run '^$$' -bench 'SeedSelection' -benchmem -count 1 -json \
 		./internal/condexp ./internal/deframe ./internal/mis ./internal/lowdeg \
-		> BENCH_seed_selection.json
-	@echo "wrote BENCH_seed_selection.json"
+		>> BENCH_seed_selection.json
+	@echo "wrote BENCH_seed_selection.json (host $(HOST_FINGERPRINT))"
 
-# bench-diff gates the mask-based engine path against the recorded flat
-# numbers (BENCH_seed_selection_flat.json, captured on the same machine
-# just before the bitset refactor): any table/* row more than 10% slower
-# than its recorded baseline fails the target. Regenerate the current
-# stream with `make bench` first.
+# bench-diff gates the mask-based engine path against a recorded baseline
+# stream: any table/* row more than 10% slower fails the target — when
+# the baseline carries this host's fingerprint. On a host mismatch the
+# comparison prints warnings and exits 0. The default baseline
+# (BENCH_seed_selection_flat.json, captured just before the bitset
+# refactor) predates host keying, so against it the gate is advisory
+# everywhere; to gate hard on your machine, record a stamped snapshot
+# once (`make bench && cp BENCH_seed_selection.json BENCH_baseline_$$(hostname).json`)
+# and pass it via BENCH_BASELINE. Regenerate the current stream with
+# `make bench` first.
+BENCH_BASELINE ?= BENCH_seed_selection_flat.json
 bench-diff:
-	$(GO) run ./cmd/benchdiff -old BENCH_seed_selection_flat.json \
+	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) \
 		-new BENCH_seed_selection.json -tol 0.10 -filter table/

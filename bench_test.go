@@ -7,6 +7,7 @@
 package parcolor_test
 
 import (
+	"context"
 	"testing"
 
 	"parcolor"
@@ -122,7 +123,7 @@ func BenchmarkSolveDeframe(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := deframe.Run(in, o); err != nil {
+				if _, _, err := deframe.Run(context.Background(), in, o); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -13,6 +13,13 @@
 // are printed for context but cannot fail the run, since the oracle is
 // the unoptimized reference. Exit status 1 on any gated regression
 // > tol, so `make bench-diff` wires straight into scripts and CI.
+//
+// Baselines are keyed by host fingerprint: `make bench` prepends a
+// {"Host": "..."} line to the stream, and benchdiff compares the two
+// streams' hosts before gating. When the hosts differ — or either stream
+// predates the host field — absolute ns/op comparisons across different
+// hardware are indicative only, so regressions are reported as warnings
+// and the exit status stays 0.
 package main
 
 import (
@@ -32,26 +39,36 @@ type event struct {
 	Package string
 	Test    string
 	Output  string
+	// Host is the recording machine's fingerprint, carried by the
+	// synthetic first line `make bench` writes. Absent on streams recorded
+	// before baselines were host-keyed.
+	Host string
 }
 
 var nsOp = regexp.MustCompile(`([0-9][0-9.]*) ns/op`)
 
 // parse reads a test2json stream and returns ns/op keyed by
-// "package benchmark". Output fragments of one benchmark arrive as
-// multiple events (the name line and the measurement line are separate),
-// so fragments are concatenated per key before matching.
-func parse(path string) (map[string]float64, error) {
+// "package benchmark", plus the stream's host fingerprint ("" when the
+// stream predates host keying). Output fragments of one benchmark arrive
+// as multiple events (the name line and the measurement line are
+// separate), so fragments are concatenated per key before matching.
+func parse(path string) (map[string]float64, string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer f.Close()
+	host := ""
 	frags := map[string]*strings.Builder{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		var e event
 		if json.Unmarshal(sc.Bytes(), &e) != nil {
+			continue
+		}
+		if e.Host != "" {
+			host = e.Host
 			continue
 		}
 		if e.Action != "output" || !strings.HasPrefix(e.Test, "Benchmark") {
@@ -66,7 +83,7 @@ func parse(path string) (map[string]float64, error) {
 		b.WriteString(e.Output)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	out := map[string]float64{}
 	for key, b := range frags {
@@ -80,7 +97,7 @@ func parse(path string) (map[string]float64, error) {
 		}
 		out[key] = v
 	}
-	return out, nil
+	return out, host, nil
 }
 
 func main() {
@@ -90,15 +107,35 @@ func main() {
 	filter := flag.String("filter", "table/", "substring selecting the rows that gate the exit status")
 	flag.Parse()
 
-	oldNs, err := parse(*oldPath)
+	oldNs, oldHost, err := parse(*oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	newNs, err := parse(*newPath)
+	newNs, newHost, err := parse(*newPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
+	}
+	// Baselines gate hard only on the hardware that recorded them.
+	sameHost := oldHost != "" && oldHost == newHost
+	if !sameHost {
+		describe := func(h string) string {
+			if h == "" {
+				return "(unrecorded)"
+			}
+			return h
+		}
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: WARNING — host mismatch: baseline %s vs current %s; "+
+				"cross-hardware ns/op is indicative only, regressions below are warnings, exit stays 0\n",
+			describe(oldHost), describe(newHost))
+		if oldHost == "" {
+			fmt.Fprintf(os.Stderr,
+				"benchdiff: the baseline predates host keying and can never gate hard; "+
+					"record a host-stamped baseline on this machine (`make bench` then snapshot the stream, "+
+					"e.g. `make bench-diff BENCH_BASELINE=<snapshot>`) to restore the hard gate\n")
+		}
 	}
 
 	var keys []string
@@ -124,8 +161,12 @@ func main() {
 		if gated {
 			gatedRows++
 			if delta > *tol {
-				status = "  REGRESSION"
-				failed = true
+				if sameHost {
+					status = "  REGRESSION"
+					failed = true
+				} else {
+					status = "  regression? (host mismatch)"
+				}
 			}
 		}
 		fmt.Printf("%-70s %14.0f %14.0f %+7.1f%%%s\n", k, o, n, delta*100, status)
@@ -141,5 +182,9 @@ func main() {
 			*filter, *tol*100, *oldPath)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: ok — no %q row regressed more than %.0f%%\n", *filter, *tol*100)
+	if sameHost {
+		fmt.Printf("benchdiff: ok — no %q row regressed more than %.0f%% (host %s)\n", *filter, *tol*100, oldHost)
+	} else {
+		fmt.Printf("benchdiff: ok (host mismatch — comparison indicative only)\n")
+	}
 }

@@ -6,16 +6,25 @@
 //	d1lc -graph mixed -n 1000 -alg deterministic
 //	d1lc -graph gnp-dense -n 400 -alg randomized -seed 7
 //	d1lc -graph regular -n 600 -alg lowdeg -print
+//	d1lc -graph mixed -n 3000 -workers 4 -timeout 2s -trace
 //
 // Algorithms: deterministic (Theorem 1), randomized (Lemma 4),
 // greedy (sequential baseline), lowdeg (conditional-expectations
 // iterative solver).
+//
+// The command drives the reusable Solver API: -workers scopes the worker
+// budget to this run, -timeout cancels the solve through its context (a
+// deadline exceeded exits with status 3), and -trace prints the per-phase
+// summary the engines emitted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"parcolor"
 	"parcolor/internal/graph"
@@ -35,6 +44,9 @@ func main() {
 		palette   = flag.String("palette", "trivial", "trivial|delta1|random")
 		extra     = flag.Int("extra", 2, "extra palette slack for -palette random")
 		printCols = flag.Bool("print", false, "print the coloring")
+		workers   = flag.Int("workers", 0, "worker goroutine bound for this solve (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "cancel the solve after this long (0 = no timeout)")
+		traceFlag = flag.Bool("trace", false, "print the per-phase trace summary")
 	)
 	flag.Parse()
 
@@ -65,41 +77,75 @@ func main() {
 		in = parcolor.TrivialPalettes(g)
 	}
 
-	opts := parcolor.Options{
-		Seed:         *seed,
-		SeedBits:     *seedBits,
-		UseNisan:     *nisan,
-		Bitwise:      *bitwise,
-		NaiveScoring: *naive,
-	}
+	var algorithm parcolor.Algorithm
 	switch *alg {
 	case "deterministic":
-		opts.Algorithm = parcolor.Deterministic
+		algorithm = parcolor.Deterministic
 	case "randomized":
-		opts.Algorithm = parcolor.Randomized
+		algorithm = parcolor.Randomized
 	case "greedy":
-		opts.Algorithm = parcolor.GreedySequential
+		algorithm = parcolor.GreedySequential
 	case "lowdeg":
-		opts.Algorithm = parcolor.LowDegreeDeterministic
+		algorithm = parcolor.LowDegreeDeterministic
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
 		os.Exit(2)
 	}
 
-	res, err := parcolor.Solve(in, opts)
+	opts := []parcolor.Option{
+		parcolor.WithAlgorithm(algorithm),
+		parcolor.WithSeed(*seed),
+		parcolor.WithSeedBits(*seedBits),
+		parcolor.WithNisan(*nisan),
+		parcolor.WithBitwise(*bitwise),
+		parcolor.WithNaiveScoring(*naive),
+		parcolor.WithWorkers(*workers),
+	}
+	var collector *parcolor.TraceCollector
+	if *traceFlag {
+		collector = parcolor.NewTraceCollector()
+		opts = append(opts, parcolor.WithTrace(collector))
+	}
+	solver, err := parcolor.NewSolver(opts...)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, err := solver.Solve(ctx, in)
+	elapsed := time.Since(start)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "timeout: solve cancelled after %s (%v)\n", elapsed.Round(time.Millisecond), err)
+			if collector != nil {
+				// The phases that did complete show where the budget went.
+				fmt.Fprint(os.Stderr, "trace (completed phases):\n"+collector.String())
+			}
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("graph=%s n=%d m=%d maxDeg=%d\n", *graphName, g.N(), g.M(), g.MaxDegree())
-	fmt.Printf("algorithm=%s rounds=%d distinctColors=%d deferralFrac=%.3f\n",
-		opts.Algorithm, res.Rounds, res.DistinctColors, res.DeferralFraction)
+	fmt.Printf("algorithm=%s rounds=%d distinctColors=%d deferralFrac=%.3f workers=%d elapsed=%s\n",
+		algorithm, res.Rounds, res.DistinctColors, res.DeferralFraction, *workers, elapsed.Round(time.Millisecond))
 	if res.Sparsify != nil {
 		fmt.Printf("sparsify: depth=%d partitions=%d baseInstances=%d movedToMid=%d lemma23ratio=%.3f\n",
 			res.Sparsify.Depth, res.Sparsify.Partitions, res.Sparsify.BaseInstances,
 			res.Sparsify.MovedToMid, res.Sparsify.MaxDegreeRatio)
 	}
 	fmt.Println("verified: proper list coloring")
+	if collector != nil {
+		fmt.Print("trace:\n" + collector.String())
+	}
 	if *printCols {
 		for v, c := range res.Coloring.Colors {
 			fmt.Printf("%d %d\n", v, c)

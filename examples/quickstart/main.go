@@ -1,12 +1,14 @@
-// Quickstart: color a random graph deterministically with the Theorem 1
-// pipeline and verify the result.
+// Quickstart: build one reusable Solver, color a random graph
+// deterministically with the Theorem 1 pipeline, and verify the result.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"parcolor"
 )
@@ -17,7 +19,19 @@ func main() {
 	g := parcolor.GenerateGraph("gnp-sparse", 1000, 7)
 	in := parcolor.TrivialPalettes(g)
 
-	res, err := parcolor.Solve(in, parcolor.Options{}) // deterministic by default
+	// A Solver validates its configuration once and is then reusable —
+	// and concurrency-safe — for any number of instances. The zero
+	// configuration is the deterministic Theorem 1 solver.
+	solver, err := parcolor.NewSolver()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Solve takes a context: cancel it (or let a timeout expire) and the
+	// solve aborts promptly inside its seed walks with ctx's error.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := solver.Solve(ctx, in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,8 +46,18 @@ func main() {
 	}
 	fmt.Println("verified: proper (degree+1)-list coloring")
 
-	// The same instance under the randomized Lemma 4 pipeline:
-	rnd, err := parcolor.Solve(in, parcolor.Options{Algorithm: parcolor.Randomized, Seed: 1})
+	// The same instance under the randomized Lemma 4 pipeline, on a
+	// second Solver with its own worker budget — the two budgets are
+	// independent even when solving concurrently.
+	randomized, err := parcolor.NewSolver(
+		parcolor.WithAlgorithm(parcolor.Randomized),
+		parcolor.WithSeed(1),
+		parcolor.WithWorkers(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rnd, err := randomized.Solve(ctx, in)
 	if err != nil {
 		log.Fatal(err)
 	}

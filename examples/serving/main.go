@@ -1,0 +1,73 @@
+// Serving: one long-lived Solver handling a stream of mixed-workload
+// instances concurrently — the shape of a coloring service's request
+// loop. A single Solver owns the worker budget and the warm scratch
+// pools; SolveBatch streams every request through them, a Trace collector
+// watches all phases across the whole stream, and a deadline bounds the
+// batch end-to-end.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"parcolor"
+)
+
+func main() {
+	// The "request stream": mixed workloads of varying size and palette
+	// regime, as a front end would hand them to the service.
+	type request struct {
+		name string
+		in   *parcolor.Instance
+	}
+	var reqs []request
+	for i, name := range []string{"mixed", "gnp-sparse", "cliques", "powerlaw", "regular", "gnp-dense"} {
+		g := parcolor.GenerateGraph(name, 250+50*i, uint64(i+1))
+		in := parcolor.TrivialPalettes(g)
+		if i%2 == 1 { // alternate palette regimes
+			in = parcolor.DeltaPlus1Palettes(g)
+		}
+		reqs = append(reqs, request{name: name, in: in})
+	}
+
+	// One Solver for the whole service: configuration validated once, a
+	// worker budget it owns, a shared Trace across every request, and
+	// scratch pools that stay warm from request to request.
+	collector := parcolor.NewTraceCollector()
+	solver, err := parcolor.NewSolver(
+		parcolor.WithWorkers(4),
+		parcolor.WithSeedBits(8),
+		parcolor.WithTrace(collector),
+		parcolor.WithBatchConcurrency(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ins := make([]*parcolor.Instance, len(reqs))
+	for i := range reqs {
+		ins[i] = reqs[i].in
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	start := time.Now()
+	results, err := solver.SolveBatch(ctx, ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served %d instances in %s on one Solver\n\n", len(results), time.Since(start).Round(time.Millisecond))
+
+	for i, res := range results {
+		g := reqs[i].in.G
+		fmt.Printf("%-12s n=%-5d colors=%-4d rounds=%d\n",
+			reqs[i].name, g.N(), res.DistinctColors, res.Rounds)
+	}
+
+	fmt.Println("\nper-phase trace across the whole stream:")
+	fmt.Print(collector.String())
+}

@@ -93,17 +93,30 @@ type ACD struct {
 	Params   *params.Params
 }
 
-// Compute builds the decomposition for an instance.
-func Compute(in *d1lc.Instance, opts Options) *ACD {
+// Compute builds the decomposition for an instance on the default
+// runner.
+func Compute(in *d1lc.Instance, opts Options) *ACD { return ComputePar(nil, in, opts) }
+
+// ComputePar is Compute with the parallel friend-edge pass — the
+// decomposition's dominant cost, quadratic in degree — scoped to r's
+// worker budget and cancellation. When r is cancelled mid-pass the
+// remaining nodes are skipped and the returned decomposition is
+// incomplete; callers that thread a cancellable runner must check
+// r.Err() before using the result (the solve drivers do, and discard
+// it).
+func ComputePar(r *par.Runner, in *d1lc.Instance, opts Options) *ACD {
 	opts = opts.withDefaults()
 	g := in.G
 	n := g.N()
-	pr := params.Compute(in)
+	pr := params.ComputePar(r, in)
 
 	// Friend-edge counts per node.
 	friendDeg := make([]int, n)
 	friendAdj := make([][]int32, n)
-	par.For(n, func(i int) {
+	r.For(n, func(i int) {
+		if r.Err() != nil {
+			return // cancelled: skip the quadratic work, result discarded
+		}
 		v := int32(i)
 		dv := g.Degree(v)
 		for _, u := range g.Neighbors(v) {

@@ -11,7 +11,7 @@
 // output, so masks and expanded randomness share one storage discipline.
 //
 // Invariant: bits at positions ≥ the mask's logical length are zero.
-// Every bulk constructor (Fill, FillPar, FromNeq32, FromBools, Arena.Grab)
+// Every bulk constructor (Fill, FillPar, FromNeq32, FromBools)
 // maintains it; Set/Clear/SetTo callers must stay within the length they
 // allocated. Count and ForEach rely on it.
 //
@@ -150,17 +150,19 @@ func (m Mask) Fill(n int, pred func(i int) bool) {
 // rebuild small masks once per evaluated seed.
 const parWordThreshold = 64
 
-// FillPar is Fill with word-aligned ranges distributed across workers:
-// each worker owns whole words, so no two goroutines share a
-// read-modify-write. The result is identical to Fill for any worker
-// count; small masks take the sequential path outright.
-func (m Mask) FillPar(n int, pred func(i int) bool) {
+// FillPar is Fill with word-aligned ranges distributed across r's
+// workers (nil = process default): each worker owns whole words, so no
+// two goroutines share a read-modify-write. The result is identical to
+// Fill for any worker count; small masks take the sequential path
+// outright. Callers inside a budget-scoped solve must pass the solve's
+// runner so the fan-out honors its bound.
+func (m Mask) FillPar(r *par.Runner, n int, pred func(i int) bool) {
 	w := Words(n)
 	if w < parWordThreshold {
 		fillRange(m, 0, w, n, pred)
 		return
 	}
-	par.ForChunkedWorker(w, func(_, wlo, whi int) {
+	r.ForChunkedWorker(w, func(_, wlo, whi int) {
 		fillRange(m, wlo, whi, n, pred)
 	})
 }
@@ -185,9 +187,9 @@ func fillRange(m Mask, wlo, whi, n int, pred func(i int) bool) {
 
 // FromNeq32 rewrites the first len(xs) bits of m as xs[i] != sentinel —
 // the colors-with-sentinel array to win-mask compaction, parallel over
-// word-aligned ranges (sequential below the small-mask threshold). m must
-// hold Words(len(xs)) words.
-func (m Mask) FromNeq32(xs []int32, sentinel int32) {
+// word-aligned ranges on r's workers (nil = process default; sequential
+// below the small-mask threshold). m must hold Words(len(xs)) words.
+func (m Mask) FromNeq32(r *par.Runner, xs []int32, sentinel int32) {
 	n := len(xs)
 	fill := func(wlo, whi int) {
 		for wi := wlo; wi < whi; wi++ {
@@ -210,7 +212,7 @@ func (m Mask) FromNeq32(xs []int32, sentinel int32) {
 		fill(0, w)
 		return
 	}
-	par.ForChunkedWorker(w, func(_, wlo, whi int) { fill(wlo, whi) })
+	r.ForChunkedWorker(w, func(_, wlo, whi int) { fill(wlo, whi) })
 }
 
 // FromBools rewrites the first len(bs) bits of m as bs[i] — the bridge
@@ -238,36 +240,3 @@ func (m Mask) Gather(n int, bit func(i int) uint64) {
 		m[wi] = w
 	}
 }
-
-// Arena carves multiple masks out of one contiguous backing buffer: the
-// pooled per-worker scratch pattern. All of a worker's per-seed masks
-// live adjacently (one cache-friendly block), and a Reset re-carves the
-// same storage for the next participant layout without reallocating.
-//
-// Grab panics if the reserved capacity is exceeded — carved masks alias
-// the backing array, so growing it would silently detach them.
-type Arena struct {
-	buf []uint64
-	off int
-}
-
-// NewArena reserves capacity for words 64-bit words.
-func NewArena(words int) *Arena {
-	return &Arena{buf: make([]uint64, words)}
-}
-
-// Grab returns a zeroed mask of n bits carved from the arena.
-func (a *Arena) Grab(n int) Mask {
-	w := Words(n)
-	if a.off+w > len(a.buf) {
-		panic("bitset: arena capacity exceeded")
-	}
-	m := Mask(a.buf[a.off : a.off+w : a.off+w])
-	a.off += w
-	m.Reset()
-	return m
-}
-
-// Reset releases every carved mask so the storage can be re-carved.
-// Previously grabbed masks must no longer be used.
-func (a *Arena) Reset() { a.off = 0 }

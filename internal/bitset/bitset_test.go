@@ -169,7 +169,7 @@ func TestFillParWorkerInvariance(t *testing.T) {
 			for i := range got {
 				got[i] = ^uint64(0)
 			}
-			got.FillPar(n, pred)
+			got.FillPar(nil, n, pred)
 			for i := range want {
 				if got[i] != want[i] {
 					t.Fatalf("workers=%d n=%d: FillPar word %d = %x, want %x", workers, n, i, got[i], want[i])
@@ -186,7 +186,7 @@ func TestFillParWorkerInvariance(t *testing.T) {
 					xs[i] = -1
 				}
 			}
-			got.FromNeq32(xs, -1)
+			got.FromNeq32(nil, xs, -1)
 			for i := range want {
 				if got[i] != want[i] {
 					t.Fatalf("workers=%d n=%d: FromNeq32 word %d mismatch", workers, n, i)
@@ -202,34 +202,6 @@ func TestFillParWorkerInvariance(t *testing.T) {
 		}
 		par.SetMaxWorkers(prev)
 	}
-}
-
-func TestArenaCarveAndReset(t *testing.T) {
-	a := NewArena(Words(130) + Words(65) + Words(1))
-	m1, m2, m3 := a.Grab(130), a.Grab(65), a.Grab(1)
-	for _, m := range []Mask{m1, m2, m3} {
-		if m.Count() != 0 {
-			t.Fatal("Grab must return a zeroed mask")
-		}
-	}
-	m1.Set(129)
-	m2.Set(64)
-	m3.Set(0)
-	// Carved masks must not alias each other.
-	if m1.CountRange(0, 129) != 0 || m2.CountRange(0, 64) != 0 {
-		t.Fatal("arena masks alias")
-	}
-	a.Reset()
-	n1 := a.Grab(130)
-	if n1.Count() != 0 {
-		t.Fatal("re-carved mask must be zeroed")
-	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("over-capacity Grab must panic")
-		}
-	}()
-	a.Grab(64 * 64 * 100)
 }
 
 func TestGrowPreservesCapacityContract(t *testing.T) {

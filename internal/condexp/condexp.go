@@ -90,15 +90,17 @@ func (r Result) MeanUpper() int64 {
 	return (r.SumScores + int64(r.NumSeeds) - 1) / int64(r.NumSeeds)
 }
 
-// SelectSeed enumerates seeds [0, numSeeds) in parallel and returns the
-// minimum-score seed (smallest seed on ties, independent of parallelism).
-func SelectSeed(numSeeds int, score Scorer) Result {
+// SelectSeed enumerates seeds [0, numSeeds) in parallel on r's workers and
+// returns the minimum-score seed (smallest seed on ties, independent of
+// parallelism). r may be nil (process-default parallelism, no
+// cancellation).
+func SelectSeed(r *par.Runner, numSeeds int, score Scorer) Result {
 	if numSeeds <= 0 {
 		panic("condexp: empty seed space")
 	}
 	scores := make([]int64, numSeeds)
-	par.For(numSeeds, func(i int) { scores[i] = score(uint64(i)) })
-	min, arg := par.ReduceMin(numSeeds, func(i int) int64 { return scores[i] })
+	r.For(numSeeds, func(i int) { scores[i] = score(uint64(i)) })
+	min, arg := r.ReduceMin(numSeeds, func(i int) int64 { return scores[i] })
 	var sum int64
 	for _, s := range scores {
 		sum += s
@@ -118,7 +120,9 @@ func SelectSeed(numSeeds int, score Scorer) Result {
 // implementation mirrors round by round. At the last level each branch has
 // a single completion, so the chosen branch's sum already is the selected
 // seed's score — no final re-evaluation is needed.
-func SelectSeedBitwise(seedBits int, score Scorer) Result {
+//
+// r may be nil (process-default parallelism, no cancellation).
+func SelectSeedBitwise(r *par.Runner, seedBits int, score Scorer) Result {
 	if seedBits <= 0 || seedBits > 30 {
 		panic("condexp: seedBits out of range")
 	}
@@ -131,7 +135,7 @@ func SelectSeedBitwise(seedBits int, score Scorer) Result {
 		n := 1 << rem
 		branch := func(b uint64) int64 {
 			base := prefix | b<<uint(level)
-			return par.ReduceInt(n, func(i int) int64 {
+			return r.ReduceInt(n, func(i int) int64 {
 				return score(base | uint64(i)<<uint(level+1))
 			})
 		}

@@ -9,7 +9,7 @@ import (
 
 func TestSelectSeedFindsMinimum(t *testing.T) {
 	scores := []int64{9, 4, 7, 4, 12, 1, 3, 1}
-	r := SelectSeed(len(scores), func(s uint64) int64 { return scores[s] })
+	r := SelectSeed(nil, len(scores), func(s uint64) int64 { return scores[s] })
 	if r.Seed != 5 || r.Score != 1 {
 		t.Fatalf("got seed=%d score=%d", r.Seed, r.Score)
 	}
@@ -22,7 +22,7 @@ func TestSelectSeedFindsMinimum(t *testing.T) {
 }
 
 func TestSelectSeedTieBreaksLow(t *testing.T) {
-	r := SelectSeed(16, func(s uint64) int64 { return int64(s % 4) })
+	r := SelectSeed(nil, 16, func(s uint64) int64 { return int64(s % 4) })
 	if r.Seed != 0 {
 		t.Fatalf("tie not broken to smallest seed: %d", r.Seed)
 	}
@@ -41,12 +41,12 @@ func TestBitwiseMeetsGuaranteeProperty(t *testing.T) {
 			scores[i] = v + int64(rng.Hash2(uint64(saltRaw), uint64(i))%32)
 		}
 		score := func(s uint64) int64 { return scores[s] }
-		r := SelectSeedBitwise(d, score)
+		r := SelectSeedBitwise(nil, d, score)
 		if !r.Guarantee() {
 			return false
 		}
 		// Bitwise result can't beat the true minimum.
-		full := SelectSeed(n, score)
+		full := SelectSeed(nil, n, score)
 		return r.Score >= full.Score
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
@@ -56,7 +56,7 @@ func TestBitwiseMeetsGuaranteeProperty(t *testing.T) {
 
 func TestBitwiseFindsExactMinOnUnimodal(t *testing.T) {
 	// Score = number of 1-bits: bitwise should find seed 0 exactly.
-	r := SelectSeedBitwise(8, func(s uint64) int64 {
+	r := SelectSeedBitwise(nil, 8, func(s uint64) int64 {
 		c := int64(0)
 		for x := s; x != 0; x >>= 1 {
 			c += int64(x & 1)
@@ -71,8 +71,8 @@ func TestBitwiseFindsExactMinOnUnimodal(t *testing.T) {
 func TestBitwiseSumMatchesFullEnumeration(t *testing.T) {
 	const d = 5
 	score := func(s uint64) int64 { return int64((s*7 + 3) % 13) }
-	full := SelectSeed(1<<d, score)
-	bw := SelectSeedBitwise(d, score)
+	full := SelectSeed(nil, 1<<d, score)
+	bw := SelectSeedBitwise(nil, d, score)
 	if bw.SumScores != full.SumScores {
 		t.Fatalf("sums differ: %d vs %d", bw.SumScores, full.SumScores)
 	}
@@ -82,7 +82,7 @@ func TestBitwiseSumMatchesFullEnumeration(t *testing.T) {
 }
 
 func TestSelectSeedSingleton(t *testing.T) {
-	r := SelectSeed(1, func(uint64) int64 { return 42 })
+	r := SelectSeed(nil, 1, func(uint64) int64 { return 42 })
 	if r.Seed != 0 || r.Score != 42 || !r.Guarantee() {
 		t.Fatalf("%+v", r)
 	}
@@ -108,12 +108,12 @@ func TestPanicsOnEmptySpace(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	SelectSeed(0, func(uint64) int64 { return 0 })
+	SelectSeed(nil, 0, func(uint64) int64 { return 0 })
 }
 
 func BenchmarkSelectSeed4096(b *testing.B) {
 	score := func(s uint64) int64 { return int64(rng.Hash2(1, s) % 1000) }
 	for i := 0; i < b.N; i++ {
-		_ = SelectSeed(4096, score)
+		_ = SelectSeed(nil, 4096, score)
 	}
 }

@@ -101,41 +101,102 @@ type ChunkFiller func(seed uint64, row []int64)
 
 // ContribTable is the materialized [NumChunks × NumSeeds] score table plus
 // the converge-cast totals. Contrib[c*NumSeeds+s] is chunk c's contribution
-// to seed s's objective; Totals[s] is the full objective of seed s.
+// to seed s's objective; Totals[s] is the full objective of seed s. The
+// table remembers the Runner that built it, so selection aggregates on the
+// same worker budget as the fill.
 type ContribTable struct {
 	NumSeeds  int
 	NumChunks int
 	Contrib   []int64
 	Totals    []int64
+
+	run *par.Runner
 }
 
-// BuildTable evaluates every (chunk, seed) contribution in a single
-// parallel pass over the seed space — each worker walks a contiguous seed
-// range, calling fill once per seed — then aggregates per-seed totals by a
-// parallel converge-cast over the chunk rows.
-func BuildTable(numSeeds, numChunks int, fill ChunkFiller) *ContribTable {
+// TableCache recycles ContribTable storage across builds — and, held by a
+// long-lived Solver, across whole solves: the [seeds × chunks] contribution
+// grid plus the totals vector are the largest per-selection allocations,
+// and their shape recurs step after step. A nil *TableCache is valid and
+// means "allocate fresh per build".
+type TableCache struct {
+	pool sync.Pool
+}
+
+// NewTableCache returns an empty cache.
+func NewTableCache() *TableCache { return &TableCache{} }
+
+// get returns a table with at least the requested shape, reusing pooled
+// storage when available.
+func (tc *TableCache) get(numSeeds, numChunks int) *ContribTable {
+	var t *ContribTable
+	if tc != nil {
+		t, _ = tc.pool.Get().(*ContribTable)
+	}
+	if t == nil {
+		t = &ContribTable{}
+	}
+	t.NumSeeds, t.NumChunks = numSeeds, numChunks
+	cells := numSeeds * numChunks
+	if cap(t.Contrib) < cells {
+		t.Contrib = make([]int64, cells)
+	} else {
+		// No zeroing: Build assigns every (chunk, seed) cell — each fill
+		// writes its full row and the worker partition covers all seeds —
+		// and a cancelled build's table is released without being read.
+		t.Contrib = t.Contrib[:cells]
+	}
+	return t
+}
+
+// Release returns a table to the cache for a later Build. Safe on a nil
+// cache or nil table; the caller must not use t afterwards.
+func (tc *TableCache) Release(t *ContribTable) {
+	if tc == nil || t == nil {
+		return
+	}
+	t.run = nil
+	tc.pool.Put(t)
+}
+
+// Build evaluates every (chunk, seed) contribution in a single parallel
+// pass over the seed space on r's workers — each worker walks a contiguous
+// seed range, calling fill once per seed — then aggregates per-seed totals
+// by a parallel converge-cast over the chunk rows. Workers poll the
+// runner's cancellation between seeds; on cancellation Build stops filling
+// promptly and returns the context's error with no table.
+func (tc *TableCache) Build(r *par.Runner, numSeeds, numChunks int, fill ChunkFiller) (*ContribTable, error) {
 	if numSeeds <= 0 {
 		panic("condexp: empty seed space")
 	}
 	if numChunks <= 0 {
 		panic("condexp: table needs at least one chunk")
 	}
-	t := &ContribTable{
-		NumSeeds:  numSeeds,
-		NumChunks: numChunks,
-		Contrib:   make([]int64, numSeeds*numChunks),
-	}
-	par.ForChunkedWorker(numSeeds, func(_, lo, hi int) {
+	t := tc.get(numSeeds, numChunks)
+	t.run = r
+	r.ForChunkedWorker(numSeeds, func(_, lo, hi int) {
 		row := make([]int64, numChunks)
 		for s := lo; s < hi; s++ {
+			if r.Err() != nil {
+				return
+			}
 			fill(uint64(s), row)
 			for c, v := range row {
 				t.Contrib[c*numSeeds+s] = v
 			}
 		}
 	})
+	if err := r.Err(); err != nil {
+		tc.Release(t)
+		return nil, err
+	}
 	t.convergeCast()
-	return t
+	return t, nil
+}
+
+// BuildTable is TableCache.Build without a cache: every build allocates
+// fresh storage.
+func BuildTable(r *par.Runner, numSeeds, numChunks int, fill ChunkFiller) (*ContribTable, error) {
+	return (*TableCache)(nil).Build(r, numSeeds, numChunks, fill)
 }
 
 // convergeCast computes Totals[s] = Σ_c Contrib[c·NumSeeds+s] the way the
@@ -144,10 +205,17 @@ func BuildTable(numSeeds, numChunks int, fill ChunkFiller) *ContribTable {
 // partial vectors combine in chunk order at the root. Integer addition
 // makes the result independent of worker count.
 func (t *ContribTable) convergeCast() {
-	t.Totals = make([]int64, t.NumSeeds)
-	w := par.Workers(t.NumChunks)
+	if cap(t.Totals) < t.NumSeeds {
+		t.Totals = make([]int64, t.NumSeeds)
+	} else {
+		t.Totals = t.Totals[:t.NumSeeds]
+		for i := range t.Totals {
+			t.Totals[i] = 0
+		}
+	}
+	w := t.run.Workers(t.NumChunks)
 	partial := make([][]int64, w)
-	par.ForChunkedWorker(t.NumChunks, func(wk, lo, hi int) {
+	t.run.ForChunkedWorker(t.NumChunks, func(wk, lo, hi int) {
 		acc := make([]int64, t.NumSeeds)
 		for c := lo; c < hi; c++ {
 			row := t.Contrib[c*t.NumSeeds : (c+1)*t.NumSeeds]
@@ -171,7 +239,7 @@ func (t *ContribTable) convergeCast() {
 // same Result the naive SelectSeed computes, by pure table aggregation.
 // Evals counts the table build's fill calls — one per seed.
 func (t *ContribTable) SelectSeed() Result {
-	min, arg := par.ReduceMin(t.NumSeeds, func(i int) int64 { return t.Totals[i] })
+	min, arg := t.run.ReduceMin(t.NumSeeds, func(i int) int64 { return t.Totals[i] })
 	var sum int64
 	for _, s := range t.Totals {
 		sum += s
@@ -197,7 +265,7 @@ func (t *ContribTable) SelectSeedBitwise(seedBits int) Result {
 		n := 1 << rem
 		branch := func(b uint64) int64 {
 			base := prefix | b<<uint(level)
-			return par.ReduceChunked(n, func(lo, hi int) int64 {
+			return t.run.ReduceChunked(n, func(lo, hi int) int64 {
 				var acc int64
 				for i := lo; i < hi; i++ {
 					acc += t.Totals[base|uint64(i)<<uint(level+1)]

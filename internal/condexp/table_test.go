@@ -34,14 +34,24 @@ func sameSelection(a, b Result) bool {
 		a.SumScores == b.SumScores && a.NumSeeds == b.NumSeeds
 }
 
+// buildTable is the tests' shorthand for an uncancellable default-runner
+// build; the error path only fires on cancellation, tested separately.
+func buildTable(numSeeds, numChunks int, fill ChunkFiller) *ContribTable {
+	tbl, err := BuildTable(nil, numSeeds, numChunks, fill)
+	if err != nil {
+		panic(err)
+	}
+	return tbl
+}
+
 func TestTableSelectSeedMatchesNaive(t *testing.T) {
 	for salt := uint64(0); salt < 40; salt++ {
 		d := 1 + int(salt%8)
 		numChunks := 1 + int(salt%7)
 		numSeeds := 1 << d
 		fill, score := randomObjective(salt, numChunks)
-		tbl := BuildTable(numSeeds, numChunks, fill)
-		naive := SelectSeed(numSeeds, score)
+		tbl := buildTable(numSeeds, numChunks, fill)
+		naive := SelectSeed(nil, numSeeds, score)
 		got := tbl.SelectSeed()
 		if !sameSelection(naive, got) {
 			t.Fatalf("salt=%d: flat selection differs:\nnaive %+v\ntable %+v", salt, naive, got)
@@ -58,8 +68,8 @@ func TestTableSelectSeedBitwiseMatchesNaive(t *testing.T) {
 		numChunks := 1 + int((salt*3)%6)
 		numSeeds := 1 << d
 		fill, score := randomObjective(salt^0xB17, numChunks)
-		tbl := BuildTable(numSeeds, numChunks, fill)
-		naive := SelectSeedBitwise(d, score)
+		tbl := buildTable(numSeeds, numChunks, fill)
+		naive := SelectSeedBitwise(nil, d, score)
 		got := tbl.SelectSeedBitwise(d)
 		if !sameSelection(naive, got) {
 			t.Fatalf("salt=%d d=%d: bitwise selection differs:\nnaive %+v\ntable %+v", salt, d, naive, got)
@@ -76,12 +86,12 @@ func TestTableBitwiseEvalBudget(t *testing.T) {
 	for _, d := range []int{2, 4, 6, 8, 10} {
 		numSeeds := 1 << d
 		fill, score := randomObjective(uint64(d)*31, 3)
-		tbl := BuildTable(numSeeds, 3, fill)
+		tbl := buildTable(numSeeds, 3, fill)
 		got := tbl.SelectSeedBitwise(d)
 		if got.Evals > numSeeds+d {
 			t.Fatalf("d=%d: table path reports %d evals, budget %d", d, got.Evals, numSeeds+d)
 		}
-		naive := SelectSeedBitwise(d, score)
+		naive := SelectSeedBitwise(nil, d, score)
 		if want := 2*numSeeds - 2; naive.Evals != want {
 			t.Fatalf("d=%d: naive bitwise evals %d, want %d", d, naive.Evals, want)
 		}
@@ -94,7 +104,7 @@ func TestTableBitwiseEvalBudget(t *testing.T) {
 func TestTableTotalsAreConvergeCastOfContrib(t *testing.T) {
 	const numSeeds, numChunks = 32, 5
 	fill, _ := randomObjective(99, numChunks)
-	tbl := BuildTable(numSeeds, numChunks, fill)
+	tbl := buildTable(numSeeds, numChunks, fill)
 	for s := 0; s < numSeeds; s++ {
 		var want int64
 		for c := 0; c < numChunks; c++ {
@@ -109,13 +119,14 @@ func TestTableTotalsAreConvergeCastOfContrib(t *testing.T) {
 func TestTableDeterministicAcrossWorkerCounts(t *testing.T) {
 	const d, numChunks = 6, 4
 	fill, _ := randomObjective(7, numChunks)
-	ref := BuildTable(1<<d, numChunks, fill)
+	ref := buildTable(1<<d, numChunks, fill)
 	refFlat, refBw := ref.SelectSeed(), ref.SelectSeedBitwise(d)
 	for _, w := range []int{1, 2, 3, 8} {
-		prev := par.SetMaxWorkers(w)
-		tbl := BuildTable(1<<d, numChunks, fill)
+		tbl, err := BuildTable(par.NewRunner(w), 1<<d, numChunks, fill)
+		if err != nil {
+			t.Fatal(err)
+		}
 		flat, bw := tbl.SelectSeed(), tbl.SelectSeedBitwise(d)
-		par.SetMaxWorkers(prev)
 		for i, v := range tbl.Contrib {
 			if v != ref.Contrib[i] {
 				t.Fatalf("workers=%d: table entry %d differs", w, i)
@@ -167,8 +178,8 @@ func TestScoreChunksSelectionInvariant(t *testing.T) {
 	for _, parts := range []int{1, 40, 333} {
 		k := ScoreChunks(parts)
 		fill, score := randomObjective(uint64(parts), k)
-		tbl := BuildTable(numSeeds, k, fill)
-		naive := SelectSeed(numSeeds, score)
+		tbl := buildTable(numSeeds, k, fill)
+		naive := SelectSeed(nil, numSeeds, score)
 		if got := tbl.SelectSeed(); !sameSelection(naive, got) {
 			t.Fatalf("parts=%d k=%d: selection differs", parts, k)
 		}
@@ -206,11 +217,11 @@ func TestBuildTablePanicsOnEmptySpace(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	BuildTable(0, 1, func(uint64, []int64) {})
+	buildTable(0, 1, func(uint64, []int64) {})
 }
 
 func TestTableBitwisePanicsOnMismatchedBits(t *testing.T) {
-	tbl := BuildTable(8, 1, func(s uint64, row []int64) { row[0] = int64(s) })
+	tbl := buildTable(8, 1, func(s uint64, row []int64) { row[0] = int64(s) })
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -230,25 +241,25 @@ func BenchmarkSeedSelection(b *testing.B) {
 	b.Run("naive/flat", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = SelectSeed(numSeeds, score)
+			_ = SelectSeed(nil, numSeeds, score)
 		}
 	})
 	b.Run("naive/bitwise", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = SelectSeedBitwise(d, score)
+			_ = SelectSeedBitwise(nil, d, score)
 		}
 	})
 	b.Run("table/flat", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = BuildTable(numSeeds, numChunks, fill).SelectSeed()
+			_ = buildTable(numSeeds, numChunks, fill).SelectSeed()
 		}
 	})
 	b.Run("table/bitwise", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = BuildTable(numSeeds, numChunks, fill).SelectSeedBitwise(d)
+			_ = buildTable(numSeeds, numChunks, fill).SelectSeedBitwise(d)
 		}
 	})
 }

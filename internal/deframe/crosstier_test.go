@@ -56,7 +56,10 @@ func TestSeedSelectionMatchesClusterProtocol(t *testing.T) {
 	}
 
 	// Shared-memory path.
-	rep := DerandomizeStep(hknt.NewState(in), &step, chunkOf, numChunks, o)
+	rep, err := DerandomizeStep(hknt.NewState(in), &step, chunkOf, numChunks, o)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Distributed path: machine v hosts node v.
 	c, err := mpc.NewCluster(mpc.Config{Machines: g.N(), LocalSpace: 4096, Strict: true})

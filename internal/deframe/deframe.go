@@ -37,6 +37,7 @@
 package deframe
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -45,7 +46,9 @@ import (
 	"parcolor/internal/graph"
 	"parcolor/internal/hknt"
 	"parcolor/internal/linial"
+	"parcolor/internal/par"
 	"parcolor/internal/prg"
+	"parcolor/internal/trace"
 )
 
 // PRGKind selects the generator family used for chunk expansion.
@@ -96,6 +99,23 @@ type Options struct {
 	GreedyThreshold int
 	// Tunables configures the underlying HKNT pipeline.
 	Tunables hknt.Tunables
+	// Par scopes every parallel loop (trial proposes, table fills,
+	// converge-casts) to an explicit worker budget. nil means the process
+	// default. Run derives a context-carrying copy from its ctx argument,
+	// so cancellation reaches the seed walks through the same handle.
+	Par *par.Runner
+	// Trace observes phase enter/exit events (one phase per derandomized
+	// step, plus the greedy base case). nil disables tracing.
+	Trace trace.Tracer
+	// Cache pools contribution tables and per-worker seed-evaluation
+	// scratch across steps and runs. nil means per-step pooling only.
+	Cache *Cache
+	// MemoGraph, when non-nil, marks the caller's reusable root graph:
+	// chunk assignments are memoized in the Cache only for this graph, so
+	// repeated solves of the same instance skip the power-graph
+	// construction while per-solve throwaway graphs (sparsify bins,
+	// recursion residuals) never churn or pin the memo.
+	MemoGraph *graph.Graph
 }
 
 func (o Options) withDefaults(delta int) Options {
@@ -206,21 +226,27 @@ func buildPRG(o Options, numChunks, bitsPer int) prg.PRG {
 // monolithic per-seed path is used for custom Score objectives or when
 // Options.NaiveScoring forces it. Both are bit-identical in everything but
 // cost, which Evals reports.
-func DerandomizeStep(st *hknt.State, step *hknt.Step, chunkOf []int32, numChunks int, o Options) StepReport {
+func DerandomizeStep(st *hknt.State, step *hknt.Step, chunkOf []int32, numChunks int, o Options) (StepReport, error) {
 	parts := step.Participants(st)
 	rep := StepReport{Name: step.Name, Participants: len(parts), SeedSpace: 1 << o.SeedBits, Chunks: numChunks}
 	if len(parts) == 0 {
-		return rep
+		return rep, nil
 	}
+	sp := trace.Begin(o.Trace, "deframe", step.Name, st.Meter.Rounds, len(parts))
 	gen := buildPRG(o, numChunks, step.Bits)
 	rep.PRGName = gen.Name()
 	var res condexp.Result
 	var prop hknt.Proposal
+	var err error
 	if o.NaiveScoring || !step.Decomposable() {
-		res, prop = derandomizeStepNaive(st, step, parts, gen, chunkOf, numChunks, o)
+		res, prop, err = derandomizeStepNaive(st, step, parts, gen, chunkOf, numChunks, o)
 	} else {
-		eng := newStepEngine(st, step, parts, gen, chunkOf, numChunks)
-		res, prop = eng.selectSeedTable(o)
+		eng := newStepEngine(st, step, parts, gen, chunkOf, numChunks, o.Cache)
+		res, prop, err = eng.selectSeedTable(o)
+	}
+	if err != nil {
+		sp.End(0, 0, 0)
+		return rep, err
 	}
 	rep.SeedChosen = res.Seed
 	rep.Score = res.Score
@@ -235,14 +261,20 @@ func DerandomizeStep(st *hknt.State, step *hknt.Step, chunkOf []int32, numChunks
 			rep.Deferred++
 		}
 	}
-	return rep
+	sp.End(rep.Evals, rep.Colored, rep.Deferred)
+	return rep, nil
 }
 
 // derandomizeStepNaive is the monolithic scorer: one full proposal plus
 // full-graph score per evaluated seed, and a final re-proposal of the
-// winner. It is the oracle the engine is differentially tested against.
-func derandomizeStepNaive(st *hknt.State, step *hknt.Step, parts []int32, gen prg.PRG, chunkOf []int32, numChunks int, o Options) (condexp.Result, hknt.Proposal) {
+// winner. It is the oracle the engine is differentially tested against. A
+// cancelled runner short-circuits the remaining evaluations (their scores
+// are discarded with the selection) and surfaces the context error.
+func derandomizeStepNaive(st *hknt.State, step *hknt.Step, parts []int32, gen prg.PRG, chunkOf []int32, numChunks int, o Options) (condexp.Result, hknt.Proposal, error) {
 	scorer := func(seed uint64) int64 {
+		if o.Par.Err() != nil {
+			return 0 // discarded: the selection below returns the ctx error
+		}
 		src, err := prg.NewChunkedSource(gen, seed, chunkOf, numChunks, step.Bits)
 		if err != nil {
 			// Generator too short is a construction bug; make it loud.
@@ -253,12 +285,15 @@ func derandomizeStepNaive(st *hknt.State, step *hknt.Step, parts []int32, gen pr
 	}
 	var res condexp.Result
 	if o.Bitwise {
-		res = condexp.SelectSeedBitwise(o.SeedBits, scorer)
+		res = condexp.SelectSeedBitwise(o.Par, o.SeedBits, scorer)
 	} else {
-		res = condexp.SelectSeed(1<<o.SeedBits, scorer)
+		res = condexp.SelectSeed(o.Par, 1<<o.SeedBits, scorer)
+	}
+	if err := o.Par.Err(); err != nil {
+		return condexp.Result{}, hknt.Proposal{}, err
 	}
 	src, _ := prg.NewChunkedSource(gen, res.Seed, chunkOf, numChunks, step.Bits)
-	return res, step.Propose(st, parts, src, nil)
+	return res, step.Propose(st, parts, src, nil), nil
 }
 
 // Run executes Theorem 12 for a D1LC instance: build the HKNT schedule,
@@ -267,36 +302,59 @@ func derandomizeStepNaive(st *hknt.State, step *hknt.Step, parts []int32, gen pr
 // through self-reduction, and finish greedily once the residue is small or
 // the depth budget is exhausted. The returned coloring is complete and
 // proper for every valid instance.
-func Run(in *d1lc.Instance, o Options) (*d1lc.Coloring, *Report, error) {
+//
+// ctx cancels the run between steps and inside every seed walk; on
+// cancellation Run returns ctx's error and no coloring, leaving no
+// partially-applied shared state (each run owns its State). Parallelism is
+// scoped by o.Par (nil = process default).
+func Run(ctx context.Context, in *d1lc.Instance, o Options) (*d1lc.Coloring, *Report, error) {
 	o = o.withDefaults(in.G.MaxDegree())
+	o.Par = o.Par.WithContext(ctx)
 	return run(in, o, o.MaxDepth)
 }
 
 func run(in *d1lc.Instance, o Options, depth int) (*d1lc.Coloring, *Report, error) {
 	rep := &Report{Depth: depth}
-	st := hknt.NewState(in)
+	st := o.Cache.getState(in)
+	defer o.Cache.putState(st) // runs after the returned st.Col is captured
+	st.Par = o.Par
 	n := in.G.N()
 	if n == 0 {
 		return st.Col, rep, nil
 	}
+	if err := o.Par.Err(); err != nil {
+		return nil, rep, err
+	}
 	if n <= o.GreedyThreshold || depth <= 0 {
 		// Base case: the residue fits on one machine (Theorem 12's final
 		// greedy step).
+		sp := trace.Begin(o.Trace, "deframe", "greedy-residue", st.Meter.Rounds, n)
 		if err := hknt.FinishGreedy(st); err != nil {
+			sp.End(0, 0, 0)
 			return nil, rep, err
 		}
 		rep.GreedyResidue = n
 		st.Meter.Tick(1)
 		rep.LocalRounds = st.Meter.Rounds
+		sp.End(0, n, 0)
 		return st.Col, rep, nil
 	}
 
 	build := hknt.BuildColorMiddle(st, o.Tunables)
-	chunkOf, numChunks, mode := chunkAssignment(in.G, o.ChunkRadius, o.MaxChunkGraphEdges)
+	if err := o.Par.Err(); err != nil {
+		return nil, rep, err // cancelled mid-build: the schedule is empty
+	}
+	chunkOf, numChunks, mode := o.Cache.getChunks(in.G, o.ChunkRadius, o.MaxChunkGraphEdges, in.G == o.MemoGraph)
 	rep.ChunkMode = mode
 	for i := range build.Schedule.Steps {
+		if err := o.Par.Err(); err != nil {
+			return nil, rep, err
+		}
 		step := &build.Schedule.Steps[i]
-		sr := DerandomizeStep(st, step, chunkOf, numChunks, o)
+		sr, err := DerandomizeStep(st, step, chunkOf, numChunks, o)
+		if err != nil {
+			return nil, rep, err
+		}
 		st.Meter.Tick(step.Tau)
 		rep.Steps = append(rep.Steps, sr)
 	}

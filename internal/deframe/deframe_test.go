@@ -1,6 +1,7 @@
 package deframe
 
 import (
+	"context"
 	"testing"
 
 	"parcolor/internal/d1lc"
@@ -27,7 +28,7 @@ func TestRunProperOnSuite(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			col, rep, err := Run(tc.in, smallOpts())
+			col, rep, err := Run(context.Background(), tc.in, smallOpts())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -43,11 +44,11 @@ func TestRunProperOnSuite(t *testing.T) {
 
 func TestRunFullyDeterministic(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Mixed(160, 7))
-	a, repA, err := Run(in, smallOpts())
+	a, repA, err := Run(context.Background(), in, smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, repB, err := Run(in, smallOpts())
+	b, repB, err := Run(context.Background(), in, smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestBitwiseMatchesGuarantee(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Gnp(100, 0.06, 9))
 	o := smallOpts()
 	o.Bitwise = true
-	col, rep, err := Run(in, o)
+	col, rep, err := Run(context.Background(), in, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestNisanPRGWorks(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Gnp(100, 0.06, 2))
 	o := smallOpts()
 	o.PRG = PRGNisan
-	col, _, err := Run(in, o)
+	col, _, err := Run(context.Background(), in, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,10 @@ func TestDerandomizeStepDefersFailures(t *testing.T) {
 		},
 	}
 	chunkOf, num, _ := chunkAssignment(in.G, 4, 1_000_000)
-	rep := DerandomizeStep(st, &step, chunkOf, num, Options{}.withDefaults(11))
+	rep, err := DerandomizeStep(st, &step, chunkOf, num, Options{}.withDefaults(11))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Participants != len(base) {
 		t.Fatal("participant accounting")
 	}
@@ -174,7 +178,10 @@ func TestSeedSelectionBeatsMeanEmpirically(t *testing.T) {
 		},
 	}
 	chunkOf, num, _ := chunkAssignment(in.G, 4, 1_000_000)
-	rep := DerandomizeStep(st, &step, chunkOf, num, Options{SeedBits: 8}.withDefaults(15))
+	rep, err := DerandomizeStep(st, &step, chunkOf, num, Options{SeedBits: 8}.withDefaults(15))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Score > rep.MeanUpper {
 		t.Fatalf("score %d exceeds mean bound %d", rep.Score, rep.MeanUpper)
 	}
@@ -189,7 +196,7 @@ func TestRunRecursionTerminates(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Gnp(120, 0.05, 6))
 	o := smallOpts()
 	o.Tunables.LowDeg = 1 << 20
-	col, rep, err := Run(in, o)
+	col, rep, err := Run(context.Background(), in, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +211,7 @@ func TestRunRecursionTerminates(t *testing.T) {
 func TestRunEmptyAndTinyInstances(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 5} {
 		in := d1lc.TrivialPalettes(graph.Gnp(n, 0.5, 1))
-		col, _, err := Run(in, smallOpts())
+		col, _, err := Run(context.Background(), in, smallOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +223,7 @@ func TestRunEmptyAndTinyInstances(t *testing.T) {
 
 func TestReportAccounting(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Mixed(150, 4))
-	_, rep, err := Run(in, smallOpts())
+	_, rep, err := Run(context.Background(), in, smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +243,7 @@ func BenchmarkRunDeterministic(b *testing.B) {
 	o := smallOpts()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Run(in, o); err != nil {
+		if _, _, err := Run(context.Background(), in, o); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,9 +2,7 @@ package deframe
 
 import (
 	"fmt"
-	"sync"
 
-	"parcolor/internal/bitset"
 	"parcolor/internal/condexp"
 	"parcolor/internal/hknt"
 	"parcolor/internal/prg"
@@ -17,7 +15,9 @@ import (
 // time, and re-proposing the winning seed after selection — the engine
 //
 //   - walks the seed space once, reusing per-worker scratch (a reseedable
-//     ChunkedSource and an hknt.Scratch) pooled across seeds,
+//     ChunkedSource and an hknt.Scratch) checked out of the run's Cache:
+//     pooled across seeds within a step, across steps within a run, and —
+//     when the Cache belongs to a long-lived Solver — across runs,
 //   - re-expands only the live chunks per seed: the chunks covering the
 //     step's participants (plus any declared extra bit readers, e.g.
 //     clique leaders), threaded through the pooled scratch's
@@ -33,18 +33,13 @@ import (
 //     mask and marks cloned together), so the flat winner's proposal is
 //     committed without being recomputed.
 //
+// The fill loop runs on the step's par.Runner: the owning solve's worker
+// budget bounds the walk, and its context cancels it between seeds.
+//
 // The engine requires a decomposable objective (Step.Score == nil, true
 // for every pipeline step); custom objectives fall back to the naive path,
 // which also remains available via Options.NaiveScoring as the oracle for
 // differential tests.
-
-// seedScratch is one worker's reusable evaluation state. partsWin is the
-// dense participant-index win mask the popcount scoring path gathers into.
-type seedScratch struct {
-	src      *prg.ChunkedScratch
-	sc       *hknt.Scratch
-	partsWin bitset.Mask
-}
 
 // stepEngine scores one step's seed space incrementally.
 type stepEngine struct {
@@ -65,17 +60,24 @@ type stepEngine struct {
 	// c*np/k partition computed once instead of per chunk per seed.
 	bounds []int32
 
-	pool sync.Pool
+	// cache supplies pooled scratch and table storage: the run's
+	// (possibly Solver-owned) Cache, or an ephemeral one scoped to this
+	// engine when the run has none.
+	cache *Cache
 
 	best     condexp.BestSeen
 	bestProp hknt.Proposal
 }
 
-func newStepEngine(st *hknt.State, step *hknt.Step, parts []int32, gen prg.PRG, chunkOf []int32, numChunks int) *stepEngine {
+func newStepEngine(st *hknt.State, step *hknt.Step, parts []int32, gen prg.PRG, chunkOf []int32, numChunks int, cache *Cache) *stepEngine {
+	if cache == nil {
+		cache = NewCache() // per-engine pooling, the pre-Cache behavior
+	}
 	e := &stepEngine{
 		st: st, step: step, parts: parts,
 		gen: gen, chunkOf: chunkOf, numChunks: numChunks,
 		nChunks: condexp.ScoreChunks(len(parts)),
+		cache:   cache,
 	}
 	seen := make([]bool, numChunks)
 	live := make([]int32, 0, len(parts))
@@ -96,16 +98,7 @@ func newStepEngine(st *hknt.State, step *hknt.Step, parts []int32, gen prg.PRG, 
 	if len(live) < numChunks {
 		e.liveChunks = live
 	}
-	np := len(parts)
-	e.bounds = condexp.ChunkBounds(np, e.nChunks)
-	e.pool.New = func() any {
-		src, err := prg.NewChunkedScratch(e.gen, e.chunkOf, e.numChunks, e.step.Bits)
-		if err != nil {
-			// Generator too short is a construction bug; make it loud.
-			panic(fmt.Sprintf("deframe: %v", err))
-		}
-		return &seedScratch{src: src, sc: hknt.NewScratch(), partsWin: bitset.New(np)}
-	}
+	e.bounds = condexp.ChunkBounds(len(parts), e.nChunks)
 	return e
 }
 
@@ -131,7 +124,7 @@ func (e *stepEngine) reseed(ss *seedScratch, seed uint64) *prg.ChunkedSource {
 // participants per word. SSP steps evaluate the predicate per
 // participant, exactly as the naive ScoreChunk does.
 func (e *stepEngine) fill(seed uint64, row []int64) {
-	ss := e.pool.Get().(*seedScratch)
+	ss := e.cache.getScratch(e)
 	src := e.reseed(ss, seed)
 	prop := e.step.Propose(e.st, e.parts, src, ss.sc)
 	var total int64
@@ -151,7 +144,7 @@ func (e *stepEngine) fill(seed uint64, row []int64) {
 		}
 	}
 	e.offerBest(seed, total, prop)
-	e.pool.Put(ss)
+	e.cache.putScratch(ss)
 }
 
 // offerBest offers the proposal to the best-seen cache (the flat
@@ -178,15 +171,21 @@ func (e *stepEngine) proposalFor(seed uint64) hknt.Proposal {
 }
 
 // selectSeedTable runs the full table path for one step: build the
-// contribution table in one parallel pass, aggregate (flat or bitwise), and
-// return the selected seed's result plus its proposal.
-func (e *stepEngine) selectSeedTable(o Options) (condexp.Result, hknt.Proposal) {
-	tbl := condexp.BuildTable(1<<o.SeedBits, e.nChunks, e.fill)
+// contribution table in one parallel pass on the step's runner, aggregate
+// (flat or bitwise), and return the selected seed's result plus its
+// proposal. A cancelled runner aborts the build and surfaces the context
+// error.
+func (e *stepEngine) selectSeedTable(o Options) (condexp.Result, hknt.Proposal, error) {
+	tbl, err := e.cache.tableCache().Build(o.Par, 1<<o.SeedBits, e.nChunks, e.fill)
+	if err != nil {
+		return condexp.Result{}, hknt.Proposal{}, err
+	}
 	var res condexp.Result
 	if o.Bitwise {
 		res = tbl.SelectSeedBitwise(o.SeedBits)
 	} else {
 		res = tbl.SelectSeed()
 	}
-	return res, e.proposalFor(res.Seed)
+	e.cache.tableCache().Release(tbl)
+	return res, e.proposalFor(res.Seed), nil
 }

@@ -40,10 +40,10 @@ func benchSelection(b *testing.B, n int, bitwise, naive bool) {
 	for i := 0; i < b.N; i++ {
 		var res condexp.Result
 		if naive {
-			res, _ = derandomizeStepNaive(st, step, parts, gen, chunkOf, numChunks, o)
+			res, _, _ = derandomizeStepNaive(st, step, parts, gen, chunkOf, numChunks, o)
 		} else {
-			eng := newStepEngine(st, step, parts, gen, chunkOf, numChunks)
-			res, _ = eng.selectSeedTable(o)
+			eng := newStepEngine(st, step, parts, gen, chunkOf, numChunks, nil)
+			res, _, _ = eng.selectSeedTable(o)
 		}
 		if res.NumSeeds != 1<<o.SeedBits {
 			b.Fatal("bad selection")

@@ -1,6 +1,7 @@
 package deframe
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -44,8 +45,8 @@ func TestTableScoringMatchesNaive(t *testing.T) {
 					o.PRG = prgKind
 					oNaive := o
 					oNaive.NaiveScoring = true
-					colT, repT, errT := Run(tc.in, o)
-					colN, repN, errN := Run(tc.in, oNaive)
+					colT, repT, errT := Run(context.Background(), tc.in, o)
+					colN, repN, errN := Run(context.Background(), tc.in, oNaive)
 					if errT != nil || errN != nil {
 						t.Fatalf("errs: table=%v naive=%v", errT, errN)
 					}
@@ -81,14 +82,14 @@ func TestTableScoringMatchesNaive(t *testing.T) {
 // not leak scheduling order into results.
 func TestTableScoringDeterministicAcrossWorkerCounts(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Mixed(140, 6))
-	ref, refRep, err := Run(in, smallOpts())
+	ref, refRep, err := Run(context.Background(), in, smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{1, 2, 3, 7} {
-		prev := par.SetMaxWorkers(w)
-		col, rep, err := Run(in, smallOpts())
-		par.SetMaxWorkers(prev)
+		o := smallOpts()
+		o.Par = par.NewRunner(w)
+		col, rep, err := Run(context.Background(), in, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,11 +113,11 @@ func TestBitwiseEvalReduction(t *testing.T) {
 	o.Bitwise = true
 	oNaive := o
 	oNaive.NaiveScoring = true
-	_, repT, err := Run(in, o)
+	_, repT, err := Run(context.Background(), in, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, repN, err := Run(in, oNaive)
+	_, repN, err := Run(context.Background(), in, oNaive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,8 +161,11 @@ func TestEngineProposalCacheHitsOnFlat(t *testing.T) {
 	chunkOf, num, _ := chunkAssignment(in.G, 4, 1_000_000)
 	parts := step.Participants(st)
 	gen := buildPRG(o, num, step.Bits)
-	eng := newStepEngine(st, &step, parts, gen, chunkOf, num)
-	res, prop := eng.selectSeedTable(o)
+	eng := newStepEngine(st, &step, parts, gen, chunkOf, num, nil)
+	res, prop, err := eng.selectSeedTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !eng.best.Matches(res.Seed) {
 		t.Fatalf("flat winner %d not cached", res.Seed)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"parcolor/internal/d1lc"
@@ -42,7 +43,7 @@ func e11ChunkModeAblation(cfg Config) *stats.Table {
 		}
 		in := d1lc.TrivialPalettes(g)
 		for _, v := range variants {
-			col, rep, err := deframe.Run(in, deframe.Options{
+			col, rep, err := deframe.Run(context.Background(), in, deframe.Options{
 				SeedBits:           cfg.SeedBits,
 				MaxChunkGraphEdges: v.maxEdges,
 				Tunables:           hknt.Tunables{LowDeg: 4},

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"parcolor/internal/d1lc"
 	"parcolor/internal/deframe"
 	"parcolor/internal/graph"
@@ -33,9 +34,9 @@ func e13SolutionQuality(cfg Config) *stats.Table {
 
 		colDegen, _ := greedy.Color(in, greedy.ByDegeneracy, 0)
 		colID, _ := greedy.Color(in, greedy.ByID, 0)
-		det, _, errDet := deframe.Run(in, deframe.Options{SeedBits: cfg.SeedBits})
-		rnd, _, _, errRnd := hknt.RandomizedColor(in, cfg.Seed, hknt.Tunables{})
-		low, _, errLow := lowdeg.IterativeDerandomized(in, lowdeg.Options{SeedBits: 8})
+		det, _, errDet := deframe.Run(context.Background(), in, deframe.Options{SeedBits: cfg.SeedBits})
+		rnd, _, _, errRnd := hknt.RandomizedColor(nil, in, cfg.Seed, hknt.Tunables{})
+		low, _, errLow := lowdeg.IterativeDerandomized(context.Background(), in, lowdeg.Options{SeedBits: 8})
 		if errDet != nil || errRnd != nil || errLow != nil {
 			t.Add(w, g.N(), g.MaxDegree(), degen+1, -1, -1, -1, -1, -1)
 			continue

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"parcolor/internal/d1lc"
@@ -38,7 +39,7 @@ func e1DeterministicD1LC(cfg Config) *stats.Table {
 			rounds := 0 // parallel composition: base instances of one level run concurrently
 			deferral := 0.0
 			base := func(sub *d1lc.Instance) (*d1lc.Coloring, error) {
-				col, rep, err := deframe.Run(sub, deframe.Options{SeedBits: cfg.SeedBits, Tunables: hknt.Tunables{}})
+				col, rep, err := deframe.Run(context.Background(), sub, deframe.Options{SeedBits: cfg.SeedBits, Tunables: hknt.Tunables{}})
 				if err != nil {
 					return nil, err
 				}
@@ -50,7 +51,7 @@ func e1DeterministicD1LC(cfg Config) *stats.Table {
 				}
 				return col, nil
 			}
-			col, srep, err := sparsify.ColorReduce(in, sparsify.Options{}, base)
+			col, srep, err := sparsify.ColorReduce(context.Background(), in, sparsify.Options{}, base)
 			proper := err == nil && d1lc.Verify(in, col) == nil
 			t.Add(w, n, in.G.M(), in.G.MaxDegree(), rounds, srep.Depth, srep.BaseInstances, deferral, yesNo(proper))
 		}
@@ -69,7 +70,7 @@ func e2RandomizedD1LC(cfg Config) *stats.Table {
 	for _, w := range e1Workloads {
 		for _, n := range cfg.sizes() {
 			in := instanceFor(w, n, cfg.Seed)
-			col, st, stats_, err := hknt.RandomizedColor(in, cfg.Seed, hknt.Tunables{})
+			col, st, stats_, err := hknt.RandomizedColor(nil, in, cfg.Seed, hknt.Tunables{})
 			proper := err == nil && d1lc.Verify(in, col) == nil
 			colored := 0
 			participants := 0
@@ -105,7 +106,7 @@ func e3DeferralBound(cfg Config) *stats.Table {
 	for _, w := range e1Workloads {
 		n := cfg.sizes()[len(cfg.sizes())-1] / 2
 		in := instanceFor(w, n, cfg.Seed)
-		_, rep, err := deframe.Run(in, deframe.Options{SeedBits: cfg.SeedBits})
+		_, rep, err := deframe.Run(context.Background(), in, deframe.Options{SeedBits: cfg.SeedBits})
 		if err != nil {
 			t.Add(w, n, 0, 0, 0, 0.0, 0.5, "error")
 			continue

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -42,7 +43,7 @@ func e6PRGAblation(cfg Config) *stats.Table {
 		settings = settings[:4]
 	}
 	for _, s := range settings {
-		col, rep, err := deframe.Run(in, s.opt)
+		col, rep, err := deframe.Run(context.Background(), in, s.opt)
 		proper := err == nil && d1lc.Verify(in, col) == nil
 		total := rep.TotalDeferred()
 		for r := rep.Recursed; r != nil; r = r.Recursed {
@@ -104,7 +105,10 @@ func e8MIS(cfg Config) *stats.Table {
 				panic(err)
 			}
 			r := mis.Randomized(g, cfg.Seed, 400)
-			d := mis.Derandomized(g, mis.Options{SeedBits: cfg.SeedBits})
+			d, err := mis.Derandomized(context.Background(), g, mis.Options{SeedBits: cfg.SeedBits})
+			if err != nil {
+				panic(err)
+			}
 			certOK := true
 			for _, c := range d.SeedReports {
 				if !c.Guarantee() {
@@ -182,11 +186,12 @@ func e10Parallelism(cfg Config) *stats.Table {
 	in := instanceFor("gnp-dense", n, cfg.Seed)
 	var base float64
 	for _, w := range []int{1, 2, 4, 8} {
-		prev := par.SetMaxWorkers(w)
 		start := time.Now()
-		_, _, err := deframe.Run(in, deframe.Options{SeedBits: cfg.SeedBits})
+		_, _, err := deframe.Run(context.Background(), in, deframe.Options{
+			SeedBits: cfg.SeedBits,
+			Par:      par.NewRunner(w),
+		})
 		elapsed := time.Since(start).Seconds() * 1000
-		par.SetMaxWorkers(prev)
 		if err != nil {
 			t.Add(w, -1.0, 0.0)
 			continue

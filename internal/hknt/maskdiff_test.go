@@ -104,7 +104,7 @@ func randomProposal(st *State, rng *rand.Rand) Proposal {
 			prop.Color[v] = c
 		}
 	}
-	prop.RecomputeWin()
+	prop.RecomputeWin(nil)
 	return prop
 }
 
@@ -213,7 +213,7 @@ func TestApplyWalksWinMask(t *testing.T) {
 	if n := st.Apply(prop); n != 0 {
 		t.Fatalf("Apply committed %d wins from a zero win mask", n)
 	}
-	prop.RecomputeWin()
+	prop.RecomputeWin(nil)
 	if n := st.Apply(prop); n != 1 {
 		t.Fatalf("Apply after RecomputeWin committed %d wins, want 1", n)
 	}

@@ -3,6 +3,8 @@ package hknt
 import (
 	"fmt"
 
+	"parcolor/internal/par"
+
 	"parcolor/internal/acd"
 	"parcolor/internal/d1lc"
 )
@@ -33,8 +35,14 @@ func BuildColorMiddle(st *State, tun Tunables) *BuildResult {
 	tun = tun.WithDefaults(g.N(), g.MaxDegree())
 	maxPal := maxPalette(in)
 
-	a := acd.Compute(in, tun.ACD)
-	cliques := ComputeCliqueInfos(g, a, tun.Ell)
+	a := acd.ComputePar(st.Par, in, tun.ACD)
+	if st.Par.Err() != nil {
+		// Cancelled mid-decomposition: the ACD is incomplete, so skip the
+		// schedule entirely. Drivers observe the cancellation through
+		// st.Par.Err / their runner and never execute the empty schedule.
+		return &BuildResult{ACD: a, Tunables: tun}
+	}
+	cliques := ComputeCliqueInfos(st.Par, g, a, tun.Ell)
 	vs := IdentifyVstart(st, a, tun.Vstart)
 
 	highDeg := func(v int32) bool { return g.Degree(v) >= tun.LowDeg }
@@ -292,10 +300,15 @@ type RunStats struct {
 // RunRandomized executes the schedule with fresh randomness (the
 // randomized MPC algorithm of Lemma 4): propose with per-node fresh bits,
 // apply, continue. SSP failures are recorded but nobody defers — the
-// randomized analysis tolerates them via shattering.
+// randomized analysis tolerates them via shattering. A cancelled st.Par
+// stops the schedule between steps; the caller observes the cancellation
+// through st.Par.Err and discards the partial stats.
 func RunRandomized(st *State, sched Schedule, seed uint64) RunStats {
 	var stats RunStats
 	for i := range sched.Steps {
+		if st.Par.Err() != nil {
+			return stats
+		}
 		step := &sched.Steps[i]
 		parts := step.Participants(st)
 		tr := StepTrace{Name: step.Name, Participants: len(parts), LocalRounds: step.Tau}
@@ -325,6 +338,9 @@ func RunRandomized(st *State, sched Schedule, seed uint64) RunStats {
 func CleanupRounds(st *State, seed uint64, maxRounds int) int {
 	maxPal := maxPalette(st.In)
 	for r := 0; r < maxRounds; r++ {
+		if st.Par.Err() != nil {
+			return r
+		}
 		parts := st.LiveNodes(nil)
 		if len(parts) == 0 {
 			return r
@@ -372,11 +388,16 @@ func FinishGreedy(st *State) error {
 // randomized trials for the rest, greedy for stragglers. The returned
 // coloring is always complete and proper; stats expose the round counts
 // and per-step traces.
-func RandomizedColor(in *d1lc.Instance, seed uint64, tun Tunables) (*d1lc.Coloring, *State, RunStats, error) {
+// r scopes the trials' parallel loops (nil = process default).
+func RandomizedColor(r *par.Runner, in *d1lc.Instance, seed uint64, tun Tunables) (*d1lc.Coloring, *State, RunStats, error) {
 	st := NewState(in)
+	st.Par = r
 	build := BuildColorMiddle(st, tun)
 	stats := RunRandomized(st, build.Schedule, seed)
 	CleanupRounds(st, seed, 4*approxLog2(in.G.N()+2))
+	if err := st.Par.Err(); err != nil {
+		return nil, st, stats, err
+	}
 	if err := FinishGreedy(st); err != nil {
 		return nil, st, stats, err
 	}

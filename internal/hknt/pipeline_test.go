@@ -67,7 +67,7 @@ func TestRandomizedColorProperOnSuite(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			col, st, stats, err := RandomizedColor(tc.in, 42, Tunables{})
+			col, st, stats, err := RandomizedColor(nil, tc.in, 42, Tunables{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -84,11 +84,11 @@ func TestRandomizedColorProperOnSuite(t *testing.T) {
 
 func TestRandomizedColorDeterministicPerSeed(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Mixed(200, 9))
-	a, _, _, err := RandomizedColor(in, 5, Tunables{})
+	a, _, _, err := RandomizedColor(nil, in, 5, Tunables{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, _, err := RandomizedColor(in, 5, Tunables{})
+	b, _, _, err := RandomizedColor(nil, in, 5, Tunables{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestRandomizedColorDeterministicPerSeed(t *testing.T) {
 			t.Fatalf("seed-determinism broken at node %d", v)
 		}
 	}
-	c, _, _, err := RandomizedColor(in, 6, Tunables{})
+	c, _, _, err := RandomizedColor(nil, in, 6, Tunables{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func BenchmarkRandomizedColor(b *testing.B) {
 	in := d1lc.TrivialPalettes(graph.Mixed(500, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, err := RandomizedColor(in, uint64(i), Tunables{}); err != nil {
+		if _, _, _, err := RandomizedColor(nil, in, uint64(i), Tunables{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -66,6 +66,9 @@ func RangedRandomizedColor(st *State, seed uint64, tun Tunables) ([]RangeStats, 
 	var out []RangeStats
 
 	for i := 0; i+1 < len(thresholds); i++ {
+		if err := st.Par.Err(); err != nil {
+			return out, err
+		}
 		high, low := thresholds[i], thresholds[i+1]
 		rs := RangeStats{High: high, Low: low}
 		// Restrict the pipeline to this range via the LowDeg knob: the
@@ -91,6 +94,9 @@ func RangedRandomizedColor(st *State, seed uint64, tun Tunables) ([]RangeStats, 
 		out = append(out, rs)
 	}
 	CleanupRounds(st, seed, 4*approxLog2(n+2))
+	if err := st.Par.Err(); err != nil {
+		return out, err
+	}
 	if err := FinishGreedy(st); err != nil {
 		return out, err
 	}

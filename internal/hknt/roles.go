@@ -17,10 +17,11 @@ import (
 
 // ComputeCliqueInfos derives CliqueInfo for every almost-clique of the
 // decomposition. ell is the ℓ threshold on leader slackability below which
-// a clique is "low slack" (paper: ℓ = log^{2.1} Δ).
-func ComputeCliqueInfos(g *graph.Graph, a *acd.ACD, ell float64) []CliqueInfo {
+// a clique is "low slack" (paper: ℓ = log^{2.1} Δ). r scopes the per-clique
+// parallel loop (nil = process default).
+func ComputeCliqueInfos(r *par.Runner, g *graph.Graph, a *acd.ACD, ell float64) []CliqueInfo {
 	infos := make([]CliqueInfo, len(a.Cliques))
-	par.For(len(a.Cliques), func(ci int) {
+	r.For(len(a.Cliques), func(ci int) {
 		members := a.Cliques[ci]
 		info := CliqueInfo{ID: int32(ci), Members: members}
 		// Leader: minimum slackability, ties to smallest id (members are

@@ -6,7 +6,6 @@ import (
 
 	"parcolor/internal/acd"
 	"parcolor/internal/d1lc"
-	"parcolor/internal/par"
 )
 
 // Step is one normal (τ,Δ)-round distributed procedure in the sense of
@@ -83,7 +82,7 @@ func (s *Step) DefaultScore(st *State, parts []int32, prop Proposal) int64 {
 	if s.Score != nil {
 		return s.Score(st, parts, prop)
 	}
-	return par.ReduceChunked(len(parts), func(lo, hi int) int64 {
+	return st.Par.ReduceChunked(len(parts), func(lo, hi int) int64 {
 		return s.ScoreChunk(st, parts, prop, lo, hi)
 	})
 }

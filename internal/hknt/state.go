@@ -16,10 +16,12 @@ package hknt
 
 import (
 	"fmt"
+	"sync"
 
 	"parcolor/internal/bitset"
 	"parcolor/internal/d1lc"
 	"parcolor/internal/local"
+	"parcolor/internal/par"
 	"parcolor/internal/rng"
 )
 
@@ -83,28 +85,113 @@ type State struct {
 	// the per-(seed, node) Live checks of the scoring loops are one bit
 	// test instead of three array loads.
 	live bitset.Mask
+	// Par scopes the trials' parallel loops to the owning solve's worker
+	// budget. nil means the process default. Solvers set it right after
+	// NewState; one State serves one solve, so it is never shared across
+	// budgets.
+	Par *par.Runner
 	// Meter accounts LOCAL rounds consumed.
 	Meter local.Meter
+	// remArena is the flat backing the Rem slices are carved from (see
+	// StatePool).
+	remArena []int32
 }
 
 // NewState initializes the run state for an instance.
-func NewState(in *d1lc.Instance) *State {
-	n := in.G.N()
-	st := &State{
-		In:       in,
-		Col:      d1lc.NewColoring(n),
-		Rem:      make([][]int32, n),
-		liveDeg:  make([]int32, n),
-		Deferred: make([]bool, n),
-		PutAside: make([]bool, n),
-		live:     bitset.New(n),
+func NewState(in *d1lc.Instance) *State { return (*StatePool)(nil).Get(in) }
+
+// StatePool recycles State backing arrays (remaining palettes and their
+// flat arena, degree counters, deferral flags, the live mask) across runs.
+// The Coloring is always freshly allocated — it escapes as the run's
+// result — and Put detaches it before recycling, so pooled storage never
+// aliases anything a caller holds. A nil *StatePool is valid and means
+// "allocate fresh": the original NewState behavior.
+//
+// Remaining palettes are carved from one flat arena (palettes only ever
+// shrink in place after initialization — removeColor compacts within the
+// slice — so carved sub-slices can never bleed into a neighbor's range).
+type StatePool struct {
+	pool sync.Pool // of *State with detached In/Col
+}
+
+// NewStatePool returns an empty pool.
+func NewStatePool() *StatePool { return &StatePool{} }
+
+// Get returns an initialized State for the instance, reusing pooled
+// backing arrays when available. The result is indistinguishable from
+// NewState's.
+func (p *StatePool) Get(in *d1lc.Instance) *State {
+	var st *State
+	if p != nil {
+		st, _ = p.pool.Get().(*State)
 	}
+	if st == nil {
+		st = &State{}
+	}
+	n := in.G.N()
+	st.In = in
+	st.Col = d1lc.NewColoring(n) // escapes with the caller; never pooled
+	st.Par = nil
+	st.Meter = local.Meter{}
+	if cap(st.Rem) < n {
+		st.Rem = make([][]int32, n)
+	} else {
+		st.Rem = st.Rem[:n]
+	}
+	if cap(st.liveDeg) < n {
+		st.liveDeg = make([]int32, n)
+	} else {
+		st.liveDeg = st.liveDeg[:n]
+	}
+	st.Deferred = growBoolZeroed(st.Deferred, n)
+	st.PutAside = growBoolZeroed(st.PutAside, n)
+	st.live = st.live.Grow(n)
 	st.live.Fill(n, func(int) bool { return true })
+	total := 0
 	for v := 0; v < n; v++ {
-		st.Rem[v] = append([]int32(nil), in.Palettes[v]...)
+		total += len(in.Palettes[v])
+	}
+	if cap(st.remArena) < total {
+		st.remArena = make([]int32, total)
+	} else {
+		st.remArena = st.remArena[:total]
+	}
+	off := 0
+	for v := 0; v < n; v++ {
+		pal := in.Palettes[v]
+		end := off + len(pal)
+		copy(st.remArena[off:end], pal)
+		st.Rem[v] = st.remArena[off:end:end]
+		off = end
 		st.liveDeg[v] = int32(in.G.Degree(int32(v)))
 	}
 	return st
+}
+
+// Put recycles the state's backing arrays after a run. The instance and
+// coloring are detached first (the coloring is the caller's result). Safe
+// on a nil pool or nil state.
+func (p *StatePool) Put(st *State) {
+	if p == nil || st == nil {
+		return
+	}
+	st.In = nil
+	st.Col = nil
+	st.Par = nil
+	p.pool.Put(st)
+}
+
+// growBoolZeroed returns a length-n all-false bool slice reusing prior
+// capacity.
+func growBoolZeroed(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
 }
 
 // LiveDegree returns the number of uncolored, non-deferred neighbors of v.
@@ -248,9 +335,10 @@ func (p Proposal) SetWin(v, c int32) {
 // RecomputeWin rebuilds the win mask from the colors array (word-parallel
 // over word-aligned ranges): the trials' finishing pass after their
 // node-parallel conflict loops, which cannot write shared mask words
-// without racing.
-func (p Proposal) RecomputeWin() {
-	p.Win.FromNeq32(p.Color, d1lc.Uncolored)
+// without racing. r scopes the fan-out (nil = process default); trials
+// pass their State's runner so the pass honors the solve's worker budget.
+func (p Proposal) RecomputeWin(r *par.Runner) {
+	p.Win.FromNeq32(r, p.Color, d1lc.Uncolored)
 }
 
 // Apply commits every win and put-aside mark in the proposal, walking the

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"parcolor/internal/d1lc"
-	"parcolor/internal/par"
 	"parcolor/internal/rng"
 )
 
@@ -28,7 +27,7 @@ func TryRandomColorBits(maxPalette int) int { return rng.IntnBits(maxPalette) }
 func TryRandomColorPropose(st *State, parts []int32, src RandSource, sc *Scratch) Proposal {
 	n := st.In.G.N()
 	cand := sc.candidates(n)
-	par.ForChunkedWorker(len(parts), func(_, lo, hi int) {
+	st.Par.ForChunkedWorker(len(parts), func(_, lo, hi int) {
 		var cur rng.Bits
 		for i := lo; i < hi; i++ {
 			v := parts[i]
@@ -40,7 +39,7 @@ func TryRandomColorPropose(st *State, parts []int32, src RandSource, sc *Scratch
 		}
 	})
 	prop := sc.proposal(n)
-	par.For(len(parts), func(i int) {
+	st.Par.For(len(parts), func(i int) {
 		v := parts[i]
 		c := cand[v]
 		if c == d1lc.Uncolored {
@@ -53,7 +52,7 @@ func TryRandomColorPropose(st *State, parts []int32, src RandSource, sc *Scratch
 		}
 		prop.Color[v] = c
 	})
-	prop.RecomputeWin()
+	prop.RecomputeWin(st.Par)
 	return prop
 }
 
@@ -68,8 +67,8 @@ func MultiTrialBits(x, maxPalette int) int { return x * rng.IntnBits(maxPalette)
 func MultiTrialPropose(st *State, parts []int32, x int, src RandSource, sc *Scratch) Proposal {
 	n := st.In.G.N()
 	sets := sc.setsBuf(n)
-	arenas, palBufs := sc.workerBufs(par.Workers(len(parts)))
-	par.ForChunkedWorker(len(parts), func(wk, lo, hi int) {
+	arenas, palBufs := sc.workerBufs(st.Par.Workers(len(parts)))
+	st.Par.ForChunkedWorker(len(parts), func(wk, lo, hi int) {
 		var cur rng.Bits
 		arena := arenas[wk][:0]
 		for i := lo; i < hi; i++ {
@@ -85,8 +84,8 @@ func MultiTrialPropose(st *State, parts []int32, x int, src RandSource, sc *Scra
 		arenas[wk] = arena
 	})
 	prop := sc.proposal(n)
-	maps := sc.mapsBuf(par.Workers(len(parts)))
-	par.ForChunkedWorker(len(parts), func(wk, lo, hi int) {
+	maps := sc.mapsBuf(st.Par.Workers(len(parts)))
+	st.Par.ForChunkedWorker(len(parts), func(wk, lo, hi int) {
 		blocked := maps[wk]
 		for i := lo; i < hi; i++ {
 			v := parts[i]
@@ -107,7 +106,7 @@ func MultiTrialPropose(st *State, parts []int32, x int, src RandSource, sc *Scra
 			}
 		}
 	})
-	prop.RecomputeWin()
+	prop.RecomputeWin(st.Par)
 	return prop
 }
 
@@ -153,7 +152,7 @@ func GenerateSlackBits(maxPalette int) int {
 func GenerateSlackPropose(st *State, parts []int32, src RandSource, sc *Scratch) Proposal {
 	n := st.In.G.N()
 	cand := sc.candidates(n)
-	par.ForChunkedWorker(len(parts), func(_, lo, hi int) {
+	st.Par.ForChunkedWorker(len(parts), func(_, lo, hi int) {
 		var cur rng.Bits
 		for i := lo; i < hi; i++ {
 			v := parts[i]
@@ -168,7 +167,7 @@ func GenerateSlackPropose(st *State, parts []int32, src RandSource, sc *Scratch)
 		}
 	})
 	prop := sc.proposal(n)
-	par.For(len(parts), func(i int) {
+	st.Par.For(len(parts), func(i int) {
 		v := parts[i]
 		c := cand[v]
 		if c == d1lc.Uncolored {
@@ -181,7 +180,7 @@ func GenerateSlackPropose(st *State, parts []int32, src RandSource, sc *Scratch)
 		}
 		prop.Color[v] = c
 	})
-	prop.RecomputeWin()
+	prop.RecomputeWin(st.Par)
 	return prop
 }
 
@@ -212,8 +211,8 @@ func SynchColorTrialBits(maxClique, maxPalette int) int {
 func SynchColorTrialPropose(st *State, cliques []CliqueInfo, src RandSource, sc *Scratch) Proposal {
 	n := st.In.G.N()
 	cand := sc.candidates(n)
-	arenas, palBufs := sc.workerBufs(par.Workers(len(cliques)))
-	par.ForChunkedWorker(len(cliques), func(wk, lo, hi int) {
+	arenas, palBufs := sc.workerBufs(st.Par.Workers(len(cliques)))
+	st.Par.ForChunkedWorker(len(cliques), func(wk, lo, hi int) {
 		var cur rng.Bits
 		arena := arenas[wk]
 		for ci := lo; ci < hi; ci++ {
@@ -245,7 +244,7 @@ func SynchColorTrialPropose(st *State, cliques []CliqueInfo, src RandSource, sc 
 		arenas[wk] = arena
 	})
 	prop := sc.proposal(n)
-	par.For(n, func(i int) {
+	st.Par.For(n, func(i int) {
 		v := int32(i)
 		c := cand[v]
 		if c == d1lc.Uncolored || !st.Live(v) || !st.HasRem(v, c) {
@@ -258,7 +257,7 @@ func SynchColorTrialPropose(st *State, cliques []CliqueInfo, src RandSource, sc 
 		}
 		prop.Color[v] = c
 	})
-	prop.RecomputeWin()
+	prop.RecomputeWin(st.Par)
 	return prop
 }
 
@@ -291,7 +290,7 @@ func PutAsideProb(ell float64, maxDegC, maxDen int) (num, den int) {
 func PutAsidePropose(st *State, cliques []CliqueInfo, probFor func(c *CliqueInfo) (num, den int), src RandSource, sc *Scratch) Proposal {
 	n := st.In.G.N()
 	inS := sc.bools(n)
-	par.ForChunkedWorker(len(cliques), func(_, lo, hi int) {
+	st.Par.ForChunkedWorker(len(cliques), func(_, lo, hi int) {
 		var cur rng.Bits
 		for ci := lo; ci < hi; ci++ {
 			c := cliques[ci]
@@ -313,7 +312,7 @@ func PutAsidePropose(st *State, cliques []CliqueInfo, probFor func(c *CliqueInfo
 	prop.Mark = sc.markBuf(n)
 	// Word-parallel mark pass: each worker owns word-aligned node ranges,
 	// so the shared mask words are never written by two goroutines.
-	prop.Mark.FillPar(n, func(i int) bool {
+	prop.Mark.FillPar(st.Par, n, func(i int) bool {
 		v := int32(i)
 		if !inS[v] {
 			return false

@@ -179,7 +179,7 @@ func TestPutAsideMarksIndependentSet(t *testing.T) {
 	in := d1lc.TrivialPalettes(g)
 	st := NewState(in)
 	a := acd.Compute(in, acd.Options{})
-	infos := ComputeCliqueInfos(g, a, 1e9) // everything low-slack
+	infos := ComputeCliqueInfos(nil, g, a, 1e9) // everything low-slack
 	prop := PutAsidePropose(st, infos, func(*CliqueInfo) (int, int) { return 1, 3 }, FreshSource{Root: 8, Bits: 64}, nil)
 	if prop.Mark == nil {
 		t.Fatal("no marks")
@@ -204,7 +204,7 @@ func TestPutAsideOnlyLowSlackCliques(t *testing.T) {
 	in := d1lc.TrivialPalettes(g)
 	st := NewState(in)
 	a := acd.Compute(in, acd.Options{})
-	infos := ComputeCliqueInfos(g, a, 1e9)
+	infos := ComputeCliqueInfos(nil, g, a, 1e9)
 	for i := range infos {
 		infos[i].LowSlack = i == 0 // only clique 0
 	}

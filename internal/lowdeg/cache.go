@@ -1,0 +1,87 @@
+package lowdeg
+
+import (
+	"sync"
+
+	"parcolor/internal/bitset"
+	"parcolor/internal/condexp"
+	"parcolor/internal/d1lc"
+	"parcolor/internal/hknt"
+)
+
+// Cache holds the iterative solver's reusable allocations across rounds —
+// and, when owned by a long-lived Solver, across whole runs: contribution
+// tables and the per-worker trial scratch (candidate buffers, loser/winner
+// masks). sync.Pool-backed and safe for concurrent runs. A nil *Cache is
+// valid and means "per-round pooling only", the pre-Cache behavior.
+type Cache struct {
+	tables  condexp.TableCache
+	scratch sync.Pool // of *trialScratch
+	states  hknt.StatePool
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{} }
+
+func (c *Cache) tableCache() *condexp.TableCache {
+	if c == nil {
+		return nil
+	}
+	return &c.tables
+}
+
+// getState returns a run state, recycling pooled backing arrays when the
+// cache is live.
+func (c *Cache) getState(in *d1lc.Instance) *hknt.State {
+	if c == nil {
+		return hknt.NewState(in)
+	}
+	return c.states.Get(in)
+}
+
+// putState recycles a run state's backing arrays (the coloring, which the
+// caller returned, is detached). No-op on a nil cache.
+func (c *Cache) putState(st *hknt.State) {
+	if c != nil {
+		c.states.Put(st)
+	}
+}
+
+// getScratch checks a worker scratch out of the cache and resizes it to
+// the engine's participant count. Every field is fully rewritten (cand)
+// or reset (loser) per fill, so no cross-round state can leak.
+func (c *Cache) getScratch(np int) *trialScratch {
+	var ss *trialScratch
+	if c != nil {
+		ss, _ = c.scratch.Get().(*trialScratch)
+	}
+	if ss == nil {
+		ss = &trialScratch{}
+	}
+	if cap(ss.cand) < np {
+		ss.cand = make([]int32, np)
+	} else {
+		ss.cand = ss.cand[:np]
+	}
+	ss.loser = ss.loser.Grow(np)
+	ss.winners = ss.winners.Grow(np)
+	return ss
+}
+
+// putScratch returns a scratch for reuse. No-op on a nil cache.
+func (c *Cache) putScratch(ss *trialScratch) {
+	if c != nil {
+		c.scratch.Put(ss)
+	}
+}
+
+// trialScratch is one worker's reusable evaluation state: cand[i] is
+// participant i's candidate this seed (rewritten in full by every fill),
+// loser marks candidates eliminated by a neighbor collision (cleared per
+// seed) and winners is the and-not scratch the best-seen materialization
+// carves winners into.
+type trialScratch struct {
+	cand    []int32
+	loser   bitset.Mask
+	winners bitset.Mask
+}

@@ -1,8 +1,6 @@
 package lowdeg
 
 import (
-	"sync"
-
 	"parcolor/internal/bitset"
 	"parcolor/internal/condexp"
 	"parcolor/internal/d1lc"
@@ -40,18 +38,6 @@ import (
 // for differential tests; both paths are bit-identical in selected seed,
 // score, certificate, and final coloring.
 
-// trialScratch is one worker's reusable evaluation state: cand[i] is
-// participant i's candidate this seed (rewritten in full by every fill),
-// loser marks candidates eliminated by a neighbor collision (cleared per
-// seed) and winners is the and-not scratch the best-seen materialization
-// carves winners into. The two masks are carved from one arena so a
-// worker's per-seed state sits in one contiguous block.
-type trialScratch struct {
-	cand    []int32
-	loser   bitset.Mask
-	winners bitset.Mask
-}
-
 // trialEngine scores one trial round's seed space incrementally.
 type trialEngine struct {
 	st      *hknt.State
@@ -88,7 +74,10 @@ type trialEngine struct {
 	candMask bitset.Mask
 	candCnt  []int64
 
-	pool sync.Pool
+	// cache supplies pooled scratch and table storage: the run's
+	// (possibly Solver-owned) Cache, or an ephemeral one scoped to this
+	// engine when the run has none.
+	cache *Cache
 
 	best condexp.BestSeen
 	// bestWins holds the winner proposal of the best seed as (node, color)
@@ -97,10 +86,14 @@ type trialEngine struct {
 	bestWins []int32
 }
 
-func newTrialEngine(st *hknt.State, parts []int32, round uint64) *trialEngine {
+func newTrialEngine(st *hknt.State, parts []int32, round uint64, cache *Cache) *trialEngine {
+	if cache == nil {
+		cache = NewCache() // per-engine pooling, the pre-Cache behavior
+	}
 	e := &trialEngine{
 		st: st, parts: parts, round: round,
 		nChunks: condexp.ScoreChunks(len(parts)),
+		cache:   cache,
 	}
 	g := st.In.G
 	np := len(parts)
@@ -133,14 +126,6 @@ func newTrialEngine(st *hknt.State, parts []int32, round uint64) *trialEngine {
 	for c := 0; c < e.nChunks; c++ {
 		e.candCnt[c] = int64(e.candMask.CountRange(int(e.bounds[c]), int(e.bounds[c+1])))
 	}
-	e.pool.New = func() any {
-		a := bitset.NewArena(2 * bitset.Words(np))
-		return &trialScratch{
-			cand:    make([]int32, np),
-			loser:   a.Grab(np),
-			winners: a.Grab(np),
-		}
-	}
 	return e
 }
 
@@ -150,7 +135,7 @@ func newTrialEngine(st *hknt.State, parts []int32, round uint64) *trialEngine {
 // yields Uncolored, and only live neighbors can collide — so the per-chunk
 // sums are the naive scorer's −countWins split over the partition.
 func (e *trialEngine) fill(seed uint64, row []int64) {
-	ss := e.pool.Get().(*trialScratch)
+	ss := e.cache.getScratch(len(e.parts))
 	cand, parts := ss.cand, e.parts
 	// Pass 1: draw candidates into dense participant-index space.
 	for i := range parts {
@@ -185,7 +170,7 @@ func (e *trialEngine) fill(seed uint64, row []int64) {
 		total -= wins
 	}
 	e.offerBest(seed, total, cand, ss)
-	e.pool.Put(ss)
+	e.cache.putScratch(ss)
 }
 
 // offerBest offers the seed to the best-seen cache (the flat selection's
@@ -223,10 +208,17 @@ func (e *trialEngine) proposalFor(seed uint64) hknt.Proposal {
 // contribution table in one parallel pass and aggregate (flat or bitwise).
 // The caller fetches the winning proposal via proposalFor only when the
 // round makes progress — zero-progress rounds take the greedy fallback.
-func (e *trialEngine) selectSeedTable(o Options) condexp.Result {
-	tbl := condexp.BuildTable(1<<o.SeedBits, e.nChunks, e.fill)
-	if o.Bitwise {
-		return tbl.SelectSeedBitwise(o.SeedBits)
+func (e *trialEngine) selectSeedTable(o Options) (condexp.Result, error) {
+	tbl, err := e.cache.tableCache().Build(o.Par, 1<<o.SeedBits, e.nChunks, e.fill)
+	if err != nil {
+		return condexp.Result{}, err
 	}
-	return tbl.SelectSeed()
+	var res condexp.Result
+	if o.Bitwise {
+		res = tbl.SelectSeedBitwise(o.SeedBits)
+	} else {
+		res = tbl.SelectSeed()
+	}
+	e.cache.tableCache().Release(tbl)
+	return res, nil
 }

@@ -26,6 +26,7 @@
 package lowdeg
 
 import (
+	"context"
 	"fmt"
 
 	"parcolor/internal/condexp"
@@ -34,6 +35,7 @@ import (
 	"parcolor/internal/hknt"
 	"parcolor/internal/par"
 	"parcolor/internal/rng"
+	"parcolor/internal/trace"
 )
 
 // Options configures the iterative solver.
@@ -51,6 +53,15 @@ type Options struct {
 	// produce identical results (seed, score, certificate, coloring); the
 	// naive path exists for differential tests and ablation baselines.
 	NaiveScoring bool
+	// Par scopes the round's parallel loops and seed walks to an explicit
+	// worker budget; IterativeDerandomized derives a context-carrying copy
+	// from its ctx argument. nil means the process default.
+	Par *par.Runner
+	// Trace observes one phase per trial round. nil disables tracing.
+	Trace trace.Tracer
+	// Cache pools contribution tables and per-worker scratch across rounds
+	// and runs. nil means per-round pooling only.
+	Cache *Cache
 }
 
 // Stats reports a run.
@@ -64,8 +75,13 @@ type Stats struct {
 // conditional-expectation-selected trial rounds. Seed scoring runs on the
 // incremental contribution-table engine (engine.go) unless
 // Options.NaiveScoring forces the per-seed oracle. Always returns a
-// complete proper coloring (or an error only for invalid instances).
-func IterativeDerandomized(in *d1lc.Instance, o Options) (*d1lc.Coloring, Stats, error) {
+// complete proper coloring (or an error only for invalid instances and
+// cancellation).
+//
+// ctx cancels the run between rounds and inside every seed walk; on
+// cancellation IterativeDerandomized returns ctx's error and no coloring.
+// Parallelism is scoped by o.Par (nil = process default).
+func IterativeDerandomized(ctx context.Context, in *d1lc.Instance, o Options) (*d1lc.Coloring, Stats, error) {
 	n := in.G.N()
 	if o.SeedBits == 0 {
 		o.SeedBits = 10
@@ -73,20 +89,32 @@ func IterativeDerandomized(in *d1lc.Instance, o Options) (*d1lc.Coloring, Stats,
 	if o.MaxRounds == 0 {
 		o.MaxRounds = 8*log2(n+2) + 16
 	}
-	st := hknt.NewState(in)
+	o.Par = o.Par.WithContext(ctx)
+	st := o.Cache.getState(in)
+	defer o.Cache.putState(st) // runs after the returned st.Col is captured
+	st.Par = o.Par
 	var stats Stats
 	for r := 0; r < o.MaxRounds; r++ {
+		if err := o.Par.Err(); err != nil {
+			return nil, stats, err
+		}
 		parts := st.LiveNodes(nil)
 		if len(parts) == 0 {
 			break
 		}
+		sp := trace.Begin(o.Trace, "lowdeg", "trial-round", r, len(parts))
 		var sel condexp.Result
 		var eng *trialEngine
+		var err error
 		if o.NaiveScoring {
-			sel = selectSeedNaive(st, parts, uint64(r), o)
+			sel, err = selectSeedNaive(st, parts, uint64(r), o)
 		} else {
-			eng = newTrialEngine(st, parts, uint64(r))
-			sel = eng.selectSeedTable(o)
+			eng = newTrialEngine(st, parts, uint64(r), o.Cache)
+			sel, err = eng.selectSeedTable(o)
+		}
+		if err != nil {
+			sp.End(0, 0, 0)
+			return nil, stats, err
 		}
 		stats.Certificates = append(stats.Certificates, sel)
 		stats.Rounds++
@@ -96,10 +124,12 @@ func IterativeDerandomized(in *d1lc.Instance, o Options) (*d1lc.Coloring, Stats,
 			v := parts[0]
 			c, err := firstFree(st, v)
 			if err != nil {
+				sp.End(sel.Evals, 0, 0)
 				return nil, stats, err
 			}
 			st.SetColor(v, c)
 			stats.GreedyFallback++
+			sp.End(sel.Evals, 1, 0)
 			continue
 		}
 		var prop hknt.Proposal
@@ -108,7 +138,8 @@ func IterativeDerandomized(in *d1lc.Instance, o Options) (*d1lc.Coloring, Stats,
 		} else {
 			prop = proposeRound(st, parts, sel.Seed, uint64(r))
 		}
-		st.Apply(prop)
+		colored := st.Apply(prop)
+		sp.End(sel.Evals, colored, 0)
 	}
 	if err := hknt.FinishGreedy(st); err != nil {
 		return nil, stats, err
@@ -118,22 +149,32 @@ func IterativeDerandomized(in *d1lc.Instance, o Options) (*d1lc.Coloring, Stats,
 
 // selectSeedNaive is the monolithic oracle: one full proposal plus score
 // per evaluated seed. It is the path the table engine is differentially
-// tested against.
-func selectSeedNaive(st *hknt.State, parts []int32, round uint64, o Options) condexp.Result {
+// tested against. A cancelled runner short-circuits the remaining
+// evaluations and surfaces the context error.
+func selectSeedNaive(st *hknt.State, parts []int32, round uint64, o Options) (condexp.Result, error) {
 	scorer := func(seed uint64) int64 {
+		if o.Par.Err() != nil {
+			return 0 // discarded with the selection
+		}
 		return -int64(countWins(st, parts, seed, round))
 	}
+	var sel condexp.Result
 	if o.Bitwise {
-		return condexp.SelectSeedBitwise(o.SeedBits, scorer)
+		sel = condexp.SelectSeedBitwise(o.Par, o.SeedBits, scorer)
+	} else {
+		sel = condexp.SelectSeed(o.Par, 1<<o.SeedBits, scorer)
 	}
-	return condexp.SelectSeed(1<<o.SeedBits, scorer)
+	if err := o.Par.Err(); err != nil {
+		return condexp.Result{}, err
+	}
+	return sel, nil
 }
 
 // proposeRound computes the trial proposal for a (seed, round) pair and
 // finishes its win mask, ready to commit.
 func proposeRound(st *hknt.State, parts []int32, seed, round uint64) hknt.Proposal {
 	prop := proposeRoundColors(st, parts, seed, round)
-	prop.RecomputeWin()
+	prop.RecomputeWin(st.Par)
 	return prop
 }
 
@@ -148,7 +189,7 @@ func proposeRoundColors(st *hknt.State, parts []int32, seed, round uint64) hknt.
 	for i := range cand {
 		cand[i] = d1lc.Uncolored
 	}
-	par.For(len(parts), func(i int) {
+	st.Par.For(len(parts), func(i int) {
 		v := parts[i]
 		if len(st.Rem[v]) == 0 {
 			return
@@ -157,7 +198,7 @@ func proposeRoundColors(st *hknt.State, parts []int32, seed, round uint64) hknt.
 		cand[v] = st.Rem[v][h%uint64(len(st.Rem[v]))]
 	})
 	prop := hknt.NewProposal(n)
-	par.For(len(parts), func(i int) {
+	st.Par.For(len(parts), func(i int) {
 		v := parts[i]
 		c := cand[v]
 		if c == d1lc.Uncolored {

@@ -1,6 +1,7 @@
 package lowdeg
 
 import (
+	"context"
 	"testing"
 
 	"parcolor/internal/d1lc"
@@ -17,7 +18,7 @@ func TestIterativeDerandomizedProper(t *testing.T) {
 		"delta+1": d1lc.DeltaPlus1Palettes(graph.Gnp(120, 0.05, 3)),
 	}
 	for name, in := range cases {
-		col, stats, err := IterativeDerandomized(in, Options{SeedBits: 8})
+		col, stats, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: 8})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -34,11 +35,11 @@ func TestIterativeDerandomizedProper(t *testing.T) {
 
 func TestIterativeDeterministic(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Gnp(150, 0.04, 7))
-	a, _, err := IterativeDerandomized(in, Options{SeedBits: 8})
+	a, _, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := IterativeDerandomized(in, Options{SeedBits: 8})
+	b, _, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestIterativeRoundsLogarithmic(t *testing.T) {
 
 func mustStats(t *testing.T, in *d1lc.Instance) Stats {
 	t.Helper()
-	col, stats, err := IterativeDerandomized(in, Options{SeedBits: 8})
+	col, stats, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func mustStats(t *testing.T, in *d1lc.Instance) Stats {
 func TestIterativeTinySeedSpaceStillTerminates(t *testing.T) {
 	// SeedBits=1 gives a 2-seed family: fallbacks must keep it correct.
 	in := d1lc.TrivialPalettes(graph.Complete(15))
-	col, stats, err := IterativeDerandomized(in, Options{SeedBits: 1, MaxRounds: 400})
+	col, stats, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: 1, MaxRounds: 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,10 +137,10 @@ func TestTableScoringMatchesNaive(t *testing.T) {
 				o := Options{SeedBits: 6, Bitwise: bitwise}
 				oNaive := o
 				oNaive.NaiveScoring = true
-				prev := par.SetMaxWorkers(workers)
-				colT, statsT, errT := IterativeDerandomized(in, o)
-				colN, statsN, errN := IterativeDerandomized(in, oNaive)
-				par.SetMaxWorkers(prev)
+				o.Par = par.NewRunner(workers)
+				oNaive.Par = par.NewRunner(workers)
+				colT, statsT, errT := IterativeDerandomized(context.Background(), in, o)
+				colN, statsN, errN := IterativeDerandomized(context.Background(), in, oNaive)
 				if errT != nil || errN != nil {
 					t.Fatalf("%s: errs: table=%v naive=%v", name, errT, errN)
 				}
@@ -170,11 +171,11 @@ func TestTableScoringMatchesNaive(t *testing.T) {
 func TestTableEvalReduction(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Gnp(100, 0.05, 9))
 	const d = 5
-	_, statsT, err := IterativeDerandomized(in, Options{SeedBits: d, Bitwise: true})
+	_, statsT, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: d, Bitwise: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, statsN, err := IterativeDerandomized(in, Options{SeedBits: d, Bitwise: true, NaiveScoring: true})
+	_, statsN, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: d, Bitwise: true, NaiveScoring: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestTableEvalReduction(t *testing.T) {
 
 func TestIterativeBitwiseProper(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Gnp(120, 0.05, 4))
-	col, stats, err := IterativeDerandomized(in, Options{SeedBits: 6, Bitwise: true})
+	col, stats, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: 6, Bitwise: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func BenchmarkIterativeDerandomized(b *testing.B) {
 	in := d1lc.TrivialPalettes(graph.RandomRegular(300, 6, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := IterativeDerandomized(in, Options{SeedBits: 8}); err != nil {
+		if _, _, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: 8}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -234,7 +235,7 @@ func BenchmarkSeedSelectionLowdeg(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := IterativeDerandomized(in, Options{SeedBits: 8, Bitwise: cfg.bitwise, NaiveScoring: cfg.naive}); err != nil {
+				if _, _, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: 8, Bitwise: cfg.bitwise, NaiveScoring: cfg.naive}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -246,7 +247,7 @@ func TestFirstFreeFallbackPath(t *testing.T) {
 	// A 1-seed space on K_n guarantees some zero-progress rounds that
 	// exercise the firstFree fallback; with MaxRounds ≥ n it must finish.
 	in := d1lc.TrivialPalettes(graph.Complete(10))
-	col, stats, err := IterativeDerandomized(in, Options{SeedBits: 1, MaxRounds: 64})
+	col, stats, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: 1, MaxRounds: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestIterativeMaxRoundsExhaustionStillProper(t *testing.T) {
 	// Even with MaxRounds=1 the final FinishGreedy guarantees a complete
 	// proper coloring.
 	in := d1lc.TrivialPalettes(graph.Gnp(80, 0.1, 2))
-	col, _, err := IterativeDerandomized(in, Options{SeedBits: 4, MaxRounds: 1})
+	col, _, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: 4, MaxRounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,92 @@
+package mis
+
+import (
+	"sync"
+
+	"parcolor/internal/bitset"
+	"parcolor/internal/condexp"
+	"parcolor/internal/prg"
+)
+
+// Cache holds the derandomized Luby rounds' reusable allocations across
+// rounds — and, when owned by a long-lived Solver, across whole runs:
+// contribution tables and the per-worker evaluation scratch (reseedable
+// PRG expansion buffers, priority arrays, join/undone masks). sync.Pool-
+// backed and safe for concurrent runs. A nil *Cache is valid and means
+// "per-round pooling only", the pre-Cache behavior.
+type Cache struct {
+	tables  condexp.TableCache
+	scratch sync.Pool // of *misScratch
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{} }
+
+func (c *Cache) tableCache() *condexp.TableCache {
+	if c == nil {
+		return nil
+	}
+	return &c.tables
+}
+
+// getScratch checks a worker scratch out of the cache, retargets it to the
+// engine's shape, and — when it last served a different round — clears the
+// join mask, restoring the invariant that a decided node's join bit reads
+// zero without any per-seed reset.
+func (c *Cache) getScratch(e *roundEngine) *misScratch {
+	var ss *misScratch
+	if c != nil {
+		ss, _ = c.scratch.Get().(*misScratch)
+	}
+	if ss == nil {
+		ss = &misScratch{}
+	}
+	if ss.src == nil {
+		src, err := prg.NewChunkedScratch(e.gen, e.chunkOf, e.numChunks, priorityBits)
+		if err != nil {
+			// Generator too short is a construction bug; make it loud.
+			panic(err)
+		}
+		ss.src = src
+	} else if err := ss.src.Retarget(e.gen, e.chunkOf, e.numChunks, priorityBits); err != nil {
+		panic(err)
+	}
+	n, np := len(e.state), len(e.parts)
+	if cap(ss.prio) < n {
+		ss.prio = make([]uint64, n)
+	} else {
+		ss.prio = ss.prio[:n]
+	}
+	grown := bitset.Words(n) > cap(ss.join)
+	ss.join = ss.join.Grow(n)
+	ss.undone = ss.undone.Grow(np)
+	if ss.owner != e.id {
+		if !grown { // a freshly made mask is already zero
+			ss.join.Reset()
+		}
+		ss.owner = e.id
+	}
+	return ss
+}
+
+// putScratch returns a scratch for reuse. No-op on a nil cache.
+func (c *Cache) putScratch(ss *misScratch) {
+	if c != nil {
+		c.scratch.Put(ss)
+	}
+}
+
+// misScratch is one worker's reusable evaluation state. prio and the join
+// mask are written for every undecided node on every fill, and read only
+// at undecided nodes (a decided node's join bit stays zero from the
+// owner-change reset), so they need no per-seed reset; undone is fully
+// rewritten by each fill's gather. owner tags the round engine the join
+// invariant currently holds for — by id, not pointer, so a pooled scratch
+// never pins a finished engine (and its graph) in memory.
+type misScratch struct {
+	src    *prg.ChunkedScratch
+	prio   []uint64
+	join   bitset.Mask // over nodes
+	undone bitset.Mask // over dense participant indices
+	owner  uint64
+}

@@ -1,11 +1,12 @@
 package mis
 
 import (
-	"sync"
+	"sync/atomic"
 
 	"parcolor/internal/bitset"
 	"parcolor/internal/condexp"
 	"parcolor/internal/graph"
+	"parcolor/internal/par"
 	"parcolor/internal/prg"
 	"parcolor/internal/rng"
 )
@@ -36,20 +37,14 @@ import (
 // for differential tests; both paths are bit-identical in selected seed,
 // score, certificate, and resulting MIS.
 
-// misScratch is one worker's reusable evaluation state. prio and the join
-// mask are written for every undecided node on every fill, and read only
-// at undecided nodes (a decided node's join bit stays zero from the
-// arena's initial carve), so they need no per-seed reset; undone is fully
-// rewritten by each fill's gather.
-type misScratch struct {
-	src    *prg.ChunkedScratch
-	prio   []uint64
-	join   bitset.Mask // over nodes
-	undone bitset.Mask // over dense participant indices
-}
+// engineIDs issues the unique ids misScratch.owner tags pooled scratch
+// with (a counter, not a pointer, so pooled entries never retain a
+// finished engine).
+var engineIDs atomic.Uint64
 
 // roundEngine scores one Luby round's seed space incrementally.
 type roundEngine struct {
+	id         uint64 // unique per engine, never zero
 	g          *graph.Graph
 	state      []NodeState
 	parts      []int32 // undecided nodes, ascending
@@ -61,17 +56,25 @@ type roundEngine struct {
 	// bounds[c] is the first participant index of score chunk c.
 	bounds []int32
 
-	pool sync.Pool
+	// cache supplies pooled scratch and table storage: the run's
+	// (possibly Solver-owned) Cache, or an ephemeral one scoped to this
+	// engine when the run has none.
+	cache *Cache
 
 	best     condexp.BestSeen
 	bestJoin bitset.Mask
 }
 
-func newRoundEngine(g *graph.Graph, state []NodeState, parts []int32, gen prg.PRG, chunkOf []int32, numChunks int) *roundEngine {
+func newRoundEngine(g *graph.Graph, state []NodeState, parts []int32, gen prg.PRG, chunkOf []int32, numChunks int, cache *Cache) *roundEngine {
+	if cache == nil {
+		cache = NewCache() // per-engine pooling, the pre-Cache behavior
+	}
 	e := &roundEngine{
-		g: g, state: state, parts: parts,
+		id: engineIDs.Add(1),
+		g:  g, state: state, parts: parts,
 		gen: gen, chunkOf: chunkOf, numChunks: numChunks,
 		nChunks: condexp.ScoreChunks(len(parts)),
+		cache:   cache,
 	}
 	seen := make([]bool, numChunks)
 	e.liveChunks = make([]int32, 0, len(parts))
@@ -81,18 +84,7 @@ func newRoundEngine(g *graph.Graph, state []NodeState, parts []int32, gen prg.PR
 			e.liveChunks = append(e.liveChunks, c)
 		}
 	}
-	np := len(parts)
-	e.bounds = condexp.ChunkBounds(np, e.nChunks)
-	n := g.N()
-	e.pool.New = func() any {
-		src, err := prg.NewChunkedScratch(e.gen, e.chunkOf, e.numChunks, priorityBits)
-		if err != nil {
-			// Generator too short is a construction bug; make it loud.
-			panic(err)
-		}
-		a := bitset.NewArena(bitset.Words(n) + bitset.Words(np))
-		return &misScratch{src: src, prio: make([]uint64, n), join: a.Grab(n), undone: a.Grab(np)}
-	}
+	e.bounds = condexp.ChunkBounds(len(parts), e.nChunks)
 	return e
 }
 
@@ -101,7 +93,7 @@ func newRoundEngine(g *graph.Graph, state []NodeState, parts []int32, gen prg.PR
 // into the dense undone mask, and read off every chunk's contribution as
 // a popcount over its index range.
 func (e *roundEngine) fill(seed uint64, row []int64) {
-	ss := e.pool.Get().(*misScratch)
+	ss := e.cache.getScratch(e)
 	src := ss.src.ReseedChunks(seed, e.liveChunks)
 	var cur rng.Bits
 	for _, v := range e.parts {
@@ -134,7 +126,7 @@ func (e *roundEngine) fill(seed uint64, row []int64) {
 		total += cnt
 	}
 	e.offerBest(seed, total, ss.join)
-	e.pool.Put(ss)
+	e.cache.putScratch(ss)
 }
 
 // stillUndecided reports whether undecided node v stays undecided under
@@ -165,7 +157,7 @@ func (e *roundEngine) offerBest(seed uint64, score int64, join bitset.Mask) {
 // joinFor returns the chosen seed's join mask: the cached clone when the
 // seed matches (always, for flat selection), otherwise one fresh
 // re-simulation (bitwise selection may pick a non-argmin seed).
-func (e *roundEngine) joinFor(seed uint64) bitset.Mask {
+func (e *roundEngine) joinFor(r *par.Runner, seed uint64) bitset.Mask {
 	if e.best.Matches(seed) {
 		return e.bestJoin
 	}
@@ -174,20 +166,26 @@ func (e *roundEngine) joinFor(seed uint64) bitset.Mask {
 		panic(err)
 	}
 	join := bitset.New(e.g.N())
-	join.FromBools(lubyRound(e.g, e.state, src.BitsFor))
+	join.FromBools(lubyRound(r, e.g, e.state, src.BitsFor))
 	return join
 }
 
 // selectSeedTable runs the full table path for one round: build the
-// contribution table in one parallel pass, aggregate (flat or bitwise),
-// and return the selected seed's result plus its join mask.
-func (e *roundEngine) selectSeedTable(o Options) (condexp.Result, bitset.Mask) {
-	tbl := condexp.BuildTable(1<<o.SeedBits, e.nChunks, e.fill)
+// contribution table in one parallel pass on the round's runner, aggregate
+// (flat or bitwise), and return the selected seed's result plus its join
+// mask. A cancelled runner aborts the build and surfaces the context
+// error.
+func (e *roundEngine) selectSeedTable(o Options) (condexp.Result, bitset.Mask, error) {
+	tbl, err := e.cache.tableCache().Build(o.Par, 1<<o.SeedBits, e.nChunks, e.fill)
+	if err != nil {
+		return condexp.Result{}, nil, err
+	}
 	var res condexp.Result
 	if o.Bitwise {
 		res = tbl.SelectSeedBitwise(o.SeedBits)
 	} else {
 		res = tbl.SelectSeed()
 	}
-	return res, e.joinFor(res.Seed)
+	e.cache.tableCache().Release(tbl)
+	return res, e.joinFor(o.Par, res.Seed), nil
 }

@@ -11,12 +11,15 @@
 package mis
 
 import (
+	"context"
+
 	"parcolor/internal/bitset"
 	"parcolor/internal/condexp"
 	"parcolor/internal/graph"
 	"parcolor/internal/par"
 	"parcolor/internal/prg"
 	"parcolor/internal/rng"
+	"parcolor/internal/trace"
 )
 
 // NodeState tracks one node during a run.
@@ -103,11 +106,12 @@ func priority(v int32, b *rng.Bits) uint64 {
 }
 
 // lubyRound computes, without mutating, the set of nodes that join this
-// round: live local maxima of the drawn priorities (ties by node id).
-func lubyRound(g *graph.Graph, state []NodeState, bitsFor func(v int32) *rng.Bits) []bool {
+// round: live local maxima of the drawn priorities (ties by node id). r
+// scopes the per-node parallel loops (nil = process default).
+func lubyRound(r *par.Runner, g *graph.Graph, state []NodeState, bitsFor func(v int32) *rng.Bits) []bool {
 	n := g.N()
 	prio := make([]uint64, n)
-	par.For(n, func(i int) {
+	r.For(n, func(i int) {
 		v := int32(i)
 		if state[v] != Undecided {
 			return
@@ -115,7 +119,7 @@ func lubyRound(g *graph.Graph, state []NodeState, bitsFor func(v int32) *rng.Bit
 		prio[v] = priority(v, bitsFor(v))
 	})
 	join := make([]bool, n)
-	par.For(n, func(i int) {
+	r.For(n, func(i int) {
 		v := int32(i)
 		if state[v] != Undecided {
 			return
@@ -188,7 +192,7 @@ func Randomized(g *graph.Graph, seed uint64, maxRounds int) Result {
 		bitsFor := func(v int32) *rng.Bits {
 			return rng.FreshBits(rng.At2(seed, uint64(v), uint64(r)), priorityBits)
 		}
-		join := lubyRound(g, state, bitsFor)
+		join := lubyRound(nil, g, state, bitsFor)
 		applyJoin(g, state, join)
 		res.Rounds++
 	}
@@ -208,6 +212,15 @@ type Options struct {
 	// produce identical results (seed, score, certificate, MIS); the naive
 	// path exists for differential tests and ablation baselines.
 	NaiveScoring bool
+	// Par scopes the round's parallel loops and seed walks to an explicit
+	// worker budget; Derandomized derives a context-carrying copy from its
+	// ctx argument. nil means the process default.
+	Par *par.Runner
+	// Trace observes one phase per Luby round. nil disables tracing.
+	Trace trace.Tracer
+	// Cache pools contribution tables and per-worker scratch across rounds
+	// and runs. nil means per-round pooling only.
+	Cache *Cache
 }
 
 // Derandomized runs Luby's algorithm under the framework: each round is
@@ -220,7 +233,10 @@ type Options struct {
 // with Skipped nodes (if any) excluded — mirroring that failed nodes defer
 // without breaking WSP for the rest. A final sequential sweep decides any
 // Skipped leftovers so the returned set is maximal outright.
-func Derandomized(g *graph.Graph, o Options) Result {
+//
+// ctx cancels the run between rounds and inside every seed walk; on
+// cancellation Derandomized returns ctx's error and a zero Result.
+func Derandomized(ctx context.Context, g *graph.Graph, o Options) (Result, error) {
 	n := g.N()
 	if o.SeedBits == 0 {
 		o.SeedBits = prg.SeedBitsForDelta(g.MaxDegree(), 10)
@@ -228,6 +244,7 @@ func Derandomized(g *graph.Graph, o Options) Result {
 	if o.MaxRounds == 0 {
 		o.MaxRounds = 4*log2(n+2) + 8
 	}
+	o.Par = o.Par.WithContext(ctx)
 	state := make([]NodeState, n)
 	res := Result{State: state}
 	chunkOf := make([]int32, n)
@@ -235,24 +252,39 @@ func Derandomized(g *graph.Graph, o Options) Result {
 		chunkOf[v] = int32(v)
 	}
 	for r := 0; r < o.MaxRounds; r++ {
+		if err := o.Par.Err(); err != nil {
+			return Result{}, err
+		}
 		parts := undecidedNodes(state)
 		if len(parts) == 0 {
 			break
 		}
+		sp := trace.Begin(o.Trace, "mis", "luby-round", r, len(parts))
 		gen := prg.NewKWise(4, o.SeedBits, n*priorityBits)
 		var sel condexp.Result
+		var decided int
+		var err error
 		if o.NaiveScoring {
-			var join []bool
-			sel, join = selectSeedNaive(g, state, gen, chunkOf, len(parts), o)
-			applyJoin(g, state, join)
+			sel, err = selectSeedNaive(g, state, gen, chunkOf, len(parts), o)
+			if err == nil {
+				src, _ := prg.NewChunkedSource(gen, sel.Seed, chunkOf, n, priorityBits)
+				decided = applyJoin(g, state, lubyRound(o.Par, g, state, src.BitsFor))
+			}
 		} else {
-			eng := newRoundEngine(g, state, parts, gen, chunkOf, n)
+			eng := newRoundEngine(g, state, parts, gen, chunkOf, n, o.Cache)
 			var join bitset.Mask
-			sel, join = eng.selectSeedTable(o)
-			applyJoinMask(g, state, join)
+			sel, join, err = eng.selectSeedTable(o)
+			if err == nil {
+				decided = applyJoinMask(g, state, join)
+			}
+		}
+		if err != nil {
+			sp.End(0, 0, 0)
+			return Result{}, err
 		}
 		res.SeedReports = append(res.SeedReports, sel)
 		res.Rounds++
+		sp.End(sel.Evals, decided, 0)
 	}
 	// Any undecided leftovers (possible only if MaxRounds hit) are decided
 	// greedily, preserving independence and reaching maximality.
@@ -273,32 +305,38 @@ func Derandomized(g *graph.Graph, o Options) Result {
 			state[v] = Out
 		}
 	}
-	return res
+	return res, nil
 }
 
 // selectSeedNaive is the monolithic oracle: one full PRG expansion plus
-// full-graph Luby simulation per evaluated seed, and a final re-simulation
-// of the winner. It is the path the table engine is differentially tested
-// against.
-func selectSeedNaive(g *graph.Graph, state []NodeState, gen prg.PRG, chunkOf []int32, undecided int, o Options) (condexp.Result, []bool) {
+// full-graph Luby simulation per evaluated seed (the winner is
+// re-simulated by the caller). It is the path the table engine is
+// differentially tested against. A cancelled runner short-circuits the
+// remaining evaluations and surfaces the context error.
+func selectSeedNaive(g *graph.Graph, state []NodeState, gen prg.PRG, chunkOf []int32, undecided int, o Options) (condexp.Result, error) {
 	n := g.N()
 	scorer := func(seed uint64) int64 {
+		if o.Par.Err() != nil {
+			return 0 // discarded with the selection
+		}
 		src, err := prg.NewChunkedSource(gen, seed, chunkOf, n, priorityBits)
 		if err != nil {
 			panic(err)
 		}
-		join := lubyRound(g, state, src.BitsFor)
+		join := lubyRound(o.Par, g, state, src.BitsFor)
 		// Pessimistic estimator: nodes still undecided afterwards.
-		return int64(undecided) - int64(simulateDecided(g, state, join))
+		return int64(undecided) - int64(simulateDecided(o.Par, g, state, join))
 	}
 	var sel condexp.Result
 	if o.Bitwise {
-		sel = condexp.SelectSeedBitwise(o.SeedBits, scorer)
+		sel = condexp.SelectSeedBitwise(o.Par, o.SeedBits, scorer)
 	} else {
-		sel = condexp.SelectSeed(1<<o.SeedBits, scorer)
+		sel = condexp.SelectSeed(o.Par, 1<<o.SeedBits, scorer)
 	}
-	src, _ := prg.NewChunkedSource(gen, sel.Seed, chunkOf, n, priorityBits)
-	return sel, lubyRound(g, state, src.BitsFor)
+	if err := o.Par.Err(); err != nil {
+		return condexp.Result{}, err
+	}
+	return sel, nil
 }
 
 // undecidedNodes lists the current round's participants in ascending node
@@ -315,8 +353,8 @@ func undecidedNodes(state []NodeState) []int32 {
 
 // simulateDecided counts how many currently-undecided nodes would become
 // decided if join were applied, without mutating state.
-func simulateDecided(g *graph.Graph, state []NodeState, join []bool) int {
-	return int(par.ReduceInt(g.N(), func(i int) int64 {
+func simulateDecided(r *par.Runner, g *graph.Graph, state []NodeState, join []bool) int {
+	return int(r.ReduceInt(g.N(), func(i int) int64 {
 		v := int32(i)
 		if state[v] != Undecided {
 			return 0

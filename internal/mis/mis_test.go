@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -8,6 +9,17 @@ import (
 	"parcolor/internal/par"
 	"parcolor/internal/rng"
 )
+
+// mustDerand runs Derandomized with a background context and fails the
+// test on error (which only cancellation can produce).
+func mustDerand(t *testing.T, g *graph.Graph, o Options) Result {
+	t.Helper()
+	res, err := Derandomized(context.Background(), g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 func TestRandomizedMISOnSuite(t *testing.T) {
 	graphs := map[string]*graph.Graph{
@@ -45,7 +57,7 @@ func TestDerandomizedMISCorrect(t *testing.T) {
 		"k20":   graph.Complete(20),
 	}
 	for name, g := range graphs {
-		res := Derandomized(g, Options{SeedBits: 6})
+		res := mustDerand(t, g, Options{SeedBits: 6})
 		if !IsIndependent(g, res.State) {
 			t.Fatalf("%s: not independent", name)
 		}
@@ -62,8 +74,8 @@ func TestDerandomizedMISCorrect(t *testing.T) {
 
 func TestDerandomizedDeterministic(t *testing.T) {
 	g := graph.Gnp(100, 0.08, 9)
-	a := Derandomized(g, Options{SeedBits: 6})
-	b := Derandomized(g, Options{SeedBits: 6})
+	a := mustDerand(t, g, Options{SeedBits: 6})
+	b := mustDerand(t, g, Options{SeedBits: 6})
 	for v := range a.State {
 		if a.State[v] != b.State[v] {
 			t.Fatal("nondeterministic")
@@ -73,7 +85,7 @@ func TestDerandomizedDeterministic(t *testing.T) {
 
 func TestCompleteGraphPicksExactlyOne(t *testing.T) {
 	g := graph.Complete(25)
-	res := Derandomized(g, Options{SeedBits: 5})
+	res := mustDerand(t, g, Options{SeedBits: 5})
 	if n := len(res.InSetNodes()); n != 1 {
 		t.Fatalf("MIS of K25 has %d nodes", n)
 	}
@@ -81,7 +93,7 @@ func TestCompleteGraphPicksExactlyOne(t *testing.T) {
 
 func TestEmptyGraphAllIn(t *testing.T) {
 	g := graph.Empty(40)
-	res := Derandomized(g, Options{SeedBits: 4})
+	res := mustDerand(t, g, Options{SeedBits: 4})
 	if n := len(res.InSetNodes()); n != 40 {
 		t.Fatalf("edgeless MIS has %d of 40", n)
 	}
@@ -115,7 +127,7 @@ func TestLubyRoundJoinersIndependent(t *testing.T) {
 	bitsFor := func(v int32) *rng.Bits {
 		return rng.FreshBits(rng.At2(21, uint64(v), 0), priorityBits)
 	}
-	join := lubyRound(g, state, bitsFor)
+	join := lubyRound(nil, g, state, bitsFor)
 	for v := int32(0); v < int32(g.N()); v++ {
 		if state[v] != Undecided {
 			t.Fatal("lubyRound mutated state")
@@ -135,7 +147,7 @@ func TestMISSizesComparable(t *testing.T) {
 	// Derandomized MIS size should be within a factor 2 of randomized.
 	g := graph.Gnp(200, 0.04, 17)
 	rr := Randomized(g, 5, 200)
-	dd := Derandomized(g, Options{SeedBits: 6})
+	dd := mustDerand(t, g, Options{SeedBits: 6})
 	r := len(rr.InSetNodes())
 	d := len(dd.InSetNodes())
 	if d*2 < r || r*2 < d {
@@ -162,10 +174,10 @@ func TestTableScoringMatchesNaive(t *testing.T) {
 				o := Options{SeedBits: 6, Bitwise: bitwise}
 				oNaive := o
 				oNaive.NaiveScoring = true
-				prev := par.SetMaxWorkers(workers)
-				tab := Derandomized(g, o)
-				naive := Derandomized(g, oNaive)
-				par.SetMaxWorkers(prev)
+				o.Par = par.NewRunner(workers)
+				oNaive.Par = par.NewRunner(workers)
+				tab := mustDerand(t, g, o)
+				naive := mustDerand(t, g, oNaive)
 				if len(tab.SeedReports) != len(naive.SeedReports) {
 					t.Fatalf("%s/bitwise=%v/w=%d: round counts diverge: %d vs %d",
 						name, bitwise, workers, len(tab.SeedReports), len(naive.SeedReports))
@@ -195,8 +207,8 @@ func TestTableScoringMatchesNaive(t *testing.T) {
 func TestTableEvalReduction(t *testing.T) {
 	g := graph.Gnp(100, 0.06, 2)
 	const d = 5
-	tab := Derandomized(g, Options{SeedBits: d, Bitwise: true})
-	naive := Derandomized(g, Options{SeedBits: d, Bitwise: true, NaiveScoring: true})
+	tab := mustDerand(t, g, Options{SeedBits: d, Bitwise: true})
+	naive := mustDerand(t, g, Options{SeedBits: d, Bitwise: true, NaiveScoring: true})
 	for i := range tab.SeedReports {
 		if got, want := tab.SeedReports[i].Evals, 1<<d; got != want {
 			t.Fatalf("round %d: table evals %d, want %d", i, got, want)
@@ -212,7 +224,7 @@ func TestDerandomizedBitwiseCorrect(t *testing.T) {
 		"gnp": graph.Gnp(120, 0.05, 6),
 		"k15": graph.Complete(15),
 	} {
-		res := Derandomized(g, Options{SeedBits: 6, Bitwise: true})
+		res := mustDerand(t, g, Options{SeedBits: 6, Bitwise: true})
 		if !IsIndependent(g, res.State) || !IsMaximal(g, res.State) {
 			t.Fatalf("%s: bitwise result invalid", name)
 		}
@@ -236,7 +248,7 @@ func BenchmarkDerandomizedMIS(b *testing.B) {
 	g := graph.Gnp(200, 0.04, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = Derandomized(g, Options{SeedBits: 5})
+		_, _ = Derandomized(context.Background(), g, Options{SeedBits: 5})
 	}
 }
 
@@ -260,7 +272,7 @@ func BenchmarkSeedSelectionMIS(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				_ = Derandomized(g, Options{SeedBits: 8, Bitwise: cfg.bitwise, NaiveScoring: cfg.naive})
+				_, _ = Derandomized(context.Background(), g, Options{SeedBits: 8, Bitwise: cfg.bitwise, NaiveScoring: cfg.naive})
 			}
 		})
 	}

@@ -23,7 +23,7 @@ func TestDistributedSelectSeedMatchesShared(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := condexp.SelectSeed(seeds, func(s uint64) int64 {
+	ref := condexp.SelectSeed(nil, seeds, func(s uint64) int64 {
 		var sum int64
 		for mid := 0; mid < machines; mid++ {
 			sum += scoreOf(mid, s)
@@ -126,7 +126,7 @@ func TestDistributedSelectSeedRowsMatchesScalar(t *testing.T) {
 			t.Fatalf("m=%d s=%d: certificate violated", tc.machines, tc.space)
 		}
 		// The shared-memory table path is the common reference.
-		ref := condexp.SelectSeed(tc.seeds, func(s uint64) int64 {
+		ref := condexp.SelectSeed(nil, tc.seeds, func(s uint64) int64 {
 			var sum int64
 			for mid := 0; mid < tc.machines; mid++ {
 				sum += scoreOf(mid, s)

@@ -18,6 +18,7 @@
 package mpc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,6 +36,10 @@ type Config struct {
 	// recorded in Metrics and execution continues (useful to *measure* how
 	// much space an algorithm actually needs).
 	Strict bool
+	// Par scopes the per-round machine-step parallel loop to an explicit
+	// worker budget (simulation concurrency only — the model's round
+	// semantics are unaffected). nil means the process default.
+	Par *par.Runner
 }
 
 // Metrics aggregates model-relevant accounting across rounds.
@@ -83,6 +88,7 @@ func (m *Mailer) Send(to int, rec []int64) {
 // Cluster is a running MPC instance.
 type Cluster struct {
 	cfg      Config
+	ctx      context.Context // round-boundary cancellation; nil = never
 	Machines []*Machine
 	Metrics  Metrics
 }
@@ -103,15 +109,26 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
+// SetContext attaches ctx to the cluster: every subsequent Round checks it
+// first and returns its error when cancelled, so multi-round protocols
+// (selection trees, converge-casts, sort passes) abort at the next round
+// boundary with the engine state intact. nil detaches.
+func (c *Cluster) SetContext(ctx context.Context) { c.ctx = ctx }
+
 // Step is one machine's program for one round.
 type Step func(m *Machine, out *Mailer)
 
 // Round runs step on every machine concurrently, then routes messages and
 // enforces the space constraints of the model.
 func (c *Cluster) Round(step Step) error {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	n := len(c.Machines)
 	mailers := make([]Mailer, n)
-	par.For(n, func(i int) {
+	c.cfg.Par.For(n, func(i int) {
 		step(c.Machines[i], &mailers[i])
 	})
 	// Accounting: sent words per machine.

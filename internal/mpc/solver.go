@@ -1,10 +1,12 @@
 package mpc
 
 import (
+	"context"
 	"fmt"
 
 	"parcolor/internal/d1lc"
 	"parcolor/internal/prg"
+	"parcolor/internal/trace"
 )
 
 // DeterministicColorMPC colors an entire instance with every round
@@ -27,10 +29,15 @@ type MPCSolveStats struct {
 }
 
 // DeterministicColorMPC runs the solver. seedBits bounds the per-round
-// seed space (Θ(log Δ) in the paper).
-func DeterministicColorMPC(c *Cluster, in *d1lc.Instance, seedBits int, maxRounds int) (*d1lc.Coloring, MPCSolveStats, error) {
+// seed space (Θ(log Δ) in the paper). ctx cancels the run at every engine
+// round boundary (the cluster checks it before executing a round); tr, if
+// non-nil, observes one phase per derandomized TRC round plus the residue
+// greedy.
+func DeterministicColorMPC(ctx context.Context, c *Cluster, in *d1lc.Instance, seedBits int, maxRounds int, tr trace.Tracer) (*d1lc.Coloring, MPCSolveStats, error) {
 	g := in.G
 	n := g.N()
+	c.SetContext(ctx)
+	defer c.SetContext(nil)
 	var stats MPCSolveStats
 	if err := in.Check(); err != nil {
 		return nil, stats, err
@@ -60,12 +67,15 @@ func DeterministicColorMPC(c *Cluster, in *d1lc.Instance, seedBits int, maxRound
 	start := c.Metrics.Rounds
 
 	for round := 0; round < maxRounds && col.UncoloredCount() > 0; round++ {
+		sp := trace.Begin(tr, "mpc", "trc-round", round, col.UncoloredCount())
 		_, colored, _, err := DerandomizedTRCRound(c, in, col, remaining, chunkOf, n, gen, numSeeds, RoundOptions{})
 		if err != nil {
+			sp.End(0, 0, 0)
 			return nil, stats, err
 		}
 		stats.TRCRounds++
 		stats.SeedsTried += numSeeds
+		sp.End(numSeeds, colored, 0)
 		if colored == 0 {
 			break // no seed progresses: hand the rest to the base case
 		}
@@ -73,6 +83,7 @@ func DeterministicColorMPC(c *Cluster, in *d1lc.Instance, seedBits int, maxRound
 	// Theorem 12 base case: ship the residue (induced edges + palettes) to
 	// machine 0 and color greedily there. One gather round; the engine
 	// accounts the words.
+	spResidue := trace.Begin(tr, "mpc", "residue-greedy", stats.TRCRounds, col.UncoloredCount())
 	residue := make([]bool, n)
 	err := c.Round(func(m *Machine, out *Mailer) {
 		if m.ID >= n {
@@ -91,6 +102,7 @@ func DeterministicColorMPC(c *Cluster, in *d1lc.Instance, seedBits int, maxRound
 		out.Send(0, msg)
 	})
 	if err != nil {
+		spResidue.End(0, 0, 0)
 		return nil, stats, err
 	}
 	// Machine 0 colors the residue greedily in node order using the
@@ -130,9 +142,11 @@ func DeterministicColorMPC(c *Cluster, in *d1lc.Instance, seedBits int, maxRound
 			}
 		}
 		if !assigned {
+			spResidue.End(0, stats.Residue, 0)
 			return nil, stats, fmt.Errorf("mpc: residue greedy stuck at node %d", v)
 		}
 	}
+	spResidue.End(0, stats.Residue, 0)
 	stats.MPCRounds = c.Metrics.Rounds - start
 	return col, stats, nil
 }

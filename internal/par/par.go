@@ -7,27 +7,40 @@
 // through this package so that the degree of parallelism is controlled in
 // one place and results never depend on scheduling order.
 //
+// Parallelism is scoped through Runner: an explicit handle bundling a
+// worker bound with an optional cancellation context, threaded by value
+// through the solve path (parcolor.Solver → deframe/mis/lowdeg/mpc/
+// sparsify → condexp/hknt) so that two concurrent solves with different
+// budgets never observe each other's bound. The package-level functions
+// run on the process-wide default Runner; leaf helpers (graph builders,
+// bitset word fills) that have no per-solve budget use them directly.
+//
 // All functions are deterministic in their observable results: work is
 // partitioned into contiguous index chunks, each chunk writes only to its
 // own output range, and reductions combine per-chunk partials in index
-// order.
+// order. The worker bound and cancellation never change *what* a completed
+// loop computes, only how many goroutines compute it.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
 
-// MaxWorkers bounds the number of worker goroutines used by the package.
-// The zero value means runtime.GOMAXPROCS(0). It exists so experiments can
-// measure goroutine scaling (experiment E10) without plumbing a parameter
-// through every call site.
+// maxWorkers bounds the number of worker goroutines used by the *default*
+// Runner (the package-level functions and any Runner without an explicit
+// bound). The zero value means runtime.GOMAXPROCS(0). Per-solve bounds are
+// carried by explicit Runners and never touch this value.
 var maxWorkers int
 
 var maxWorkersMu sync.RWMutex
 
-// SetMaxWorkers sets the global worker bound. n <= 0 restores the default
-// (GOMAXPROCS). It returns the previous bound (0 meaning default).
+// SetMaxWorkers sets the default worker bound. n <= 0 restores the default
+// (GOMAXPROCS). It returns the previous bound (0 meaning default). It
+// configures only the process-wide default Runner — an explicit
+// NewRunner(w) bound is unaffected — so concurrent solves with their own
+// Runners cannot race through it.
 func SetMaxWorkers(n int) int {
 	maxWorkersMu.Lock()
 	defer maxWorkersMu.Unlock()
@@ -40,12 +53,79 @@ func SetMaxWorkers(n int) int {
 	return prev
 }
 
-// Workers reports the number of workers a parallel loop over n items will
-// use: min(bound, n), at least 1.
-func Workers(n int) int {
+func defaultBound() int {
 	maxWorkersMu.RLock()
 	w := maxWorkers
 	maxWorkersMu.RUnlock()
+	return w
+}
+
+// Runner is a scoped parallelism handle: a worker bound plus an optional
+// cancellation context. A nil *Runner is valid everywhere and means "the
+// process-wide default": GOMAXPROCS workers (or SetMaxWorkers' bound) and
+// no cancellation. Runners are immutable after construction and safe for
+// concurrent use; two Runners never share mutable state, which is what
+// lets concurrent solves honor distinct bounds.
+type Runner struct {
+	workers int
+	ctx     context.Context
+}
+
+// NewRunner returns a Runner bounded to at most workers goroutines per
+// parallel loop. workers <= 0 means the process default (GOMAXPROCS).
+func NewRunner(workers int) *Runner {
+	if workers < 0 {
+		workers = 0
+	}
+	return &Runner{workers: workers}
+}
+
+// WithContext returns a Runner with the same worker bound whose loops and
+// Err observe ctx. The receiver may be nil (default bound). ctx == nil
+// clears cancellation.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	nr := &Runner{ctx: ctx}
+	if r != nil {
+		nr.workers = r.workers
+	}
+	return nr
+}
+
+// Bound reports the configured worker bound (0 = process default).
+func (r *Runner) Bound() int {
+	if r == nil {
+		return 0
+	}
+	return r.workers
+}
+
+// Err reports the runner's cancellation state: the context's error, or nil
+// when no context is attached. Long-running loops (seed walks, round
+// drivers, recursions) poll it at iteration boundaries and return it
+// promptly, leaving no partially-applied state behind.
+func (r *Runner) Err() error {
+	if r == nil || r.ctx == nil {
+		return nil
+	}
+	return r.ctx.Err()
+}
+
+// Context returns the attached context, or context.Background() when none
+// is attached (never nil).
+func (r *Runner) Context() context.Context {
+	if r == nil || r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
+}
+
+// Workers reports the number of workers a parallel loop over n items will
+// use: min(bound, n), at least 1.
+func (r *Runner) Workers(n int) int {
+	w := r.Bound()
+	if w <= 0 {
+		w = defaultBound()
+	}
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
@@ -59,10 +139,11 @@ func Workers(n int) int {
 }
 
 // For runs body(i) for every i in [0, n), distributing contiguous chunks of
-// the index space across workers. body must not panic; it may write only to
-// data owned by index i (or otherwise non-overlapping per index).
-func For(n int, body func(i int)) {
-	ForChunked(n, func(lo, hi int) {
+// the index space across the runner's workers. body must not panic; it may
+// write only to data owned by index i (or otherwise non-overlapping per
+// index).
+func (r *Runner) For(n int, body func(i int)) {
+	r.ForChunked(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
@@ -70,22 +151,20 @@ func For(n int, body func(i int)) {
 }
 
 // ForChunked runs body(lo, hi) over a partition of [0, n) into one
-// contiguous half-open chunk per worker. It is the primitive underlying For
-// and Reduce; use it directly when per-chunk setup (scratch buffers, local
-// accumulators) matters.
-func ForChunked(n int, body func(lo, hi int)) {
-	ForChunkedWorker(n, func(_, lo, hi int) { body(lo, hi) })
+// contiguous half-open chunk per worker.
+func (r *Runner) ForChunked(n int, body func(lo, hi int)) {
+	r.ForChunkedWorker(n, func(_, lo, hi int) { body(lo, hi) })
 }
 
 // ForChunkedWorker is ForChunked with the worker index exposed: body runs
 // with w ∈ [0, Workers(n)) identifying the goroutine's slot, so callers can
 // reuse per-worker scratch (size it with Workers(n)). Chunk boundaries are
 // the same deterministic partition ForChunked uses.
-func ForChunkedWorker(n int, body func(w, lo, hi int)) {
+func (r *Runner) ForChunkedWorker(n int, body func(w, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	w := Workers(n)
+	w := r.Workers(n)
 	if w == 1 {
 		body(0, 0, n)
 		return
@@ -115,13 +194,12 @@ var partialPool = sync.Pool{New: func() any {
 // ReduceChunked folds body over [0, n) at chunk granularity: body(lo, hi)
 // returns the partial for one contiguous chunk, and partials are summed in
 // chunk order, so the result equals the sequential sum regardless of worker
-// count. It is the chunk-granular counterpart of ReduceInt, letting the
-// callee amortize per-chunk setup across its range.
-func ReduceChunked(n int, body func(lo, hi int) int64) int64 {
+// count.
+func (r *Runner) ReduceChunked(n int, body func(lo, hi int) int64) int64 {
 	if n <= 0 {
 		return 0
 	}
-	w := Workers(n)
+	w := r.Workers(n)
 	if w == 1 {
 		return body(0, n)
 	}
@@ -130,7 +208,7 @@ func ReduceChunked(n int, body func(lo, hi int) int64) int64 {
 	for k := 0; k < w; k++ {
 		partial = append(partial, 0)
 	}
-	ForChunkedWorker(n, func(k, lo, hi int) {
+	r.ForChunkedWorker(n, func(k, lo, hi int) {
 		partial[k] = body(lo, hi)
 	})
 	var total int64
@@ -145,43 +223,25 @@ func ReduceChunked(n int, body func(lo, hi int) int64) int64 {
 // ReduceInt folds body over [0, n): each worker accumulates a chunk-local
 // int64 starting from zero, and the partials are summed in chunk order, so
 // the result equals the sequential sum regardless of worker count.
-func ReduceInt(n int, body func(i int) int64) int64 {
-	if n <= 0 {
-		return 0
-	}
-	w := Workers(n)
-	partial := make([]int64, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		lo := k * n / w
-		hi := (k + 1) * n / w
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			var acc int64
-			for i := lo; i < hi; i++ {
-				acc += body(i)
-			}
-			partial[k] = acc
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	var total int64
-	for _, p := range partial {
-		total += p
-	}
-	return total
+func (r *Runner) ReduceInt(n int, body func(i int) int64) int64 {
+	return r.ReduceChunked(n, func(lo, hi int) int64 {
+		var acc int64
+		for i := lo; i < hi; i++ {
+			acc += body(i)
+		}
+		return acc
+	})
 }
 
 // ReduceMin returns the minimum of body(i) over [0, n) together with the
 // smallest index attaining it. It is the deterministic argmin used by the
 // method of conditional expectations (ties break toward the smaller index,
 // independent of worker count). n must be positive.
-func ReduceMin(n int, body func(i int) int64) (min int64, argmin int) {
+func (r *Runner) ReduceMin(n int, body func(i int) int64) (min int64, argmin int) {
 	if n <= 0 {
 		panic("par.ReduceMin: n must be positive")
 	}
-	w := Workers(n)
+	w := r.Workers(n)
 	mins := make([]int64, w)
 	args := make([]int, w)
 	var wg sync.WaitGroup
@@ -216,4 +276,32 @@ func ReduceMin(n int, body func(i int) int64) (min int64, argmin int) {
 		}
 	}
 	return min, argmin
+}
+
+// --- Package-level functions: the default Runner ---------------------------
+
+// Workers reports the number of workers a default-Runner loop over n items
+// will use.
+func Workers(n int) int { return (*Runner)(nil).Workers(n) }
+
+// For is Runner.For on the default Runner.
+func For(n int, body func(i int)) { (*Runner)(nil).For(n, body) }
+
+// ForChunked is Runner.ForChunked on the default Runner.
+func ForChunked(n int, body func(lo, hi int)) { (*Runner)(nil).ForChunked(n, body) }
+
+// ForChunkedWorker is Runner.ForChunkedWorker on the default Runner.
+func ForChunkedWorker(n int, body func(w, lo, hi int)) { (*Runner)(nil).ForChunkedWorker(n, body) }
+
+// ReduceChunked is Runner.ReduceChunked on the default Runner.
+func ReduceChunked(n int, body func(lo, hi int) int64) int64 {
+	return (*Runner)(nil).ReduceChunked(n, body)
+}
+
+// ReduceInt is Runner.ReduceInt on the default Runner.
+func ReduceInt(n int, body func(i int) int64) int64 { return (*Runner)(nil).ReduceInt(n, body) }
+
+// ReduceMin is Runner.ReduceMin on the default Runner.
+func ReduceMin(n int, body func(i int) int64) (min int64, argmin int) {
+	return (*Runner)(nil).ReduceMin(n, body)
 }

@@ -1,0 +1,138 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunnerWorkersBound checks the min(bound, n) ≥ 1 arithmetic for
+// explicit runners, independent of the process default.
+func TestRunnerWorkersBound(t *testing.T) {
+	cases := []struct {
+		bound, n, want int
+	}{
+		{1, 100, 1},
+		{3, 100, 3},
+		{3, 2, 2},
+		{8, 0, 1},
+		{0, 1, 1},
+	}
+	for _, c := range cases {
+		r := NewRunner(c.bound)
+		if got := r.Workers(c.n); got != c.want {
+			t.Errorf("NewRunner(%d).Workers(%d) = %d, want %d", c.bound, c.n, got, c.want)
+		}
+	}
+	if got := NewRunner(-5).Bound(); got != 0 {
+		t.Errorf("negative bound not normalized: Bound() = %d", got)
+	}
+}
+
+// TestConcurrentRunnersHonorOwnBounds is the regression test for the
+// SetMaxWorkers global-mutation race: two runners with different bounds
+// running concurrently must each cap their own observed parallelism, with
+// no cross-contamination. Run under -race this also proves the handles
+// share no mutable state.
+func TestConcurrentRunnersHonorOwnBounds(t *testing.T) {
+	const iters = 50
+	probe := func(r *Runner, bound int) {
+		var inflight, peak atomic.Int64
+		for it := 0; it < iters; it++ {
+			r.ForChunkedWorker(256, func(_, lo, hi int) {
+				cur := inflight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				s := 0
+				for i := lo; i < hi; i++ {
+					s += i
+				}
+				_ = s
+				inflight.Add(-1)
+			})
+		}
+		if p := peak.Load(); p > int64(bound) {
+			t.Errorf("runner with bound %d observed %d concurrent workers", bound, p)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, bound := range []int{1, 2, 4} {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			probe(NewRunner(b), b)
+		}(bound)
+	}
+	wg.Wait()
+}
+
+// TestRunnerDeterministicAcrossBounds pins reductions to the sequential
+// result for every bound.
+func TestRunnerDeterministicAcrossBounds(t *testing.T) {
+	n := 1000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64((i*2654435761)%1000) - 500
+	}
+	var wantSum int64
+	wantMin, wantArg := vals[0], 0
+	for i, v := range vals {
+		wantSum += v
+		if v < wantMin {
+			wantMin, wantArg = v, i
+		}
+	}
+	for _, bound := range []int{1, 2, 3, 7, 64} {
+		r := NewRunner(bound)
+		if got := r.ReduceInt(n, func(i int) int64 { return vals[i] }); got != wantSum {
+			t.Errorf("bound %d: ReduceInt = %d, want %d", bound, got, wantSum)
+		}
+		if got := r.ReduceChunked(n, func(lo, hi int) int64 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		}); got != wantSum {
+			t.Errorf("bound %d: ReduceChunked = %d, want %d", bound, got, wantSum)
+		}
+		gotMin, gotArg := r.ReduceMin(n, func(i int) int64 { return vals[i] })
+		if gotMin != wantMin || gotArg != wantArg {
+			t.Errorf("bound %d: ReduceMin = (%d, %d), want (%d, %d)", bound, gotMin, gotArg, wantMin, wantArg)
+		}
+	}
+}
+
+// TestRunnerContext checks Err/Context plumbing, including the nil-runner
+// and nil-context defaults.
+func TestRunnerContext(t *testing.T) {
+	var nilR *Runner
+	if err := nilR.Err(); err != nil {
+		t.Fatalf("nil runner Err = %v", err)
+	}
+	if nilR.Context() == nil {
+		t.Fatal("nil runner Context is nil")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRunner(2).WithContext(ctx)
+	if r.Err() != nil {
+		t.Fatalf("live context Err = %v", r.Err())
+	}
+	if r.Bound() != 2 {
+		t.Fatalf("WithContext dropped the bound: %d", r.Bound())
+	}
+	cancel()
+	if r.Err() != context.Canceled {
+		t.Fatalf("cancelled Err = %v, want context.Canceled", r.Err())
+	}
+	// Deriving from nil keeps the default bound.
+	r2 := nilR.WithContext(ctx)
+	if r2.Bound() != 0 || r2.Err() != context.Canceled {
+		t.Fatalf("nil.WithContext: bound %d err %v", r2.Bound(), r2.Err())
+	}
+}

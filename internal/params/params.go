@@ -32,7 +32,14 @@ type Params struct {
 }
 
 // Compute evaluates all parameters for the instance.
-func Compute(in *d1lc.Instance) *Params {
+func Compute(in *d1lc.Instance) *Params { return ComputePar(nil, in) }
+
+// ComputePar is Compute with the per-node parameter pass — quadratic in
+// degree through the non-edge counts and palette disparities — scoped to
+// r's worker budget and cancellation. When r is cancelled mid-pass the
+// remaining nodes keep zero parameters; callers threading a cancellable
+// runner must check r.Err() before using the result.
+func ComputePar(r *par.Runner, in *d1lc.Instance) *Params {
 	g := in.G
 	n := g.N()
 	p := &Params{
@@ -44,7 +51,10 @@ func Compute(in *d1lc.Instance) *Params {
 		Slackab:     make([]float64, n),
 		StrongSlack: make([]float64, n),
 	}
-	par.For(n, func(i int) {
+	r.For(n, func(i int) {
+		if r.Err() != nil {
+			return // cancelled: skip the quadratic work, result discarded
+		}
 		v := int32(i)
 		d := g.Degree(v)
 		p.Slack[v] = len(in.Palettes[v]) - d

@@ -34,6 +34,12 @@ func NewExpander(p PRG) *Expander {
 	return &Expander{p: p}
 }
 
+// Retarget rebinds the expander to a different generator, keeping the
+// scratch storage (coefficient buffer, difference tables) for reuse — the
+// cross-solve pooling path: a worker's expander outlives any single
+// (step, generator) pairing.
+func (e *Expander) Retarget(p PRG) { e.p = p }
+
 // grow returns a scratch slice of n words, reusing prior capacity.
 func (e *Expander) grow(n int) []uint64 {
 	if cap(e.buf) < n {
@@ -311,6 +317,36 @@ func NewChunkedScratch(p PRG, chunkOf []int32, numChunks, bitsPer int) (*Chunked
 func (cs *ChunkedScratch) Reseed(seed uint64) *ChunkedSource {
 	cs.exp.ExpandInto(seed, cs.src.words, cs.need)
 	return &cs.src
+}
+
+// Retarget rebinds the scratch to a new (generator, chunk layout) pair,
+// validating as NewChunkedScratch does but reusing the expansion buffer
+// and expander scratch whenever capacities allow. It is a cheap no-op when
+// the layout is unchanged, so pooled per-worker scratch can be retargeted
+// unconditionally on checkout.
+func (cs *ChunkedScratch) Retarget(p PRG, chunkOf []int32, numChunks, bitsPer int) error {
+	need := numChunks * bitsPer
+	if p.OutputBits() < need {
+		return fmt.Errorf("prg: %s outputs %d bits, need %d (%d chunks × %d)",
+			p.Name(), p.OutputBits(), need, numChunks, bitsPer)
+	}
+	if cs.exp.p == p && len(chunkOf) > 0 && len(cs.src.chunkOf) == len(chunkOf) &&
+		&cs.src.chunkOf[0] == &chunkOf[0] &&
+		cs.src.numChunk == numChunks && cs.src.bitsPer == bitsPer {
+		return nil
+	}
+	words := (need + 63) / 64
+	if cap(cs.src.words) < words {
+		cs.src.words = make([]uint64, words)
+	} else {
+		cs.src.words = cs.src.words[:words]
+	}
+	cs.src.bitsPer = bitsPer
+	cs.src.chunkOf = chunkOf
+	cs.src.numChunk = numChunks
+	cs.exp.Retarget(p)
+	cs.need = need
+	return nil
 }
 
 // ReseedChunks re-expands only the listed chunks' bit ranges at seed and

@@ -245,3 +245,52 @@ func BenchmarkExpandInto(b *testing.B) {
 		e.ExpandInto(uint64(i)&255, dst, 4096)
 	}
 }
+
+// TestChunkedScratchRetarget checks that a retargeted scratch is
+// bit-identical to a freshly constructed one, across generator families
+// and layouts, and that retargeting to an unchanged layout is accepted.
+func TestChunkedScratchRetarget(t *testing.T) {
+	kw := NewKWise(4, 6, 40*8)
+	ni := NewNisan(64, 4, 6)
+	chunkA := make([]int32, 40)
+	for i := range chunkA {
+		chunkA[i] = int32(i)
+	}
+	chunkB := make([]int32, 25)
+	for i := range chunkB {
+		chunkB[i] = int32(i % 5)
+	}
+	cs, err := NewChunkedScratch(kw, chunkA, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(p PRG, chunkOf []int32, numChunks, bitsPer int) {
+		t.Helper()
+		if err := cs.Retarget(p, chunkOf, numChunks, bitsPer); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewChunkedScratch(p, chunkOf, numChunks, bitsPer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := uint64(0); seed < 8; seed++ {
+			a := cs.Reseed(seed)
+			b := fresh.Reseed(seed)
+			for _, v := range chunkOf[:min(4, len(chunkOf))] {
+				ba, bb := a.BitsFor(v), b.BitsFor(v)
+				for k := 0; k < bitsPer; k++ {
+					if ba.Take(1) != bb.Take(1) {
+						t.Fatalf("retargeted scratch differs at seed %d node %d bit %d", seed, v, k)
+					}
+				}
+			}
+		}
+	}
+	check(kw, chunkA, 40, 8) // no-op retarget
+	check(ni, chunkA, 40, 8) // new generator, same layout
+	check(kw, chunkB, 5, 16) // smaller layout, reused buffer
+	check(kw, chunkA, 40, 8) // back to the original
+	if err := cs.Retarget(kw, chunkA, 4000, 64); err == nil {
+		t.Fatal("Retarget accepted a layout exceeding the generator's output")
+	}
+}

@@ -1,10 +1,12 @@
 package sparsify
 
 import (
+	"context"
 	"fmt"
 
 	"parcolor/internal/d1lc"
 	"parcolor/internal/graph"
+	"parcolor/internal/trace"
 )
 
 // This file implements LowSpaceColorReduce (Algorithm 11): recursively
@@ -44,8 +46,14 @@ func (r *Report) merge(s *Report) {
 
 // ColorReduce colors the instance by Algorithm 11. The result is always a
 // complete proper coloring for a valid instance.
-func ColorReduce(in *d1lc.Instance, o Options, base BaseSolver) (*d1lc.Coloring, *Report, error) {
+//
+// ctx cancels the recursion between partitions, bins and recursion levels
+// (base solvers receive cancellation through their own plumbing — the
+// deterministic pipeline's deframe.Run shares the same context); on
+// cancellation ColorReduce returns ctx's error and no coloring.
+func ColorReduce(ctx context.Context, in *d1lc.Instance, o Options, base BaseSolver) (*d1lc.Coloring, *Report, error) {
 	o = o.withDefaults(in.G.N())
+	o.Par = o.Par.WithContext(ctx)
 	return colorReduce(in, o, base, o.MaxDepth)
 }
 
@@ -54,6 +62,9 @@ func colorReduce(in *d1lc.Instance, o Options, base BaseSolver, depth int) (*d1l
 	n := in.G.N()
 	if n == 0 {
 		return d1lc.NewColoring(0), rep, nil
+	}
+	if err := o.Par.Err(); err != nil {
+		return nil, rep, err
 	}
 	if depth <= 0 || in.G.MaxDegree() <= o.MidDegree {
 		col, err := base(in)
@@ -65,10 +76,17 @@ func colorReduce(in *d1lc.Instance, o Options, base BaseSolver, depth int) (*d1l
 		return col, rep, nil
 	}
 
+	sp := trace.Begin(o.Trace, "sparsify", "partition", o.MaxDepth-depth, n)
 	part, err := Compute(in, o)
+	if err == nil {
+		err = o.Par.Err() // the hash searches bail early when cancelled
+	}
 	if err != nil {
+		sp.End(0, 0, 0)
 		return nil, rep, err
 	}
+	// SeedEvals ≈ hash seeds tried: the searches stop at the chosen seed.
+	sp.End(int(part.NodeSeed+part.ColorSeed)+2, n-part.MovedToMid, part.MovedToMid)
 	rep.Partitions = 1
 	rep.MovedToMid = part.MovedToMid
 	for v := int32(0); v < int32(n); v++ {
@@ -90,6 +108,9 @@ func colorReduce(in *d1lc.Instance, o Options, base BaseSolver, depth int) (*d1l
 	// Bins 0..Bins−2: disjoint palettes, solved independently
 	// (Algorithm 11 line 2 — "in parallel").
 	for b := 0; b < part.Bins-1; b++ {
+		if err := o.Par.Err(); err != nil {
+			return nil, rep, err
+		}
 		if err := solveBin(in, col, part, int32(b), o, base, depth, rep, true); err != nil {
 			return nil, rep, err
 		}

@@ -24,6 +24,7 @@ import (
 	"parcolor/internal/graph"
 	"parcolor/internal/hashfam"
 	"parcolor/internal/par"
+	"parcolor/internal/trace"
 )
 
 // Strategy selects how node/color hash functions are chosen.
@@ -70,6 +71,14 @@ type Options struct {
 	MaxSeedTries int
 	// MaxDepth bounds recursion (default 4; the paper's depth is O(1)).
 	MaxDepth int
+	// Par scopes the hash-search parallel loops to an explicit worker
+	// budget; ColorReduce derives a context-carrying copy from its ctx
+	// argument, and checks it between bins and recursion levels. nil means
+	// the process default.
+	Par *par.Runner
+	// Trace observes one phase per partition computed. nil disables
+	// tracing.
+	Trace trace.Tracer
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -225,12 +234,15 @@ func searchNodeSeed(part *Partition, g *graph.Graph, highDeg []int32, o Options)
 	bestSeed, bestViol := uint64(0), math.MaxInt
 	binOf := make([]int32, len(part.NodeBin))
 	for seed := uint64(0); seed < uint64(o.MaxSeedTries); seed++ {
+		if o.Par.Err() != nil {
+			break // cancelled: the caller discards the partition
+		}
 		h := hashfam.NewPoly(seedWords(seed, 2))
 		copy(binOf, part.NodeBin)
 		for _, v := range highDeg {
 			binOf[v] = int32(h.Bin(uint64(v)+1, o.Bins))
 		}
-		viol := int(par.ReduceInt(len(highDeg), func(i int) int64 {
+		viol := int(o.Par.ReduceInt(len(highDeg), func(i int) int64 {
 			v := highDeg[i]
 			d := g.Degree(v)
 			dPrime := 0
@@ -260,8 +272,11 @@ func searchColorSeed(in *d1lc.Instance, part *Partition, highDeg []int32, o Opti
 	colorBins := part.Bins - 1
 	bestSeed, bestViol := uint64(0), math.MaxInt
 	for seed := uint64(0); seed < uint64(o.MaxSeedTries); seed++ {
+		if o.Par.Err() != nil {
+			break // cancelled: the caller discards the partition
+		}
 		h := hashfam.NewPoly(seedWords(seed, 2))
-		viol := int(par.ReduceInt(len(highDeg), func(i int) int64 {
+		viol := int(o.Par.ReduceInt(len(highDeg), func(i int) int64 {
 			v := highDeg[i]
 			b := part.NodeBin[v]
 			if b < 0 || int(b) == part.Bins-1 {

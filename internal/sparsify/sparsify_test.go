@@ -1,6 +1,7 @@
 package sparsify
 
 import (
+	"context"
 	"testing"
 
 	"parcolor/internal/d1lc"
@@ -135,7 +136,7 @@ func TestColorReduceProperOnSuite(t *testing.T) {
 	}
 	for name, in := range cases {
 		t.Run(name, func(t *testing.T) {
-			col, rep, err := ColorReduce(in, Options{Bins: 4, MidDegree: 12}, greedyBase)
+			col, rep, err := ColorReduce(context.Background(), in, Options{Bins: 4, MidDegree: 12}, greedyBase)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -151,7 +152,7 @@ func TestColorReduceProperOnSuite(t *testing.T) {
 
 func TestColorReduceRecursionDepth(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Gnp(400, 0.3, 7))
-	_, rep, err := ColorReduce(in, Options{Bins: 3, MidDegree: 10, MaxDepth: 4}, greedyBase)
+	_, rep, err := ColorReduce(context.Background(), in, Options{Bins: 3, MidDegree: 10, MaxDepth: 4}, greedyBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestColorReduceRecursionDepth(t *testing.T) {
 
 func TestColorReduceLowDegreeSkipsPartition(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Cycle(50))
-	_, rep, err := ColorReduce(in, Options{Bins: 4, MidDegree: 12}, greedyBase)
+	_, rep, err := ColorReduce(context.Background(), in, Options{Bins: 4, MidDegree: 12}, greedyBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestColorReduceLowDegreeSkipsPartition(t *testing.T) {
 
 func TestColorReduceGF2Strategy(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Gnp(250, 0.25, 8))
-	col, _, err := ColorReduce(in, Options{Bins: 4, MidDegree: 12, Strategy: GF2CondExp}, greedyBase)
+	col, _, err := ColorReduce(context.Background(), in, Options{Bins: 4, MidDegree: 12, Strategy: GF2CondExp}, greedyBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestColorReduceGF2Strategy(t *testing.T) {
 
 func TestColorReduceEmpty(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Empty(0))
-	col, _, err := ColorReduce(in, Options{}, greedyBase)
+	col, _, err := ColorReduce(context.Background(), in, Options{}, greedyBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func BenchmarkColorReduce(b *testing.B) {
 	in := d1lc.TrivialPalettes(graph.Gnp(500, 0.1, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ColorReduce(in, Options{Bins: 4, MidDegree: 16}, greedyBase); err != nil {
+		if _, _, err := ColorReduce(context.Background(), in, Options{Bins: 4, MidDegree: 16}, greedyBase); err != nil {
 			b.Fatal(err)
 		}
 	}

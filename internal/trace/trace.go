@@ -1,0 +1,177 @@
+// Package trace defines the solver's phase-observability surface: engines
+// (deframe, mis, lowdeg, mpc, sparsify) emit enter/exit events around every
+// derandomization phase — a Lemma 10 step, a Luby round, a trial round, an
+// MPC TRC round, a partition level — and callers attach a Tracer to watch
+// them. The zero-cost default is no tracer at all: every emission site is
+// nil-guarded through Begin, so untraced solves pay one pointer compare per
+// phase.
+//
+// Collector is the ready-made aggregating Tracer: it folds events into
+// per-(engine, phase) summaries (counts, participants, seed evaluations,
+// colored, deferred, wall time) and is safe to share across concurrent
+// solves — the batch-solving path attaches one Collector to a whole stream
+// of instances.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one phase observation. PhaseEnter events carry the identity
+// fields (Engine, Phase, Round, Participants); PhaseExit events carry all
+// fields.
+type Event struct {
+	// Engine names the emitting engine: "deframe", "mis", "lowdeg",
+	// "mpc", "sparsify".
+	Engine string
+	// Phase names the phase within the engine (a schedule step name, a
+	// round kind, a partition level).
+	Phase string
+	// Round is the engine's round/step counter at emission.
+	Round int
+	// Participants is the number of nodes the phase operates on.
+	Participants int
+	// SeedEvals counts scorer/seed evaluations the phase spent (exit only).
+	SeedEvals int
+	// Colored counts nodes the phase colored or decided (exit only).
+	Colored int
+	// Deferred counts nodes the phase deferred (exit only).
+	Deferred int
+	// Elapsed is the phase's wall time (exit only).
+	Elapsed time.Duration
+}
+
+// Tracer observes phase events. Implementations must be safe for
+// concurrent use: batch solving and parallel recursion share one Tracer
+// across goroutines. Callbacks run inline on the solve path and should
+// return quickly.
+type Tracer interface {
+	PhaseEnter(Event)
+	PhaseExit(Event)
+}
+
+// Span is an in-flight phase emission. A nil *Span (from Begin with a nil
+// Tracer) is valid and makes End a no-op, so emission sites need no
+// nil-checks of their own.
+type Span struct {
+	tr    Tracer
+	ev    Event
+	start time.Time
+}
+
+// Begin emits PhaseEnter and returns the span to close with End. tr may be
+// nil, in which case nothing is emitted and the returned span is nil.
+func Begin(tr Tracer, engine, phase string, round, participants int) *Span {
+	if tr == nil {
+		return nil
+	}
+	ev := Event{Engine: engine, Phase: phase, Round: round, Participants: participants}
+	tr.PhaseEnter(ev)
+	return &Span{tr: tr, ev: ev, start: time.Now()}
+}
+
+// End emits PhaseExit with the phase's outcome counts. Safe on a nil span.
+func (s *Span) End(seedEvals, colored, deferred int) {
+	if s == nil {
+		return
+	}
+	s.ev.SeedEvals = seedEvals
+	s.ev.Colored = colored
+	s.ev.Deferred = deferred
+	s.ev.Elapsed = time.Since(s.start)
+	s.tr.PhaseExit(s.ev)
+}
+
+// PhaseSummary aggregates every exit event of one (engine, phase) pair.
+type PhaseSummary struct {
+	Engine, Phase string
+	Count         int // phase executions observed
+	Participants  int // summed over executions
+	SeedEvals     int
+	Colored       int
+	Deferred      int
+	Elapsed       time.Duration
+}
+
+// Collector is a Tracer that aggregates exit events into per-phase
+// summaries. Safe for concurrent use; the zero value is usable.
+type Collector struct {
+	mu     sync.Mutex
+	phases map[string]*PhaseSummary
+	order  []string // first-seen order, for stable Summary output
+}
+
+// NewCollector returns an empty aggregating tracer.
+func NewCollector() *Collector {
+	return &Collector{phases: make(map[string]*PhaseSummary)}
+}
+
+// PhaseEnter is a no-op: the collector aggregates completed phases only.
+func (c *Collector) PhaseEnter(Event) {}
+
+// PhaseExit folds the event into its (engine, phase) summary.
+func (c *Collector) PhaseExit(e Event) {
+	key := e.Engine + "\x00" + e.Phase
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phases == nil {
+		c.phases = make(map[string]*PhaseSummary)
+	}
+	s, ok := c.phases[key]
+	if !ok {
+		s = &PhaseSummary{Engine: e.Engine, Phase: e.Phase}
+		c.phases[key] = s
+		c.order = append(c.order, key)
+	}
+	s.Count++
+	s.Participants += e.Participants
+	s.SeedEvals += e.SeedEvals
+	s.Colored += e.Colored
+	s.Deferred += e.Deferred
+	s.Elapsed += e.Elapsed
+}
+
+// Summary returns the aggregated phases sorted by engine then first-seen
+// phase order within the engine.
+func (c *Collector) Summary() []PhaseSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	firstSeen := make(map[string]int, len(c.order))
+	for i, k := range c.order {
+		firstSeen[k] = i
+	}
+	keys := append([]string(nil), c.order...)
+	sort.SliceStable(keys, func(i, j int) bool {
+		a, b := c.phases[keys[i]], c.phases[keys[j]]
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		return firstSeen[keys[i]] < firstSeen[keys[j]]
+	})
+	out := make([]PhaseSummary, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *c.phases[k])
+	}
+	return out
+}
+
+// String renders the summary as an aligned table (one line per phase).
+func (c *Collector) String() string {
+	sums := c.Summary()
+	if len(sums) == 0 {
+		return "trace: no phases observed\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-18s %6s %12s %10s %9s %9s %12s\n",
+		"engine", "phase", "count", "participants", "seedEvals", "colored", "deferred", "elapsed")
+	for _, s := range sums {
+		fmt.Fprintf(&b, "%-10s %-18s %6d %12d %10d %9d %9d %12s\n",
+			s.Engine, s.Phase, s.Count, s.Participants, s.SeedEvals, s.Colored, s.Deferred,
+			s.Elapsed.Round(time.Microsecond))
+	}
+	return b.String()
+}

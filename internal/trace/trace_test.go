@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	sp := Begin(nil, "deframe", "step", 0, 10)
+	if sp != nil {
+		t.Fatal("Begin(nil tracer) must return a nil span")
+	}
+	sp.End(1, 2, 3) // must not panic
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 3; i++ {
+		sp := Begin(c, "mis", "luby-round", i, 100-i)
+		sp.End(64, 10, 1)
+	}
+	sp := Begin(c, "deframe", "sparse/genslack", 0, 50)
+	sp.End(1024, 20, 2)
+
+	sums := c.Summary()
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	// Sorted by engine: deframe first.
+	if sums[0].Engine != "deframe" || sums[1].Engine != "mis" {
+		t.Fatalf("unexpected engine order: %q, %q", sums[0].Engine, sums[1].Engine)
+	}
+	m := sums[1]
+	if m.Count != 3 || m.Participants != 100+99+98 || m.SeedEvals != 3*64 || m.Colored != 30 || m.Deferred != 3 {
+		t.Fatalf("mis summary wrong: %+v", m)
+	}
+	if !strings.Contains(c.String(), "luby-round") {
+		t.Fatalf("String() missing phase:\n%s", c.String())
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	const g, per = 8, 100
+	for k := 0; k < g; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Begin(c, "lowdeg", "trial-round", i, 1).End(2, 1, 0)
+			}
+		}(k)
+	}
+	wg.Wait()
+	sums := c.Summary()
+	if len(sums) != 1 || sums[0].Count != g*per || sums[0].SeedEvals != 2*g*per {
+		t.Fatalf("concurrent aggregation wrong: %+v", sums)
+	}
+}

@@ -18,26 +18,32 @@
 // properties and re-colors them through D1LC self-reducibility, so PRG
 // quality affects measured rounds, never correctness.
 //
-// Quick start:
+// Quick start — construct a reusable Solver once, then solve any number
+// of instances (concurrently, if desired) on it:
 //
+//	solver, err := parcolor.NewSolver() // deterministic Theorem 1 solver
+//	if err != nil { ... }
 //	g := parcolor.GenerateGraph("gnp-sparse", 1000, 1)
 //	in := parcolor.TrivialPalettes(g)
-//	res, err := parcolor.Solve(in, parcolor.Options{})
+//	res, err := solver.Solve(ctx, in)
 //	// res.Coloring is a verified proper coloring.
+//
+// The Solver owns its worker budget (parcolor.WithWorkers — two Solvers
+// with different budgets never interfere), honors context cancellation in
+// every long loop, keeps the derandomization engines' scratch warm across
+// solves, streams batches through one shared pool
+// (Solver.SolveBatch), and reports per-phase progress through an attached
+// Tracer (parcolor.WithTrace). The package-level Solve, SolveOnMPC and
+// MISDeterministic remain as thin compatibility wrappers over a default
+// Solver.
 package parcolor
 
 import (
-	"fmt"
+	"context"
 
 	"parcolor/internal/d1lc"
-	"parcolor/internal/deframe"
 	"parcolor/internal/graph"
-	"parcolor/internal/greedy"
-	"parcolor/internal/hknt"
-	"parcolor/internal/lowdeg"
 	"parcolor/internal/mis"
-	"parcolor/internal/mpc"
-	"parcolor/internal/par"
 	"parcolor/internal/sparsify"
 )
 
@@ -138,121 +144,6 @@ type Result struct {
 	DeferralFraction float64
 }
 
-// Solve colors the instance with the selected algorithm and verifies the
-// result (unless SkipVerify).
-func Solve(in *Instance, o Options) (*Result, error) {
-	if err := in.Check(); err != nil {
-		return nil, err
-	}
-	if o.Workers > 0 {
-		prev := par.SetMaxWorkers(o.Workers)
-		defer par.SetMaxWorkers(prev)
-	}
-	var (
-		res *Result
-		err error
-	)
-	switch o.Algorithm {
-	case Randomized:
-		res, err = solveRandomized(in, o)
-	case GreedySequential:
-		res, err = solveGreedy(in, o)
-	case LowDegreeDeterministic:
-		res, err = solveLowDeg(in, o)
-	default:
-		res, err = solveDeterministic(in, o)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if !o.SkipVerify {
-		if err := d1lc.Verify(in, res.Coloring); err != nil {
-			return nil, fmt.Errorf("parcolor: internal error, solver produced invalid coloring: %w", err)
-		}
-	}
-	res.DistinctColors = greedy.DistinctColors(res.Coloring)
-	return res, nil
-}
-
-func deframeOptions(o Options) deframe.Options {
-	dopt := deframe.Options{
-		SeedBits:     o.SeedBits,
-		Bitwise:      o.Bitwise,
-		NaiveScoring: o.NaiveScoring,
-		Tunables:     hknt.Tunables{LowDeg: o.LowDeg},
-	}
-	if o.UseNisan {
-		dopt.PRG = deframe.PRGNisan
-	}
-	return dopt
-}
-
-// solveDeterministic is Theorem 1: LowSpaceColorReduce over the deframe
-// base solver. Rounds are accounted for parallel composition: base
-// instances at one recursion level run concurrently on disjoint machine
-// groups, so the level cost is the maximum, not the sum.
-func solveDeterministic(in *Instance, o Options) (*Result, error) {
-	rounds := 0
-	deferral := 0.0
-	base := func(sub *d1lc.Instance) (*d1lc.Coloring, error) {
-		col, rep, err := deframe.Run(sub, deframeOptions(o))
-		if err != nil {
-			return nil, err
-		}
-		if r := rep.TotalRounds(); r > rounds {
-			rounds = r
-		}
-		if f := rep.MaxDeferralFraction(); f > deferral {
-			deferral = f
-		}
-		return col, nil
-	}
-	col, srep, err := sparsify.ColorReduce(in, sparsify.Options{Bins: o.Bins, MidDegree: o.MidDegree}, base)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Coloring: col, Rounds: rounds, Sparsify: srep, DeferralFraction: deferral}, nil
-}
-
-func solveRandomized(in *Instance, o Options) (*Result, error) {
-	if o.DegreeRanges {
-		st := hknt.NewState(in)
-		if _, err := hknt.RangedRandomizedColor(st, o.Seed, hknt.Tunables{LowDeg: o.LowDeg}); err != nil {
-			return nil, err
-		}
-		return &Result{Coloring: st.Col, Rounds: st.Meter.Rounds}, nil
-	}
-	col, st, _, err := hknt.RandomizedColor(in, o.Seed, hknt.Tunables{LowDeg: o.LowDeg})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Coloring: col, Rounds: st.Meter.Rounds}, nil
-}
-
-func solveGreedy(in *Instance, o Options) (*Result, error) {
-	col, err := greedy.Color(in, greedy.ByID, o.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Coloring: col}, nil
-}
-
-func solveLowDeg(in *Instance, o Options) (*Result, error) {
-	sb := o.SeedBits
-	if sb == 0 {
-		sb = 10
-	}
-	col, stats, err := lowdeg.IterativeDerandomized(in, lowdeg.Options{
-		SeedBits:     sb,
-		Bitwise:      o.Bitwise,
-		NaiveScoring: o.NaiveScoring,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Coloring: col, Rounds: stats.Rounds}, nil
-}
-
 // Verify checks that col is a complete proper list coloring of in.
 func Verify(in *Instance, col *Coloring) error { return d1lc.Verify(in, col) }
 
@@ -334,38 +225,11 @@ type MPCResult struct {
 // records space high-water marks rather than failing, so callers can
 // inspect how much space the run actually needed. Orders of magnitude
 // slower than Solve; intended for model-faithful validation and teaching.
+//
+// SolveOnMPC is the compatibility wrapper over the default Solver; use
+// Solver.SolveOnMPC for cancellation, scoped workers, and tracing.
 func SolveOnMPC(in *Instance, localSpace int, seedBits int) (*MPCResult, error) {
-	if err := in.Check(); err != nil {
-		return nil, err
-	}
-	if localSpace == 0 {
-		localSpace = 1 << 16
-	}
-	if seedBits == 0 {
-		seedBits = 6
-	}
-	c, err := mpc.NewCluster(mpc.Config{Machines: in.G.N() + 1, LocalSpace: localSpace})
-	if err != nil {
-		return nil, err
-	}
-	col, stats, err := mpc.DeterministicColorMPC(c, in, seedBits, 0)
-	if err != nil {
-		return nil, err
-	}
-	if err := d1lc.Verify(in, col); err != nil {
-		return nil, fmt.Errorf("parcolor: internal error, MPC solver produced invalid coloring: %w", err)
-	}
-	m := c.Metrics
-	return &MPCResult{
-		Coloring:    col,
-		MPCRounds:   stats.MPCRounds,
-		TrialRounds: stats.TRCRounds,
-		MaxStored:   m.MaxStored,
-		MaxSent:     m.MaxSent,
-		MaxReceived: m.MaxReceived,
-		Violations:  m.Violations,
-		Machines:    len(c.Machines),
-	}, nil
+	return defaultSolver().SolveOnMPC(context.Background(), in, localSpace, seedBits)
 }
 
 // --- MIS (the framework's second application) -------------------------------
@@ -377,10 +241,14 @@ type MISResult struct {
 }
 
 // MISDeterministic computes an MIS with the derandomized Luby algorithm
-// (the paper's Definition 5 worked example).
+// (the paper's Definition 5 worked example). It is the compatibility
+// wrapper over the default Solver; use Solver.MIS for cancellation,
+// scoped workers, and tracing.
 func MISDeterministic(g *Graph) MISResult {
-	r := mis.Derandomized(g, mis.Options{})
-	return MISResult{InSet: r.InSetNodes(), Rounds: r.Rounds}
+	// The background context never cancels, and cancellation is the only
+	// error path, so the error is structurally nil here.
+	r, _ := defaultSolver().MIS(context.Background(), g)
+	return r
 }
 
 // MISRandomized computes an MIS with Luby's randomized algorithm.
