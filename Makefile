@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-bitset fmt bench bench-smoke bench-diff
+.PHONY: all build test race vet vet-bitset fmt bench bench-smoke bench-diff bench-kernel
 
 all: build test
 
@@ -62,3 +62,17 @@ BENCH_BASELINE ?= BENCH_seed_selection_flat.json
 bench-diff:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) \
 		-new BENCH_seed_selection.json -tol 0.10 -filter table/
+
+# bench-kernel streams the internal/kernel microbenchmarks — the
+# unit-stride row add/reduce, compare-and-movemask and blocked-transpose
+# inner loops under the seed-major tables — into BENCH_kernel.json, host-
+# stamped like the seed-selection stream, so benchdiff can gate the
+# kernels alongside end-to-end selection:
+#   make bench-kernel && cp BENCH_kernel.json BENCH_kernel_$$(hostname).json
+#   make bench-kernel && $(GO) run ./cmd/benchdiff -old BENCH_kernel_$$(hostname).json \
+#       -new BENCH_kernel.json -tol 0.10 -filter Kernel
+bench-kernel:
+	@echo '{"Host":"$(HOST_FINGERPRINT)"}' > BENCH_kernel.json
+	$(GO) test -run '^$$' -bench 'Kernel' -benchmem -count 1 -json ./internal/kernel \
+		>> BENCH_kernel.json
+	@echo "wrote BENCH_kernel.json (host $(HOST_FINGERPRINT))"

@@ -25,6 +25,7 @@ package bitset
 import (
 	"math/bits"
 
+	"parcolor/internal/kernel"
 	"parcolor/internal/par"
 )
 
@@ -186,33 +187,25 @@ func fillRange(m Mask, wlo, whi, n int, pred func(i int) bool) {
 }
 
 // FromNeq32 rewrites the first len(xs) bits of m as xs[i] != sentinel —
-// the colors-with-sentinel array to win-mask compaction, parallel over
+// the colors-with-sentinel array to win-mask compaction — via
+// kernel.MaskNeq32's branchless compare-and-movemask (8 int32 lanes per
+// accumulation block instead of a branch per element), parallel over
 // word-aligned ranges on r's workers (nil = process default; sequential
 // below the small-mask threshold). m must hold Words(len(xs)) words.
 func (m Mask) FromNeq32(r *par.Runner, xs []int32, sentinel int32) {
 	n := len(xs)
-	fill := func(wlo, whi int) {
-		for wi := wlo; wi < whi; wi++ {
-			base := wi << 6
-			end := base + 64
-			if end > n {
-				end = n
-			}
-			var w uint64
-			for i := base; i < end; i++ {
-				if xs[i] != sentinel {
-					w |= 1 << uint(i-base)
-				}
-			}
-			m[wi] = w
-		}
-	}
 	w := Words(n)
 	if w < parWordThreshold {
-		fill(0, w)
+		kernel.MaskNeq32(m[:w], xs, sentinel)
 		return
 	}
-	r.ForChunkedWorker(w, func(_, wlo, whi int) { fill(wlo, whi) })
+	r.ForChunkedWorker(w, func(_, wlo, whi int) {
+		hi := whi << 6
+		if hi > n {
+			hi = n
+		}
+		kernel.MaskNeq32(m[wlo:whi], xs[wlo<<6:hi], sentinel)
+	})
 }
 
 // FromBools rewrites the first len(bs) bits of m as bs[i] — the bridge

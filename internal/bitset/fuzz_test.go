@@ -52,6 +52,24 @@ func FuzzMaskAgainstReference(f *testing.F) {
 		if want := r.countRange(0, n); visited != want {
 			t.Fatalf("ForEach visited %d bits, want %d", visited, want)
 		}
+		// FromNeq32 (the compare-and-movemask kernel) against the same
+		// reference: encode the bool oracle as a sentinel array and the
+		// compaction must reproduce it bit for bit.
+		xs := make([]int32, n)
+		for i, b := range r {
+			if b {
+				xs[i] = int32(i) + 1
+			} else {
+				xs[i] = -1
+			}
+		}
+		neq := New(n)
+		neq.FromNeq32(nil, xs, -1)
+		for i := 0; i < n; i++ {
+			if neq.Test(i) != r[i] {
+				t.Fatalf("FromNeq32 bit %d = %v, want %v", i, neq.Test(i), r[i])
+			}
+		}
 		other := New(n)
 		other.Fill(n, func(i int) bool { return i%2 == 0 })
 		m.AndNot(other)

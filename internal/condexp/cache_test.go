@@ -99,3 +99,33 @@ func TestTableCacheReusesStorageAndStaysExact(t *testing.T) {
 	}
 	tc.Release(small)
 }
+
+// TestWarmTableBuildAllocationFree is the in-place-fill acceptance
+// criterion: once the cache is warm, a single-worker Build (fill straight
+// into the pooled seed-major grid, converge-cast with no partial vectors)
+// plus Release performs zero allocations. Single worker because a wider
+// runner's goroutine fan-out allocates by construction; skipped under
+// -race, where sync.Pool sheds entries at random.
+func TestWarmTableBuildAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops entries under the race detector")
+	}
+	tc := NewTableCache()
+	r := par.NewRunner(1)
+	fill, _ := randomObjective(21, 7)
+	warm, err := tc.Build(r, 1<<6, 7, fill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.Release(warm)
+	allocs := testing.AllocsPerRun(10, func() {
+		tbl, err := tc.Build(r, 1<<6, 7, fill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.Release(tbl)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm table build allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -21,13 +21,30 @@
 //   - The contribution-table path (BuildTable, ContribTable.SelectSeed,
 //     ContribTable.SelectSeedBitwise) mirrors the paper's distributed
 //     implementation: the objective decomposes as score(seed) = Σ_c
-//     contrib(c, seed) over machine-local chunks, each (chunk, seed)
-//     contribution is computed exactly once into a flat
-//     [numChunks × numSeeds] table by one parallel pass over the seed
-//     space, the per-seed totals are aggregated by a parallel
-//     converge-cast over the chunk rows, and both selection strategies
+//     contrib(c, seed) over machine-local chunks, each (seed, chunk)
+//     contribution is computed exactly once into a flat seed-major
+//     [numSeeds × numChunks] table by one parallel pass over the seed
+//     space, the per-seed totals are aggregated by a converge-cast that
+//     reduces each seed's contiguous row, and both selection strategies
 //     become pure table aggregation — the bitwise method's branch means
 //     are subset sums of totals the build already paid for.
+//
+// Layout invariants of the seed-major table:
+//
+//   - Contrib[s*NumChunks+c] is chunk c's contribution to seed s: one
+//     seed's row is one contiguous unit-stride block of the grid.
+//   - Build hands each fill ITS OWN in-place row (a capacity-capped slice
+//     of Contrib), so engines write their popcounts straight into final
+//     cells: no per-worker staging row, no stride-NumSeeds scatter. A
+//     ChunkFiller must write every cell of the row it is handed — pooled
+//     grids are not zeroed between builds.
+//   - Totals[s] = kernel.Sum(row s), a blocked unit-stride reduce; exact
+//     int64 addition makes every association order — the blocking, a
+//     sequential scan, or the MPC aggregation tree — bit-identical, so
+//     the table stays interchangeable with the MPC-faithful oracle.
+//   - BuildChunkMajorOracle retains the retired chunk-major layout purely
+//     as the differential-test reference; the suites pin every engine's
+//     table to it cell-for-transposed-cell.
 //
 // Both paths return bit-identical Results (seed, score, sum, certificate)
 // on the same objective; they differ only in Evals, the scorer-invocation
@@ -35,10 +52,13 @@
 //
 // Who uses the table engine — every seed selection in the repository runs
 // through ContribTable, each with its naive-Scorer oracle kept for
-// differential tests, and all of them keep their per-seed participant
-// state in internal/bitset masks (the shared word-parallel layer under
-// the fills: win/loser/join sets packed 64 participants per word, chunk
-// contributions read off as popcounts over index ranges):
+// differential tests. All of them keep their per-seed participant state
+// in internal/bitset masks (win/loser/join sets packed 64 participants
+// per word), read chunk contributions off as popcounts over index ranges
+// written directly into their in-place seed rows, and bottom out in
+// internal/kernel's unit-stride loops (Sum for row totals, Add for tree
+// combines, Transpose for the MPC root's assembly, MaskNeq32 under the
+// bitset compaction):
 //
 //   - deframe.stepEngine: Lemma 10 over the HKNT schedule steps; win
 //     steps gather the proposal's win mask into dense participant space
@@ -54,9 +74,11 @@
 //     popcounts, the best seed's winners materialize by one and-not
 //     (lowdeg.Options.NaiveScoring).
 //   - mpc.DistributedSelectSeedRows: the same converge-cast executed as an
-//     MPC protocol — simulated machines fill distributed table rows
+//     MPC protocol — simulated machines fill distributed chunk-rows
 //     (packing a per-seed win bit alongside each score, reused at commit),
-//     the aggregation tree sums row vectors, and the root's selection is
+//     the aggregation tree folds row segments with kernel.Add, and the
+//     root keeps its direct children's subtree rows as separate chunks,
+//     assembles the seed-major table by kernel.Transpose, and selects by
 //     ContribTable aggregation (mpc.DistributedSelectSeed is the
 //     scalar-batched oracle).
 //

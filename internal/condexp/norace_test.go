@@ -1,0 +1,7 @@
+//go:build !race
+
+package condexp
+
+// raceEnabled lets allocation-exactness tests skip under the race
+// detector, whose sync.Pool instrumentation drops entries at random.
+const raceEnabled = false

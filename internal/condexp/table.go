@@ -1,21 +1,25 @@
 package condexp
 
 import (
+	"fmt"
 	"sync"
 
+	"parcolor/internal/kernel"
 	"parcolor/internal/par"
 )
 
 // This file implements the contribution-table scoring path: the
 // paper-faithful realization of Lemma 10's distributed seed selection.
 // Each machine (a contiguous chunk of the participants) evaluates its local
-// contribution to every seed's objective exactly once; a parallel
-// converge-cast sums the per-chunk rows into per-seed totals; and both
+// contribution to every seed's objective exactly once, written straight
+// into the seed's contiguous row of the seed-major table; a converge-cast
+// reduces each row to the seed's total with one unit-stride scan; and both
 // selection strategies — full enumeration and the bit-by-bit method of
 // conditional expectations — become pure aggregation over the totals, with
 // zero further scorer invocations. The naive Scorer-driven entry points in
 // condexp.go remain the oracle the table path is differentially tested
-// against.
+// against, and BuildChunkMajorOracle retains the retired chunk-major
+// layout as the layout-level reference.
 
 // scoreChunkLine is the number of participants per score chunk: one CPU
 // cache line of int32 participant ids (64 bytes). Participant-proportional
@@ -92,18 +96,27 @@ func (b *BestSeen) Offer(seed uint64, score int64, keep func()) {
 func (b *BestSeen) Matches(seed uint64) bool { return b.have && b.seed == seed }
 
 // ChunkFiller computes one seed's per-chunk contributions: fill(seed, row)
-// must set row[c] for every chunk c. Calls with distinct seeds may run
-// concurrently; within one worker, calls arrive for increasing seeds of a
-// contiguous range, so implementations may reuse per-worker scratch keyed
-// off goroutine identity (e.g. a sync.Pool). Implementations must be
+// must set row[c] for every chunk c. The row is a slice of the table
+// itself — the seed's contiguous in-place chunk row, written with no
+// scatter and no per-worker copy — so implementations must write every
+// element (its previous contents are unspecified pooled storage), must
+// not read cells they have not written this call, and must not retain the
+// slice after returning. Calls with distinct seeds may run concurrently;
+// within one worker, calls arrive for increasing seeds of a contiguous
+// range, so implementations may reuse per-worker scratch keyed off
+// goroutine identity (e.g. a sync.Pool). Implementations must be
 // deterministic: the same seed always yields the same row.
 type ChunkFiller func(seed uint64, row []int64)
 
-// ContribTable is the materialized [NumChunks × NumSeeds] score table plus
-// the converge-cast totals. Contrib[c*NumSeeds+s] is chunk c's contribution
-// to seed s's objective; Totals[s] is the full objective of seed s. The
-// table remembers the Runner that built it, so selection aggregates on the
-// same worker budget as the fill.
+// ContribTable is the materialized [NumSeeds × NumChunks] score table plus
+// the converge-cast totals, stored seed-major: Contrib[s*NumChunks+c] is
+// chunk c's contribution to seed s's objective, so one seed's row is a
+// contiguous unit-stride block — fills write it in place and the
+// converge-cast reduces it in one linear scan (both auto-vectorizable,
+// where the retired chunk-major layout forced stride-NumSeeds scatter
+// writes). Totals[s] is the full objective of seed s. The table remembers
+// the Runner that built it, so selection aggregates on the same worker
+// budget as the fill.
 type ContribTable struct {
 	NumSeeds  int
 	NumChunks int
@@ -140,9 +153,10 @@ func (tc *TableCache) get(numSeeds, numChunks int) *ContribTable {
 	if cap(t.Contrib) < cells {
 		t.Contrib = make([]int64, cells)
 	} else {
-		// No zeroing: Build assigns every (chunk, seed) cell — each fill
-		// writes its full row and the worker partition covers all seeds —
-		// and a cancelled build's table is released without being read.
+		// No zeroing: Build hands every seed its in-place row and the
+		// ChunkFiller contract requires each fill to write its full row,
+		// so the worker partition covers every cell — and a cancelled
+		// build's table is released without being read.
 		t.Contrib = t.Contrib[:cells]
 	}
 	return t
@@ -158,12 +172,14 @@ func (tc *TableCache) Release(t *ContribTable) {
 	tc.pool.Put(t)
 }
 
-// Build evaluates every (chunk, seed) contribution in a single parallel
+// Build evaluates every (seed, chunk) contribution in a single parallel
 // pass over the seed space on r's workers — each worker walks a contiguous
-// seed range, calling fill once per seed — then aggregates per-seed totals
-// by a parallel converge-cast over the chunk rows. Workers poll the
-// runner's cancellation between seeds; on cancellation Build stops filling
-// promptly and returns the context's error with no table.
+// seed range, handing fill each seed's in-place table row (zero-copy: no
+// per-worker staging row, no stride-NumSeeds scatter) — then aggregates
+// per-seed totals by a converge-cast that reduces each contiguous row in
+// place. Workers poll the runner's cancellation between seeds; on
+// cancellation Build stops filling promptly and returns the context's
+// error with no table.
 func (tc *TableCache) Build(r *par.Runner, numSeeds, numChunks int, fill ChunkFiller) (*ContribTable, error) {
 	if numSeeds <= 0 {
 		panic("condexp: empty seed space")
@@ -173,18 +189,25 @@ func (tc *TableCache) Build(r *par.Runner, numSeeds, numChunks int, fill ChunkFi
 	}
 	t := tc.get(numSeeds, numChunks)
 	t.run = r
-	r.ForChunkedWorker(numSeeds, func(_, lo, hi int) {
-		row := make([]int64, numChunks)
-		for s := lo; s < hi; s++ {
-			if r.Err() != nil {
-				return
-			}
-			fill(uint64(s), row)
-			for c, v := range row {
-				t.Contrib[c*numSeeds+s] = v
-			}
+	contrib := t.Contrib
+	if r.Workers(numSeeds) == 1 {
+		// Inline loop: no goroutine fan-out and no escaping closure, so a
+		// warm single-worker build performs zero allocations.
+		for s := 0; s < numSeeds && r.Err() == nil; s++ {
+			fill(uint64(s), contrib[s*numChunks:(s+1)*numChunks:(s+1)*numChunks])
 		}
-	})
+	} else {
+		r.ForChunked(numSeeds, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				if r.Err() != nil {
+					return
+				}
+				// The seed's in-place row, capacity-capped so a misbehaving
+				// filler cannot scribble into the next seed's cells.
+				fill(uint64(s), contrib[s*numChunks:(s+1)*numChunks:(s+1)*numChunks])
+			}
+		})
+	}
 	if err := r.Err(); err != nil {
 		tc.Release(t)
 		return nil, err
@@ -199,39 +222,93 @@ func BuildTable(r *par.Runner, numSeeds, numChunks int, fill ChunkFiller) (*Cont
 	return (*TableCache)(nil).Build(r, numSeeds, numChunks, fill)
 }
 
-// convergeCast computes Totals[s] = Σ_c Contrib[c·NumSeeds+s] the way the
-// paper's machines do: each worker locally sums a contiguous range of chunk
-// rows (one vector add per row, cache-friendly row-major scans), then the
-// partial vectors combine in chunk order at the root. Integer addition
-// makes the result independent of worker count.
+// BuildChunkMajorOracle is the retained reference implementation of the
+// layout the seed-major table replaced: a per-seed staging row scattered
+// into a chunk-major grid (contrib[c*numSeeds+s]) with stride-numSeeds
+// writes, and totals folded chunk-by-chunk in the converge-cast's tree
+// order. It exists solely as the differential-test oracle — the
+// seed-major Build must stay bit-identical to it, cell for transposed
+// cell and total for total, under every engine, selection strategy and
+// worker count — and is deliberately sequential and allocation-heavy, the
+// shape whose cost the seed-major layout removed.
+func BuildChunkMajorOracle(numSeeds, numChunks int, fill ChunkFiller) (contrib, totals []int64) {
+	contrib = make([]int64, numSeeds*numChunks)
+	row := make([]int64, numChunks)
+	for s := 0; s < numSeeds; s++ {
+		fill(uint64(s), row)
+		for c, v := range row {
+			contrib[c*numSeeds+s] = v
+		}
+	}
+	totals = make([]int64, numSeeds)
+	for c := 0; c < numChunks; c++ {
+		for s := 0; s < numSeeds; s++ {
+			totals[s] += contrib[c*numSeeds+s]
+		}
+	}
+	return contrib, totals
+}
+
+// VerifyAgainstChunkMajorOracle checks the seed-major table bit-identical
+// to a chunk-major oracle (the (contrib, totals) pair of
+// BuildChunkMajorOracle over the same fill): every cell equal to its
+// transposed oracle cell, totals equal in seed order, and both selection
+// strategies — flat and bitwise at seedBits, which must satisfy
+// 1<<seedBits == NumSeeds — agreeing with selection over the oracle
+// totals. It returns a descriptive error at the first divergence: the
+// shared assertion of the differential suites in condexp and all three
+// engines.
+func (t *ContribTable) VerifyAgainstChunkMajorOracle(oc, ot []int64, seedBits int) error {
+	nc, ns := t.NumChunks, t.NumSeeds
+	for s := 0; s < ns; s++ {
+		for c := 0; c < nc; c++ {
+			if got, want := t.Contrib[s*nc+c], oc[c*ns+s]; got != want {
+				return fmt.Errorf("cell (s=%d,c=%d) = %d, chunk-major oracle %d", s, c, got, want)
+			}
+		}
+		if t.Totals[s] != ot[s] {
+			return fmt.Errorf("total[%d] = %d, chunk-major oracle %d", s, t.Totals[s], ot[s])
+		}
+	}
+	sameSel := func(a, b Result) bool {
+		return a.Seed == b.Seed && a.Score == b.Score && a.SumScores == b.SumScores
+	}
+	oracle := &ContribTable{NumSeeds: ns, NumChunks: 1, Contrib: ot, Totals: ot}
+	if got, want := t.SelectSeed(), oracle.SelectSeed(); !sameSel(got, want) {
+		return fmt.Errorf("flat selection %+v diverges from oracle %+v", got, want)
+	}
+	if got, want := t.SelectSeedBitwise(seedBits), oracle.SelectSeedBitwise(seedBits); !sameSel(got, want) {
+		return fmt.Errorf("bitwise selection %+v diverges from oracle %+v", got, want)
+	}
+	return nil
+}
+
+// convergeCast computes Totals[s] = Σ_c Contrib[s·NumChunks+c]: each
+// seed's total is one unit-stride reduce of its in-place row
+// (kernel.Sum's blocked accumulation), with seeds partitioned across the
+// runner's workers — no per-worker partial vectors, no combine pass, no
+// allocation. Exact integer addition makes the blocked reduce
+// bit-identical to the MPC-faithful oracle's tree-order combine (and to
+// any worker count).
 func (t *ContribTable) convergeCast() {
 	if cap(t.Totals) < t.NumSeeds {
 		t.Totals = make([]int64, t.NumSeeds)
 	} else {
 		t.Totals = t.Totals[:t.NumSeeds]
-		for i := range t.Totals {
-			t.Totals[i] = 0
-		}
 	}
-	w := t.run.Workers(t.NumChunks)
-	partial := make([][]int64, w)
-	t.run.ForChunkedWorker(t.NumChunks, func(wk, lo, hi int) {
-		acc := make([]int64, t.NumSeeds)
-		for c := lo; c < hi; c++ {
-			row := t.Contrib[c*t.NumSeeds : (c+1)*t.NumSeeds]
-			for s, v := range row {
-				acc[s] += v
+	nc := t.NumChunks
+	contrib, totals := t.Contrib, t.Totals
+	if t.run.Workers(t.NumSeeds) == 1 {
+		// Inline loop, allocation-free: see Build.
+		for s := 0; s < t.NumSeeds; s++ {
+			totals[s] = kernel.Sum(contrib[s*nc : (s+1)*nc])
+		}
+	} else {
+		t.run.ForChunked(t.NumSeeds, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				totals[s] = kernel.Sum(contrib[s*nc : (s+1)*nc])
 			}
-		}
-		partial[wk] = acc
-	})
-	for _, acc := range partial {
-		if acc == nil {
-			continue
-		}
-		for s, v := range acc {
-			t.Totals[s] += v
-		}
+		})
 	}
 }
 

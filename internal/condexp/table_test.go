@@ -108,10 +108,33 @@ func TestTableTotalsAreConvergeCastOfContrib(t *testing.T) {
 	for s := 0; s < numSeeds; s++ {
 		var want int64
 		for c := 0; c < numChunks; c++ {
-			want += tbl.Contrib[c*numSeeds+s]
+			want += tbl.Contrib[s*numChunks+c]
 		}
 		if tbl.Totals[s] != want {
 			t.Fatalf("seed %d: total %d, chunk sum %d", s, tbl.Totals[s], want)
+		}
+	}
+}
+
+// TestSeedMajorTableMatchesChunkMajorOracle pins the seed-major table —
+// cells, totals order, and both selection strategies — bit-identical to
+// the retained chunk-major oracle across shapes and worker counts 1, 4
+// and the process default (run under -race in CI).
+func TestSeedMajorTableMatchesChunkMajorOracle(t *testing.T) {
+	for salt := uint64(0); salt < 24; salt++ {
+		d := 1 + int(salt%8)
+		numChunks := 1 + int((salt*5)%9)
+		numSeeds := 1 << d
+		fill, _ := randomObjective(salt^0x5EED, numChunks)
+		oc, ot := BuildChunkMajorOracle(numSeeds, numChunks, fill)
+		for _, w := range []int{1, 4, 0} {
+			tbl, err := BuildTable(par.NewRunner(w), numSeeds, numChunks, fill)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tbl.VerifyAgainstChunkMajorOracle(oc, ot, d); err != nil {
+				t.Fatalf("salt=%d w=%d: %v", salt, w, err)
+			}
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"parcolor/internal/graph"
+	"parcolor/internal/par"
 	"parcolor/internal/rng"
 )
 
@@ -230,7 +231,14 @@ func randomSubset(universe, k int, s *rng.Stream) []int32 {
 // origOf maps residual node indices back to original indices so a residual
 // coloring can be written back with Apply.
 func Reduce(in *Instance, col *Coloring, nodes []int32) (res *Instance, origOf []int32) {
-	sub, origOf := graph.InducedSubgraph(in.G, nodes)
+	return ReducePar(nil, in, col, nodes)
+}
+
+// ReducePar is Reduce with the residual graph construction scoped to r's
+// workers (nil = process default), so self-reduction inside a
+// budget-scoped solve honors the solve's worker bound.
+func ReducePar(r *par.Runner, in *Instance, col *Coloring, nodes []int32) (res *Instance, origOf []int32) {
+	sub, origOf := graph.InducedSubgraphPar(r, in.G, nodes)
 	pal := make([][]int32, sub.N())
 	for i, v := range origOf {
 		blocked := map[int32]bool{}
@@ -253,13 +261,18 @@ func Reduce(in *Instance, col *Coloring, nodes []int32) (res *Instance, origOf [
 
 // ReduceUncolored is Reduce over exactly the uncolored nodes of col.
 func ReduceUncolored(in *Instance, col *Coloring) (res *Instance, origOf []int32) {
+	return ReduceUncoloredPar(nil, in, col)
+}
+
+// ReduceUncoloredPar is ReduceUncolored on r's workers; see ReducePar.
+func ReduceUncoloredPar(r *par.Runner, in *Instance, col *Coloring) (res *Instance, origOf []int32) {
 	var nodes []int32
 	for v := int32(0); v < int32(in.G.N()); v++ {
 		if col.Colors[v] == Uncolored {
 			nodes = append(nodes, v)
 		}
 	}
-	return Reduce(in, col, nodes)
+	return ReducePar(r, in, col, nodes)
 }
 
 // Apply writes a residual coloring back into the original coloring through

@@ -9,6 +9,7 @@ import (
 	"parcolor/internal/d1lc"
 	"parcolor/internal/graph"
 	"parcolor/internal/hknt"
+	"parcolor/internal/par"
 	"parcolor/internal/prg"
 )
 
@@ -59,13 +60,14 @@ type chunkVal struct {
 // not accumulate.
 const maxChunkMemo = 8
 
-// getChunks returns the (possibly memoized) chunk assignment for g. Only
-// memoize-marked graphs (the caller's reusable root) touch the memo. The
-// returned slice is shared and must be treated as read-only — every
-// consumer only indexes it.
-func (c *Cache) getChunks(g *graph.Graph, radius, maxEdges int, memoize bool) ([]int32, int, string) {
+// getChunks returns the (possibly memoized) chunk assignment for g,
+// constructing — when the memo misses — on r's workers so the solve's
+// budget bounds the power-graph build. Only memoize-marked graphs (the
+// caller's reusable root) touch the memo. The returned slice is shared
+// and must be treated as read-only — every consumer only indexes it.
+func (c *Cache) getChunks(r *par.Runner, g *graph.Graph, radius, maxEdges int, memoize bool) ([]int32, int, string) {
 	if c == nil || !memoize {
-		return chunkAssignment(g, radius, maxEdges)
+		return chunkAssignment(r, g, radius, maxEdges)
 	}
 	key := chunkKey{g: g, radius: radius, maxEdges: maxEdges}
 	c.chunksMu.Lock()
@@ -74,7 +76,7 @@ func (c *Cache) getChunks(g *graph.Graph, radius, maxEdges int, memoize bool) ([
 		return v.chunkOf, v.numChunks, v.mode
 	}
 	c.chunksMu.Unlock()
-	chunkOf, numChunks, mode := chunkAssignment(g, radius, maxEdges)
+	chunkOf, numChunks, mode := chunkAssignment(r, g, radius, maxEdges)
 	c.chunksMu.Lock()
 	if c.chunks == nil || len(c.chunks) >= maxChunkMemo {
 		c.chunks = make(map[chunkKey]chunkVal, maxChunkMemo)

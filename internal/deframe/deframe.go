@@ -176,17 +176,20 @@ func (r *Report) TotalDeferred() int {
 
 // chunkAssignment colors G^radius (Lemma 10's G^{4τ}) with Linial's
 // algorithm, falling back to identity chunks when the power graph is too
-// large to materialize under the space budget.
-func chunkAssignment(g *graph.Graph, radius, maxEdges int) (chunkOf []int32, numChunks int, mode string) {
+// large to materialize under the space budget. The power-graph build and
+// coloring — the last leaf construction phases of a solve — run on r's
+// workers (nil = process default), so a budget-scoped solve never fans
+// out past its bound even while constructing.
+func chunkAssignment(r *par.Runner, g *graph.Graph, radius, maxEdges int) (chunkOf []int32, numChunks int, mode string) {
 	n := g.N()
 	if n == 0 {
 		return nil, 0, "empty"
 	}
 	// Estimate ball growth; materialize only if affordable.
 	maxBall := maxEdges / maxInt(n, 1)
-	power, err := graph.PowerGraph(g, radius, maxInt(maxBall, 8))
+	power, err := graph.PowerGraphPar(r, g, radius, maxInt(maxBall, 8))
 	if err == nil && power.M() <= maxEdges {
-		res := linial.Color(power)
+		res := linial.ColorPar(r, power)
 		dense, count := linial.Normalize(res.Colors)
 		return dense, count, "linial-power"
 	}
@@ -344,7 +347,7 @@ func run(in *d1lc.Instance, o Options, depth int) (*d1lc.Coloring, *Report, erro
 	if err := o.Par.Err(); err != nil {
 		return nil, rep, err // cancelled mid-build: the schedule is empty
 	}
-	chunkOf, numChunks, mode := o.Cache.getChunks(in.G, o.ChunkRadius, o.MaxChunkGraphEdges, in.G == o.MemoGraph)
+	chunkOf, numChunks, mode := o.Cache.getChunks(o.Par, in.G, o.ChunkRadius, o.MaxChunkGraphEdges, in.G == o.MemoGraph)
 	rep.ChunkMode = mode
 	for i := range build.Schedule.Steps {
 		if err := o.Par.Err(); err != nil {
@@ -366,7 +369,7 @@ func run(in *d1lc.Instance, o Options, depth int) (*d1lc.Coloring, *Report, erro
 
 	// Residue: every uncolored node (deferred, failed put-aside, or
 	// low-degree and never scheduled) re-enters via Definition 11.
-	residual, origOf := d1lc.ReduceUncolored(in, st.Col)
+	residual, origOf := d1lc.ReduceUncoloredPar(o.Par, in, st.Col)
 	if residual.N() == 0 {
 		return st.Col, rep, nil
 	}

@@ -93,7 +93,7 @@ func TestNisanPRGWorks(t *testing.T) {
 
 func TestChunkAssignmentModes(t *testing.T) {
 	g := graph.Cycle(80)
-	chunkOf, num, mode := chunkAssignment(g, 8, 2_000_000)
+	chunkOf, num, mode := chunkAssignment(nil, g, 8, 2_000_000)
 	if mode != "linial-power" {
 		t.Fatalf("expected linial-power on a cycle, got %s", mode)
 	}
@@ -110,7 +110,7 @@ func TestChunkAssignmentModes(t *testing.T) {
 		}
 	}
 	// Force identity mode with a tiny budget.
-	_, num2, mode2 := chunkAssignment(g, 8, 10)
+	_, num2, mode2 := chunkAssignment(nil, g, 8, 10)
 	if mode2 != "identity" || num2 != 80 {
 		t.Fatalf("expected identity fallback, got %s/%d", mode2, num2)
 	}
@@ -131,7 +131,7 @@ func TestDerandomizeStepDefersFailures(t *testing.T) {
 			return prop.Color[v] != d1lc.Uncolored
 		},
 	}
-	chunkOf, num, _ := chunkAssignment(in.G, 4, 1_000_000)
+	chunkOf, num, _ := chunkAssignment(nil, in.G, 4, 1_000_000)
 	rep, err := DerandomizeStep(st, &step, chunkOf, num, Options{}.withDefaults(11))
 	if err != nil {
 		t.Fatal(err)
@@ -177,7 +177,7 @@ func TestSeedSelectionBeatsMeanEmpirically(t *testing.T) {
 			return prop.Color[v] != d1lc.Uncolored
 		},
 	}
-	chunkOf, num, _ := chunkAssignment(in.G, 4, 1_000_000)
+	chunkOf, num, _ := chunkAssignment(nil, in.G, 4, 1_000_000)
 	rep, err := DerandomizeStep(st, &step, chunkOf, num, Options{SeedBits: 8}.withDefaults(15))
 	if err != nil {
 		t.Fatal(err)

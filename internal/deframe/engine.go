@@ -5,6 +5,7 @@ import (
 
 	"parcolor/internal/condexp"
 	"parcolor/internal/hknt"
+	"parcolor/internal/kernel"
 	"parcolor/internal/prg"
 )
 
@@ -23,12 +24,13 @@ import (
 //     clique leaders), threaded through the pooled scratch's
 //     ReseedChunks, so per-seed expansion cost tracks the step's
 //     participant set instead of the whole graph,
-//   - records each seed's per-chunk score contributions into a
-//     condexp.ContribTable — win-counting steps (SSP == nil) gather the
-//     proposal's win mask into dense participant-index space and count
-//     each chunk by popcount, 64 participants per word — so flat and
-//     bitwise selection are pure table aggregation with zero extra scorer
-//     invocations, and
+//   - records each seed's per-chunk score contributions straight into the
+//     seed's contiguous row of the seed-major condexp.ContribTable
+//     (zero-copy: the fill writes its final cells in place) — win-counting
+//     steps (SSP == nil) gather the proposal's win mask into dense
+//     participant-index space and count each chunk by popcount, 64
+//     participants per word — so flat and bitwise selection are pure table
+//     aggregation with zero extra scorer invocations, and
 //   - caches the best-scoring proposal seen during the walk (colors, win
 //     mask and marks cloned together), so the flat winner's proposal is
 //     committed without being recomputed.
@@ -114,8 +116,11 @@ func (e *stepEngine) reseed(ss *seedScratch, seed uint64) *prg.ChunkedSource {
 }
 
 // fill is the condexp.ChunkFiller: propose once for the seed with pooled
-// scratch, score each participant chunk's contribution, and offer the
-// proposal to the best-seen cache.
+// scratch, score each participant chunk's contribution straight into the
+// seed's in-place table row (row aliases the seed-major grid, so the
+// popcounts land in their final cells with no staging copy), and offer
+// the proposal to the best-seen cache with the row's unit-stride reduce
+// as the seed's total.
 //
 // Win-counting steps (SSP == nil) take the mask path: the proposal's
 // node-indexed win mask is gathered into dense participant-index space
@@ -127,23 +132,19 @@ func (e *stepEngine) fill(seed uint64, row []int64) {
 	ss := e.cache.getScratch(e)
 	src := e.reseed(ss, seed)
 	prop := e.step.Propose(e.st, e.parts, src, ss.sc)
-	var total int64
 	k := len(row)
 	if e.step.SSP == nil {
 		pw := ss.partsWin
 		pw.Gather(len(e.parts), func(i int) uint64 { return prop.Win.Bit(int(e.parts[i])) })
 		for c := 0; c < k; c++ {
-			wins := int64(pw.CountRange(int(e.bounds[c]), int(e.bounds[c+1])))
-			row[c] = -wins
-			total -= wins
+			row[c] = -int64(pw.CountRange(int(e.bounds[c]), int(e.bounds[c+1])))
 		}
 	} else {
 		for c := 0; c < k; c++ {
 			row[c] = e.step.ScoreChunk(e.st, e.parts, prop, int(e.bounds[c]), int(e.bounds[c+1]))
-			total += row[c]
 		}
 	}
-	e.offerBest(seed, total, prop)
+	e.offerBest(seed, kernel.Sum(row), prop)
 	e.cache.putScratch(ss)
 }
 

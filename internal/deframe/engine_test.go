@@ -158,7 +158,7 @@ func TestEngineProposalCacheHitsOnFlat(t *testing.T) {
 		},
 	}
 	o := Options{SeedBits: 6}.withDefaults(13)
-	chunkOf, num, _ := chunkAssignment(in.G, 4, 1_000_000)
+	chunkOf, num, _ := chunkAssignment(nil, in.G, 4, 1_000_000)
 	parts := step.Participants(st)
 	gen := buildPRG(o, num, step.Bits)
 	eng := newStepEngine(st, &step, parts, gen, chunkOf, num, nil)

@@ -126,8 +126,15 @@ func (b *Builder) AddEdge(u, v int32) {
 	b.edges = append(b.edges, [2]int32{u, v})
 }
 
-// Build constructs the CSR graph. The builder may be reused afterwards.
-func (b *Builder) Build() *Graph {
+// Build constructs the CSR graph on the process-default worker bound.
+// The builder may be reused afterwards. Construction inside a
+// budget-scoped solve goes through BuildPar.
+func (b *Builder) Build() *Graph { return b.BuildPar(nil) }
+
+// BuildPar is Build with the adjacency-sort fan-out scoped to r's workers
+// (nil = process default): leaf construction phases inside a solve honor
+// the solve's budget instead of falling back to GOMAXPROCS.
+func (b *Builder) BuildPar(r *par.Runner) *Graph {
 	sort.Slice(b.edges, func(i, j int) bool {
 		if b.edges[i][0] != b.edges[j][0] {
 			return b.edges[i][0] < b.edges[j][0]
@@ -162,7 +169,7 @@ func (b *Builder) Build() *Graph {
 	g := &Graph{offsets: offsets, adj: adj}
 	// Each list was filled in order of the second endpoint for the u side,
 	// but the v side receives u out of order; sort each list.
-	par.For(b.n, func(i int) {
+	r.For(b.n, func(i int) {
 		lo, hi := offsets[i], offsets[i+1]
 		s := adj[lo:hi]
 		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
@@ -187,6 +194,13 @@ func FromAdjacency(lists [][]int32) *Graph {
 // duplicates) along with origOf mapping new indices to original ones.
 // It is the graph half of D1LC self-reduction (Definition 11).
 func InducedSubgraph(g *Graph, keep []int32) (sub *Graph, origOf []int32) {
+	return InducedSubgraphPar(nil, g, keep)
+}
+
+// InducedSubgraphPar is InducedSubgraph with construction scoped to r's
+// workers (nil = process default), so residue and bin sub-instances built
+// inside a budget-scoped solve honor the solve's worker bound.
+func InducedSubgraphPar(r *par.Runner, g *Graph, keep []int32) (sub *Graph, origOf []int32) {
 	origOf = append([]int32(nil), keep...)
 	sort.Slice(origOf, func(i, j int) bool { return origOf[i] < origOf[j] })
 	newOf := make(map[int32]int32, len(origOf))
@@ -201,7 +215,7 @@ func InducedSubgraph(g *Graph, keep []int32) (sub *Graph, origOf []int32) {
 			}
 		}
 	}
-	return b.Build(), origOf
+	return b.BuildPar(r), origOf
 }
 
 // LineGraph returns the line graph L(G) (nodes = edges of G, adjacency =
@@ -282,6 +296,13 @@ bfs:
 // is in [1, radius]. Used to build the G^{4τ} instance whose coloring
 // assigns PRG chunks in Lemma 10.
 func PowerGraph(g *Graph, radius, maxBall int) (*Graph, error) {
+	return PowerGraphPar(nil, g, radius, maxBall)
+}
+
+// PowerGraphPar is PowerGraph with construction scoped to r's workers
+// (nil = process default), so the power-graph build inside a
+// budget-scoped solve honors the solve's worker bound.
+func PowerGraphPar(r *par.Runner, g *Graph, radius, maxBall int) (*Graph, error) {
 	n := g.N()
 	b := NewBuilder(n)
 	scratch := make([]int32, n)
@@ -301,7 +322,7 @@ func PowerGraph(g *Graph, radius, maxBall int) (*Graph, error) {
 			}
 		}
 	}
-	return b.Build(), nil
+	return b.BuildPar(r), nil
 }
 
 // Components labels connected components; comp[v] is the component id of v

@@ -1,0 +1,117 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The kernel microbenchmarks stream into BENCH_kernel.json via
+// `make bench-kernel`, so benchdiff can gate the inner loops alongside
+// the end-to-end seed-selection rows. Sizes bracket the table shapes the
+// engines build: a ScoreChunks row is ≤1024 cells, a seed space is
+// ≤4096, and FromNeq32 runs over whole node sets.
+
+func benchSizes() []int { return []int{64, 1024, 65536} }
+
+func BenchmarkKernelSum(b *testing.B) {
+	for _, n := range benchSizes() {
+		xs := randInt64s(n, rand.New(rand.NewSource(int64(n))))
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				sink += Sum(xs)
+			}
+			benchSink = sink
+		})
+	}
+}
+
+func BenchmarkKernelAdd(b *testing.B) {
+	for _, n := range benchSizes() {
+		rng := rand.New(rand.NewSource(int64(n)))
+		dst := randInt64s(n, rng)
+		src := randInt64s(n, rng)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				Add(dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelMaskNeq32(b *testing.B) {
+	for _, n := range benchSizes() {
+		rng := rand.New(rand.NewSource(int64(n)))
+		xs := make([]int32, n)
+		for i := range xs {
+			if rng.Intn(2) == 0 {
+				xs[i] = -1
+			} else {
+				xs[i] = rng.Int31()
+			}
+		}
+		dst := make([]uint64, (n+63)>>6)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n * 4))
+			for i := 0; i < b.N; i++ {
+				MaskNeq32(dst, xs, -1)
+			}
+		})
+	}
+	// The per-bit branchy loop MaskNeq32 replaced, kept as the ablation
+	// baseline row.
+	n := 65536
+	xs := make([]int32, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range xs {
+		if rng.Intn(2) == 0 {
+			xs[i] = -1
+		} else {
+			xs[i] = rng.Int31()
+		}
+	}
+	dst := make([]uint64, (n+63)>>6)
+	b.Run("branchy-ref/n=65536", func(b *testing.B) {
+		b.SetBytes(int64(n * 4))
+		for i := 0; i < b.N; i++ {
+			for wi := range dst {
+				base := wi << 6
+				end := base + 64
+				if end > n {
+					end = n
+				}
+				var w uint64
+				for j := base; j < end; j++ {
+					if xs[j] != -1 {
+						w |= 1 << uint(j-base)
+					}
+				}
+				dst[wi] = w
+			}
+		}
+	})
+}
+
+func BenchmarkKernelTranspose(b *testing.B) {
+	shapes := [][2]int{{8, 4096}, {64, 1024}, {256, 256}}
+	for _, sh := range shapes {
+		rows, cols := sh[0], sh[1]
+		src := randInt64s(rows*cols, rand.New(rand.NewSource(int64(rows))))
+		dst := make([]int64, rows*cols)
+		b.Run(shapeName(rows, cols), func(b *testing.B) {
+			b.SetBytes(int64(rows * cols * 8))
+			for i := 0; i < b.N; i++ {
+				Transpose(dst, src, rows, cols)
+			}
+		})
+	}
+}
+
+var benchSink int64
+
+func sizeName(n int) string { return fmt.Sprintf("n=%d", n) }
+
+func shapeName(r, c int) string { return fmt.Sprintf("%dx%d", r, c) }

@@ -1,0 +1,57 @@
+package kernel
+
+import "testing"
+
+// FuzzTranspose pins the blocked transpose — the MPC root's seed-major
+// table assembly — to the naive double loop over arbitrary shapes and
+// contents, including the ragged tiles at both edges. Seeds cover the
+// degenerate shapes; go test -fuzz=FuzzTranspose explores beyond them.
+func FuzzTranspose(f *testing.F) {
+	f.Add(uint8(1), uint8(1), int64(3))
+	f.Add(uint8(1), uint8(40), int64(-9))
+	f.Add(uint8(8), uint8(8), int64(1<<40))
+	f.Add(uint8(9), uint8(23), int64(-1))
+	f.Add(uint8(64), uint8(3), int64(7))
+	f.Fuzz(func(t *testing.T, r8, c8 uint8, salt int64) {
+		rows := int(r8)%80 + 1
+		cols := int(c8)%80 + 1
+		src := make([]int64, rows*cols)
+		for i := range src {
+			// Deterministic mix: distinct cells get distinct values, so a
+			// misplaced cell cannot collide with the right one.
+			src[i] = salt*31 + int64(i)*(salt|1)
+		}
+		want := transposeRef(src, rows, cols)
+		dst := make([]int64, rows*cols)
+		Transpose(dst, src, rows, cols)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("rows=%d cols=%d: cell %d = %d, want %d", rows, cols, i, dst[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzMaskNeq32 pins the compare-and-movemask kernel to the per-bit
+// reference across arbitrary lane values and sentinels.
+func FuzzMaskNeq32(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, int32(-1))
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0}, int32(0))
+	f.Fuzz(func(t *testing.T, raw []byte, sentinel int32) {
+		xs := make([]int32, len(raw))
+		for i, b := range raw {
+			xs[i] = int32(b) - 128
+			if b%5 == 0 {
+				xs[i] = sentinel
+			}
+		}
+		want := maskNeq32Ref(xs, sentinel)
+		got := make([]uint64, len(want))
+		MaskNeq32(got, xs, sentinel)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: word %d = %x, want %x", len(xs), i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,146 @@
+// Package kernel holds the unit-stride inner loops under the seed-major
+// contribution tables: the few-line, allocation-free primitives every
+// layer of the Lemma 10 scoring stack bottoms out in once the table
+// layout is Contrib[seed*NumChunks+chunk].
+//
+//   - Sum is the per-seed converge-cast: one contiguous row reduced to the
+//     seed's total (condexp.ContribTable totals, engine fill totals, the
+//     MPC root's final reduction).
+//   - Add is the tree combine: a child's row segment folded into its
+//     parent's accumulator during the pipelined converge-cast
+//     (mpc.DistributedSelectSeedRows interior machines).
+//   - MaskNeq32 is the compare-and-accumulate kernel: int32 lanes compared
+//     against a sentinel and the movemask accumulated eight lanes at a
+//     time into LSB-first words (bitset.FromNeq32's word fill).
+//   - Transpose converts a chunk-major staging buffer into the seed-major
+//     layout in cache-friendly tiles (the MPC root's table assembly).
+//
+// Everything here is pure Go with no dependencies, written so the loops
+// are unit-stride with all bounds checks hoisted — the form both the
+// compiler's scalar scheduler and a later hand-vectorized (GOAMD64/asm)
+// drop-in can exploit. Differential tests pin each kernel to a naive
+// reference implementation; microbenchmarks feed BENCH_kernel.json via
+// `make bench-kernel`.
+//
+// Determinism note: int64 addition is exact (wrap-around, no rounding),
+// so Sum's multi-accumulator blocking and Add's unroll are bit-identical
+// to a strict left-to-right walk under any blocking — which is what keeps
+// the shared-memory converge-cast totals equal to the MPC tree-order
+// totals no matter how either side associates the additions.
+package kernel
+
+// Add folds src into dst elementwise: dst[i] += src[i]. Lengths must
+// match. The four-way unroll keeps four independent add chains in flight;
+// exact integer addition makes the result identical to the sequential
+// loop.
+func Add(dst, src []int64) {
+	if len(dst) != len(src) {
+		panic("kernel: Add length mismatch")
+	}
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		s := src[i : i+4 : i+4]
+		d := dst[i : i+4 : i+4]
+		d[0] += s[0]
+		d[1] += s[1]
+		d[2] += s[2]
+		d[3] += s[3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += src[i]
+	}
+}
+
+// Sum reduces one contiguous row to its total with four independent
+// accumulators (blocked so the adds pipeline instead of serializing on
+// one register). Exact integer addition makes any accumulation order —
+// this blocking, a strict scan, or the MPC aggregation tree — return the
+// same bits.
+func Sum(xs []int64) int64 {
+	var a0, a1, a2, a3 int64
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		x := xs[i : i+4 : i+4]
+		a0 += x[0]
+		a1 += x[1]
+		a2 += x[2]
+		a3 += x[3]
+	}
+	for ; i < len(xs); i++ {
+		a0 += xs[i]
+	}
+	return a0 + a1 + a2 + a3
+}
+
+// neq32 reports x != s branchlessly as 0 or 1: the lane compare under the
+// movemask accumulation (x^s is nonzero exactly when they differ, and
+// d|-d smears any nonzero into the sign bit).
+func neq32(x, s int32) uint64 {
+	d := uint32(x ^ s)
+	return uint64((d | -d) >> 31)
+}
+
+// MaskNeq32 writes the compare movemask of xs against sentinel into dst:
+// bit i of the LSB-first word stream is xs[i] != sentinel, tail bits of
+// the last word zero. dst must hold at least (len(xs)+63)/64 words. Full
+// words accumulate eight 8-lane compare blocks — the hand-rolled
+// compare-and-movemask shape that vectorizes to a lane compare plus
+// movemask per block — instead of a branch per element.
+func MaskNeq32(dst []uint64, xs []int32, sentinel int32) {
+	n := len(xs)
+	_ = dst[:(n+63)>>6] // one bounds check up front
+	wi := 0
+	for ; (wi+1)<<6 <= n; wi++ {
+		var w uint64
+		for o := 0; o < 64; o += 8 {
+			x := xs[wi<<6+o : wi<<6+o+8 : wi<<6+o+8]
+			b := neq32(x[0], sentinel) |
+				neq32(x[1], sentinel)<<1 |
+				neq32(x[2], sentinel)<<2 |
+				neq32(x[3], sentinel)<<3 |
+				neq32(x[4], sentinel)<<4 |
+				neq32(x[5], sentinel)<<5 |
+				neq32(x[6], sentinel)<<6 |
+				neq32(x[7], sentinel)<<7
+			w |= b << uint(o)
+		}
+		dst[wi] = w
+	}
+	if base := wi << 6; base < n {
+		var w uint64
+		for i := base; i < n; i++ {
+			w |= neq32(xs[i], sentinel) << uint(i-base)
+		}
+		dst[wi] = w
+	}
+}
+
+// transposeTile is the square tile edge of the blocked transpose: 8×8
+// int64 cells are one cache line per row of the tile, so both the
+// chunk-major reads and the seed-major writes stay line-resident while a
+// tile is in flight.
+const transposeTile = 8
+
+// Transpose writes dst as the [cols × rows] transpose of the
+// [rows × cols] row-major src: dst[c*rows+r] = src[r*cols+c]. It walks
+// tile × tile blocks so neither side's stride walks out of cache — the
+// MPC root uses it to turn the converge-cast's chunk-major staging rows
+// into the seed-major contribution table. src and dst must not overlap
+// and must each hold rows*cols cells.
+func Transpose(dst, src []int64, rows, cols int) {
+	if len(src) < rows*cols || len(dst) < rows*cols {
+		panic("kernel: Transpose buffers shorter than rows*cols")
+	}
+	for r0 := 0; r0 < rows; r0 += transposeTile {
+		r1 := min(r0+transposeTile, rows)
+		for c0 := 0; c0 < cols; c0 += transposeTile {
+			c1 := min(c0+transposeTile, cols)
+			for r := r0; r < r1; r++ {
+				row := src[r*cols+c0 : r*cols+c1 : r*cols+c1]
+				for c := c0; c < c1; c++ {
+					dst[c*rows+r] = row[c-c0]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential references: the naive loops each kernel must match
+// bit-for-bit on every input.
+
+func addRef(dst, src []int64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+func sumRef(xs []int64) int64 {
+	var acc int64
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}
+
+func maskNeq32Ref(xs []int32, sentinel int32) []uint64 {
+	out := make([]uint64, (len(xs)+63)>>6)
+	for i, x := range xs {
+		if x != sentinel {
+			out[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	return out
+}
+
+func transposeRef(src []int64, rows, cols int) []int64 {
+	dst := make([]int64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			dst[c*rows+r] = src[r*cols+c]
+		}
+	}
+	return dst
+}
+
+// raggedLens exercises every unroll boundary: empty, below one block,
+// exact multiples of the 4-wide unroll and the 64-lane word, and
+// stragglers on either side.
+var raggedLens = []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 63, 64, 65, 127, 128, 130, 1000}
+
+func randInt64s(n int, rng *rand.Rand) []int64 {
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = rng.Int63() - rng.Int63() // signed, full range
+	}
+	return xs
+}
+
+func TestAddMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range raggedLens {
+		dst := randInt64s(n, rng)
+		src := randInt64s(n, rng)
+		want := append([]int64(nil), dst...)
+		addRef(want, src)
+		Add(dst, src)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: Add[%d] = %d, want %d", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAddPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Add(make([]int64, 3), make([]int64, 4))
+}
+
+func TestSumMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range raggedLens {
+		xs := randInt64s(n, rng)
+		if got, want := Sum(xs), sumRef(xs); got != want {
+			t.Fatalf("n=%d: Sum = %d, want %d", n, got, want)
+		}
+	}
+	// Wrap-around must match too: exactness is what makes any blocking
+	// bit-identical, including at overflow.
+	big := []int64{1<<62 + 9, 1<<62 + 7, 1<<62 + 5, 1<<62 + 3, -11}
+	if got, want := Sum(big), sumRef(big); got != want {
+		t.Fatalf("overflow: Sum = %d, want %d", got, want)
+	}
+}
+
+func TestMaskNeq32MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range raggedLens {
+		for _, sentinel := range []int32{-1, 0, 7} {
+			xs := make([]int32, n)
+			for i := range xs {
+				switch rng.Intn(3) {
+				case 0:
+					xs[i] = sentinel
+				case 1:
+					xs[i] = sentinel + 1 // adjacent value: one-bit difference
+				default:
+					xs[i] = rng.Int31() - rng.Int31()
+				}
+			}
+			want := maskNeq32Ref(xs, sentinel)
+			got := make([]uint64, len(want))
+			// Poison: full words and the tail must be fully rewritten.
+			for i := range got {
+				got[i] = ^uint64(0)
+			}
+			MaskNeq32(got, xs, sentinel)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d sentinel=%d: word %d = %x, want %x", n, sentinel, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMaskNeq32SignBoundaryLanes(t *testing.T) {
+	// The branchless compare folds through the sign bit; pin the extreme
+	// lanes explicitly.
+	xs := []int32{-1 << 31, 1<<31 - 1, 0, -1, 1, -1 << 31, 1<<31 - 1}
+	for _, sentinel := range xs {
+		want := maskNeq32Ref(xs, sentinel)
+		got := make([]uint64, len(want))
+		MaskNeq32(got, xs, sentinel)
+		if got[0] != want[0] {
+			t.Fatalf("sentinel=%d: %x want %x", sentinel, got[0], want[0])
+		}
+	}
+}
+
+func TestTransposeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	shapes := [][2]int{
+		{1, 1}, {1, 17}, {17, 1}, {2, 3}, {3, 2},
+		{8, 8}, {8, 9}, {9, 8}, {7, 13}, {16, 16},
+		{5, 64}, {64, 5}, {23, 41},
+	}
+	for _, sh := range shapes {
+		rows, cols := sh[0], sh[1]
+		src := randInt64s(rows*cols, rng)
+		want := transposeRef(src, rows, cols)
+		dst := make([]int64, rows*cols)
+		Transpose(dst, src, rows, cols)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("%dx%d: cell %d = %d, want %d", rows, cols, i, dst[i], want[i])
+			}
+		}
+		// Round trip: transposing back recovers the original.
+		back := make([]int64, rows*cols)
+		Transpose(back, dst, cols, rows)
+		for i := range src {
+			if back[i] != src[i] {
+				t.Fatalf("%dx%d: round trip differs at %d", rows, cols, i)
+			}
+		}
+	}
+}
+
+func TestTransposePanicsOnShortBuffers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Transpose(make([]int64, 5), make([]int64, 6), 2, 3)
+}
+
+func TestKernelsAllocationFree(t *testing.T) {
+	dst := make([]int64, 513)
+	src := make([]int64, 513)
+	mask := make([]uint64, 9)
+	xs := make([]int32, 513)
+	tsrc := make([]int64, 24*24)
+	tdst := make([]int64, 24*24)
+	if a := testing.AllocsPerRun(10, func() {
+		Add(dst, src)
+		_ = Sum(src)
+		MaskNeq32(mask, xs, -1)
+		Transpose(tdst, tsrc, 24, 24)
+	}); a != 0 {
+		t.Fatalf("kernels allocate: %.1f allocs/run", a)
+	}
+}

@@ -26,8 +26,14 @@ type Result struct {
 	Rounds    int
 }
 
-// Color computes a deterministic O(Δ²·polylog Δ)-coloring of g.
-func Color(g *graph.Graph) Result {
+// Color computes a deterministic O(Δ²·polylog Δ)-coloring of g on the
+// process-default worker bound.
+func Color(g *graph.Graph) Result { return ColorPar(nil, g) }
+
+// ColorPar is Color with the per-round node fan-out scoped to r's workers
+// (nil = process default), so the power-graph coloring inside a
+// budget-scoped solve honors the solve's worker bound.
+func ColorPar(r *par.Runner, g *graph.Graph) Result {
 	n := g.N()
 	colors := make([]int32, n)
 	for v := range colors {
@@ -40,7 +46,7 @@ func Color(g *graph.Graph) Result {
 	delta := g.MaxDegree()
 	rounds := 0
 	for {
-		next, nextCount, ok := reduceOnce(g, colors, numColors, delta)
+		next, nextCount, ok := reduceOnce(r, g, colors, numColors, delta)
 		if !ok {
 			break
 		}
@@ -55,7 +61,7 @@ func Color(g *graph.Graph) Result {
 
 // reduceOnce performs one Linial reduction round; ok is false when no
 // further reduction is possible (q² ≥ current color count).
-func reduceOnce(g *graph.Graph, colors []int32, numColors, delta int) (next []int32, nextCount int, ok bool) {
+func reduceOnce(r *par.Runner, g *graph.Graph, colors []int32, numColors, delta int) (next []int32, nextCount int, ok bool) {
 	if numColors <= 1 {
 		return nil, 0, false
 	}
@@ -70,16 +76,16 @@ func reduceOnce(g *graph.Graph, colors []int32, numColors, delta int) (next []in
 		if q*q >= numColors {
 			return nil, 0, false // already at the fixed point
 		}
-		return applyRound(g, colors, q, k), q * q, true
+		return applyRound(r, g, colors, q, k), q * q, true
 	}
 	return nil, 0, false
 }
 
 // applyRound maps every node's color through the polynomial set system.
-func applyRound(g *graph.Graph, colors []int32, q, k int) []int32 {
+func applyRound(r *par.Runner, g *graph.Graph, colors []int32, q, k int) []int32 {
 	n := g.N()
 	next := make([]int32, n)
-	par.ForChunked(n, func(lo, hi int) {
+	r.ForChunked(n, func(lo, hi int) {
 		coefV := make([]int64, k+1)
 		coefU := make([]int64, k+1)
 		forbidden := make(map[int64]bool, q*2)

@@ -5,6 +5,7 @@ import (
 	"parcolor/internal/condexp"
 	"parcolor/internal/d1lc"
 	"parcolor/internal/hknt"
+	"parcolor/internal/kernel"
 	"parcolor/internal/rng"
 )
 
@@ -26,9 +27,9 @@ import (
 //     seed-invariant candidate count minus a popcount over the chunk's
 //     index range (64 participants per word), and the per-seed reset is
 //     a word clear instead of a byte-per-participant sweep,
-//   - records each participant chunk's −wins contribution into a
-//     condexp.ContribTable, making flat and bitwise selection pure table
-//     aggregation, and
+//   - records each participant chunk's −wins contribution straight into
+//     the seed's contiguous row of the seed-major condexp.ContribTable,
+//     making flat and bitwise selection pure table aggregation, and
 //   - caches the best-scoring seed's winner set during the walk (pairs
 //     materialized by an and-not of the candidate mask against the loser
 //     mask, only when a seed takes the best-seen slot), so the flat
@@ -162,14 +163,13 @@ func (e *trialEngine) fill(seed uint64, row []int64) {
 		}
 	}
 	// Each chunk's −wins: seed-invariant candidate count minus a popcount
-	// of its loser bits, 64 participants per word.
-	var total int64
+	// of its loser bits, 64 participants per word, written straight into
+	// the seed's in-place table row; the seed's total is the row's
+	// unit-stride reduce.
 	for c := range row {
-		wins := e.candCnt[c] - int64(loser.CountRange(int(e.bounds[c]), int(e.bounds[c+1])))
-		row[c] = -wins
-		total -= wins
+		row[c] = -(e.candCnt[c] - int64(loser.CountRange(int(e.bounds[c]), int(e.bounds[c+1]))))
 	}
-	e.offerBest(seed, total, cand, ss)
+	e.offerBest(seed, kernel.Sum(row), cand, ss)
 	e.cache.putScratch(ss)
 }
 

@@ -6,6 +6,7 @@ import (
 	"parcolor/internal/bitset"
 	"parcolor/internal/condexp"
 	"parcolor/internal/graph"
+	"parcolor/internal/kernel"
 	"parcolor/internal/par"
 	"parcolor/internal/prg"
 	"parcolor/internal/rng"
@@ -27,9 +28,10 @@ import (
 //     neighbor's bit is permanently zero, so the dominance scan reads one
 //     bit per neighbor) and gathers each seed's still-undecided outcomes
 //     into a dense participant-index mask, so every chunk's contribution
-//     to the condexp.ContribTable is a popcount over its index range —
-//     64 participants per word — making flat and bitwise selection pure
-//     table aggregation, and
+//     is a popcount over its index range — 64 participants per word —
+//     written straight into the seed's contiguous row of the seed-major
+//     condexp.ContribTable, making flat and bitwise selection pure table
+//     aggregation, and
 //   - caches the best-scoring join mask seen during the walk, so the flat
 //     winner's join is committed from the mask without being recomputed.
 //
@@ -111,7 +113,9 @@ func (e *roundEngine) fill(seed uint64, row []int64) {
 		ss.join.SetTo(int(v), best)
 	}
 	// Gather each participant's still-undecided outcome into the dense
-	// mask, then read chunks off as popcounts.
+	// mask, then read chunks off as popcounts straight into the seed's
+	// in-place table row; the seed's total is the row's unit-stride
+	// reduce.
 	undone := ss.undone
 	undone.Gather(len(e.parts), func(i int) uint64 {
 		if stillUndecided(e.g, ss.join, e.parts[i]) {
@@ -119,13 +123,10 @@ func (e *roundEngine) fill(seed uint64, row []int64) {
 		}
 		return 0
 	})
-	var total int64
 	for c := range row {
-		cnt := int64(undone.CountRange(int(e.bounds[c]), int(e.bounds[c+1])))
-		row[c] = cnt
-		total += cnt
+		row[c] = int64(undone.CountRange(int(e.bounds[c]), int(e.bounds[c+1])))
 	}
-	e.offerBest(seed, total, ss.join)
+	e.offerBest(seed, kernel.Sum(row), ss.join)
 	e.cache.putScratch(ss)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"parcolor/internal/condexp"
+	"parcolor/internal/kernel"
 )
 
 // This file implements the distributed method of conditional expectations
@@ -27,8 +28,13 @@ import (
 //     row vectors ascend the tree as pipelined batches — level l forwards
 //     batch b in the round after its children sent it — so B batches
 //     clear L levels in L+B−1 rounds, never more than the scalar
-//     protocol's B·L. The root's final selection is pure
-//     condexp.ContribTable aggregation over the converge-cast totals.
+//     protocol's B·L. Machines ship chunk-rows (contiguous seed segments
+//     of their subtree sums, folded with a unit-stride kernel add); the
+//     root keeps its direct children's subtree rows apart and, once the
+//     cast drains, assembles the seed-major contribution table from that
+//     chunk-major staging by one blocked transpose, so the final
+//     selection is pure condexp.ContribTable aggregation with the same
+//     unit-stride per-seed row reduce the shared-memory path uses.
 
 // SeedScorer evaluates, for one machine, the summed objective of the
 // nodes that machine is responsible for under the given seed.
@@ -167,20 +173,33 @@ func DistributedSelectSeedRows(c *Cluster, numSeeds int, fill RowScorer) (res co
 	batch, k := c.batchGeometry()
 	startRounds := c.Metrics.Rounds
 
+	// The root's table chunks: its own row plus one chunk per direct
+	// child (heap positions 1..k), each holding that child's whole
+	// subtree sum once the cast drains. chunkRows is the chunk-major
+	// staging grid [numChunks × numSeeds] the blocked transpose below
+	// turns into the seed-major Contrib.
+	numChunks := 1 + min(k, nm-1)
+	chunkRows := make([]int64, numChunks*numSeeds)
+
 	// Compute round: every machine fills its local row of the distributed
-	// contribution table. In the paper's regime the whole row fits in
-	// local space (2^d ≤ poly(Δ) ≤ s); the simulation keeps rows in
-	// host-side accumulators — like the scalar protocol's batch partials,
-	// though a full row is numSeeds words where those are ≤ batch+1 — so
-	// for numSeeds > s the resident table is NOT charged against
+	// contribution table — the root straight into staging chunk 0. In the
+	// paper's regime the whole row fits in local space
+	// (2^d ≤ poly(Δ) ≤ s); the simulation keeps rows in host-side
+	// accumulators — like the scalar protocol's batch partials, though a
+	// full row is numSeeds words where those are ≤ batch+1 — so for
+	// numSeeds > s the resident table is NOT charged against
 	// Metrics.MaxStored. The engine accounts every message either way;
 	// the round/traffic comparison with the scalar oracle is what the
 	// tests certify.
 	acc := make([][]int64, nm)
+	acc[0] = chunkRows[:numSeeds]
 	err = c.Round(func(m *Machine, out *Mailer) {
-		row := make([]int64, numSeeds)
+		row := acc[m.ID]
+		if row == nil {
+			row = make([]int64, numSeeds)
+			acc[m.ID] = row
+		}
 		fill(m.ID, row)
-		acc[m.ID] = row
 	})
 	if err != nil {
 		return condexp.Result{}, 0, err
@@ -219,18 +238,35 @@ func DistributedSelectSeedRows(c *Cluster, numSeeds int, fill RowScorer) (res co
 			for _, d := range c.Machines[p].Inbox {
 				b := int(d.Rec[0])
 				lo := b * batch
-				for i, v := range d.Rec[1:] {
-					acc[p][lo+i] += v
+				seg := d.Rec[1:]
+				if p == 0 {
+					// Root: keep child d.From's subtree row as its own
+					// staging chunk instead of folding it away, so the
+					// per-machine attribution survives into the table.
+					at := d.From*numSeeds + lo
+					kernel.Add(chunkRows[at:at+len(seg)], seg)
+				} else {
+					// Interior machine: fold the child's segment into the
+					// subtree sum, one unit-stride kernel add per record.
+					kernel.Add(acc[p][lo:lo+len(seg)], seg)
 				}
 			}
 			c.Machines[p].Inbox = nil
 		}
 	}
 
-	// Root selection: acc[0] now holds the converge-cast totals; selection
-	// is pure table aggregation over a one-row ContribTable, which also
-	// yields the certificate.
-	tbl := &condexp.ContribTable{NumSeeds: numSeeds, NumChunks: 1, Contrib: acc[0], Totals: acc[0]}
+	// Root assembly and selection: transpose the chunk-major staging into
+	// the seed-major table (each seed's chunks land contiguously), reduce
+	// every row to its total, and select — pure ContribTable aggregation,
+	// which also yields the certificate. Exact integer addition keeps the
+	// totals bit-identical to the scalar oracle's fold order.
+	contrib := make([]int64, numChunks*numSeeds)
+	kernel.Transpose(contrib, chunkRows, numChunks, numSeeds)
+	totals := make([]int64, numSeeds)
+	for s := 0; s < numSeeds; s++ {
+		totals[s] = kernel.Sum(contrib[s*numChunks : (s+1)*numChunks])
+	}
+	tbl := &condexp.ContribTable{NumSeeds: numSeeds, NumChunks: numChunks, Contrib: contrib, Totals: totals}
 	res = tbl.SelectSeed()
 	if err := c.Broadcast(0, []int64{int64(res.Seed), res.Score}); err != nil {
 		return condexp.Result{}, 0, err

@@ -128,7 +128,7 @@ func colorReduce(in *d1lc.Instance, o Options, base BaseSolver, depth int) (*d1l
 		}
 	}
 	if len(midNodes) > 0 {
-		sub, origOf := d1lc.Reduce(in, col, midNodes)
+		sub, origOf := d1lc.ReducePar(o.Par, in, col, midNodes)
 		subCol, err := base(sub)
 		if err != nil {
 			return nil, rep, err
@@ -162,7 +162,7 @@ func solveBin(in *d1lc.Instance, col *d1lc.Coloring, part *Partition, bin int32,
 	var sub *d1lc.Instance
 	var origOf []int32
 	if restricted {
-		subG, orig := graph.InducedSubgraph(g, nodes)
+		subG, orig := graph.InducedSubgraphPar(o.Par, g, nodes)
 		pal := make([][]int32, subG.N())
 		for i, v := range orig {
 			pal[i] = part.restrictedPalette(in, v)
@@ -175,7 +175,7 @@ func solveBin(in *d1lc.Instance, col *d1lc.Coloring, part *Partition, bin int32,
 			return fmt.Errorf("sparsify: bin %d produced invalid instance: %v", bin, err)
 		}
 	} else {
-		sub, origOf = d1lc.Reduce(in, col, nodes)
+		sub, origOf = d1lc.ReducePar(o.Par, in, col, nodes)
 	}
 	subCol, subRep, err := colorReduce(sub, o, base, depth-1)
 	if err != nil {
