@@ -13,6 +13,8 @@
 // are printed for context but cannot fail the run, since the oracle is
 // the unoptimized reference. Exit status 1 on any gated regression
 // > tol, so `make bench-diff` wires straight into scripts and CI.
+// Malformed or truncated stream lines exit 2 (naming the offending line)
+// instead of being skipped — a corrupt baseline must not pass vacuously.
 //
 // Baselines are keyed by host fingerprint: `make bench` prepends a
 // {"Host": "..."} line to the stream, and benchdiff compares the two
@@ -62,10 +64,18 @@ func parse(path string) (map[string]float64, string, error) {
 	frags := map[string]*strings.Builder{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
 	for sc.Scan() {
-		var e event
-		if json.Unmarshal(sc.Bytes(), &e) != nil {
+		line++
+		raw := strings.TrimSpace(string(sc.Bytes()))
+		if raw == "" {
 			continue
+		}
+		var e event
+		if err := json.Unmarshal([]byte(raw), &e); err != nil {
+			// A malformed line means the stream is truncated or corrupt;
+			// skipping it would silently shrink the gate's coverage.
+			return nil, "", fmt.Errorf("%s:%d: malformed test2json line: %v", path, line, err)
 		}
 		if e.Host != "" {
 			host = e.Host

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeStream(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const goodStream = `{"Host":"hostA go1 8cpu"}
+{"Action":"output","Package":"parcolor/internal/condexp","Test":"BenchmarkSelect/table/n=256","Output":"BenchmarkSelect/table/n=256\n"}
+{"Action":"output","Package":"parcolor/internal/condexp","Test":"BenchmarkSelect/table/n=256","Output":"  100\t  12345 ns/op\n"}
+`
+
+func TestParseGoodStream(t *testing.T) {
+	p := writeStream(t, "good.json", goodStream)
+	ns, host, err := parse(p)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if host != "hostA go1 8cpu" {
+		t.Fatalf("host = %q", host)
+	}
+	key := "parcolor/internal/condexp BenchmarkSelect/table/n=256"
+	if ns[key] != 12345 {
+		t.Fatalf("ns[%q] = %v", key, ns[key])
+	}
+}
+
+func TestParseToleratesBlankLines(t *testing.T) {
+	p := writeStream(t, "blank.json", "\n"+goodStream+"   \n")
+	if _, _, err := parse(p); err != nil {
+		t.Fatalf("blank lines must not fail the parse: %v", err)
+	}
+}
+
+func TestParseRejectsMalformedLine(t *testing.T) {
+	p := writeStream(t, "bad.json", goodStream+"{not json at all\n")
+	_, _, err := parse(p)
+	if err == nil {
+		t.Fatal("malformed line silently skipped — parse must error")
+	}
+	if !strings.Contains(err.Error(), ":4:") {
+		t.Fatalf("error should name line 4, got %v", err)
+	}
+}
+
+func TestParseRejectsTruncatedLine(t *testing.T) {
+	// A stream cut off mid-record (crashed bench run) ends in a JSON
+	// fragment; the gate must refuse it rather than compare less.
+	truncated := strings.TrimSuffix(goodStream, "\n")
+	truncated = truncated[:len(truncated)-15]
+	p := writeStream(t, "trunc.json", truncated)
+	if _, _, err := parse(p); err == nil {
+		t.Fatal("truncated final line silently skipped — parse must error")
+	}
+}

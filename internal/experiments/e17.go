@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/faultinject"
+	"parcolor/internal/graph"
+	"parcolor/internal/mpc"
+	"parcolor/internal/stats"
+)
+
+func init() { register("E17", e17ChaosRecovery) }
+
+// e17ChaosRecovery measures the fault-tolerance contract end to end: the
+// full MPC solve runs over a seeded chaos transport
+// (internal/faultinject) under a bounded retry policy, degrading to a
+// fresh fault-free cluster when the budget runs out, and every row
+// checks the recovered coloring word-for-word against the fault-free
+// oracle. "identical: yes" on every row is the invariant the chaos
+// differential suite pins in CI; the events/retries/degraded columns
+// show what the recovery actually cost. cfg.Fault (cmd/mpcbench
+// -fault-* flags) replaces the built-in drop/straggler/crash matrix
+// with one custom schedule.
+func e17ChaosRecovery(cfg Config) *stats.Table {
+	t := stats.New("E17", "MPC chaos recovery: lossy transport vs fault-free oracle",
+		"identical must be yes on every row: retries or the loopback fallback always reproduce the oracle coloring",
+		"n", "schedule", "faultSeed", "events", "retries", "degraded", "identical")
+	sizes := []int{80, 160}
+	if cfg.Quick {
+		sizes = []int{48}
+	}
+	type sched struct {
+		name     string
+		plan     faultinject.Schedule
+		deadline time.Duration
+	}
+	schedules := func(seed uint64) []sched {
+		if cfg.Fault.Active() {
+			f := cfg.Fault
+			return []sched{{name: "custom", plan: faultinject.Schedule{
+				Seed:        f.Seed,
+				DropProb:    f.Drop,
+				DupProb:     f.Dup,
+				ReorderProb: f.Reorder,
+				Crashes: func() []faultinject.CrashSpan {
+					if f.CrashMachine < 0 {
+						return nil
+					}
+					return []faultinject.CrashSpan{{Machine: f.CrashMachine, From: f.CrashFrom, To: f.CrashTo, Silent: f.CrashSilent}}
+				}(),
+			}}}
+		}
+		return []sched{
+			{name: "drop", plan: faultinject.Schedule{Seed: seed, DropProb: 0.02, DupProb: 0.01, ReorderProb: 0.1}},
+			{name: "straggler", plan: faultinject.Schedule{
+				Seed:        seed,
+				BaseLatency: time.Millisecond,
+				Stragglers:  []faultinject.StragglerSpan{{Machine: int(seed % 7), From: 0, To: 6, Factor: 10}},
+			}, deadline: 2 * time.Millisecond},
+			{name: "crash", plan: faultinject.Schedule{
+				Seed:    seed,
+				Crashes: []faultinject.CrashSpan{{Machine: int(seed % 5), From: 2, To: 7}},
+			}},
+		}
+	}
+	retries := cfg.Fault.Retries
+	if retries == 0 {
+		retries = 8
+	}
+	policy := mpc.RetryPolicy{MaxAttempts: retries, BaseBackoff: 100 * time.Microsecond, MaxBackoff: 2 * time.Millisecond}
+	faultSeeds := []uint64{1, 2, 3}
+	if cfg.Fault.Active() {
+		faultSeeds = []uint64{cfg.Fault.Seed}
+	}
+
+	solve := func(in *d1lc.Instance, tp mpc.Transport, deadline time.Duration, pol mpc.RetryPolicy) (*d1lc.Coloring, mpc.MPCSolveStats, error) {
+		c, err := mpc.NewCluster(mpc.Config{
+			Machines:      in.G.N() + 1,
+			LocalSpace:    1 << 16,
+			Transport:     tp,
+			RoundDeadline: deadline,
+		})
+		if err != nil {
+			return nil, mpc.MPCSolveStats{}, err
+		}
+		return mpc.DeterministicColorMPC(context.Background(), c, in, cfg.SeedBits, 0, nil, mpc.RoundOptions{Retry: pol})
+	}
+	for _, n := range sizes {
+		g := graph.Gnp(n, 4.0/float64(n), cfg.Seed)
+		in := d1lc.TrivialPalettes(g)
+		oracle, _, err := solve(in, nil, 0, mpc.RetryPolicy{})
+		if err != nil {
+			t.Add(n, "oracle", int64(-1), int64(-1), -1, "-", "error")
+			continue
+		}
+		for _, fs := range faultSeeds {
+			for _, sc := range schedules(fs) {
+				inj := faultinject.New(nil, sc.plan, nil)
+				col, st, err := solve(in, inj, sc.deadline, policy)
+				degraded := "no"
+				if err != nil {
+					if !mpc.IsTransportFault(err) {
+						t.Add(n, sc.name, int64(fs), int64(-1), st.Retries, "-", "error")
+						continue
+					}
+					// Retry budget exhausted: degrade to a fault-free
+					// in-process run, exactly as SolveOnMPC's fallback does.
+					degraded = "yes"
+					col, _, err = solve(in, nil, 0, mpc.RetryPolicy{})
+					if err != nil {
+						t.Add(n, sc.name, int64(fs), int64(-1), st.Retries, degraded, "error")
+						continue
+					}
+				}
+				identical := true
+				for v := range col.Colors {
+					if col.Colors[v] != oracle.Colors[v] {
+						identical = false
+						break
+					}
+				}
+				fi := inj.Stats()
+				events := fi.Drops + fi.Dups + fi.Reorders + fi.Timeouts + fi.CrashedRounds
+				t.Add(n, sc.name, int64(fs), events, st.Retries, degraded, yesNo(identical))
+			}
+		}
+	}
+	return t
+}

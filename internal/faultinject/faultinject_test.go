@@ -1,0 +1,171 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"parcolor/internal/mpc"
+	"parcolor/internal/rng"
+)
+
+func synthetic(seed uint64, n, count int) []mpc.Envelope {
+	gen := rng.New(seed)
+	envs := make([]mpc.Envelope, count)
+	for i := range envs {
+		rec := make([]int64, 1+gen.Intn(5))
+		for j := range rec {
+			rec[j] = int64(gen.Uint64() % 512)
+		}
+		envs[i] = mpc.Envelope{From: gen.Intn(n), To: gen.Intn(n), Rec: rec}
+	}
+	return envs
+}
+
+func deliverAll(t *testing.T, tp mpc.Transport, n, rounds int, envs []mpc.Envelope) [][][]mpc.Delivery {
+	t.Helper()
+	out := make([][][]mpc.Delivery, rounds)
+	for r := range out {
+		in, err := tp.Deliver(n, envs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[r] = in
+	}
+	return out
+}
+
+func sameInboxes(a, b [][]mpc.Delivery) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j].From != b[i][j].From || len(a[i][j].Rec) != len(b[i][j].Rec) {
+				return false
+			}
+			for k := range a[i][j].Rec {
+				if a[i][j].Rec[k] != b[i][j].Rec[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Same schedule, same traffic → bit-identical delivery and stats. This is
+// the reproducibility contract every chaos test leans on.
+func TestScheduleReplaysDeterministically(t *testing.T) {
+	const n = 8
+	envs := synthetic(3, n, 40)
+	sched := Schedule{Seed: 7, DropProb: 0.2, DupProb: 0.2, ReorderProb: 0.5}
+	a := New(nil, sched, nil)
+	b := New(nil, sched, nil)
+	ra := deliverAll(t, a, n, 4, envs)
+	rb := deliverAll(t, b, n, 4, envs)
+	for r := range ra {
+		if !sameInboxes(ra[r], rb[r]) {
+			t.Fatalf("round %d: same schedule produced different deliveries", r)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if s := a.Stats(); s.Drops == 0 || s.Dups == 0 || s.Reorders == 0 {
+		t.Fatalf("schedule injected nothing: %+v", s)
+	}
+}
+
+// A zero schedule is a transparent wrapper: delivery matches the bare
+// loopback exactly, and no fault is counted.
+func TestZeroSchedulePassthrough(t *testing.T) {
+	const n = 6
+	envs := synthetic(9, n, 25)
+	tp := New(nil, Schedule{Seed: 1234}, nil)
+	wrapped := deliverAll(t, tp, n, 2, envs)
+	bare, err := mpc.Loopback{}.Deliver(n, envs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range wrapped {
+		if !sameInboxes(wrapped[r], bare) {
+			t.Fatalf("round %d: zero schedule altered delivery", r)
+		}
+	}
+	s := tp.Stats()
+	if s.Drops+s.Dups+s.Reorders+s.Timeouts+s.CrashedRounds != 0 {
+		t.Fatalf("zero schedule counted faults: %+v", s)
+	}
+}
+
+func TestCrashWindowIsLoudThenHeals(t *testing.T) {
+	const n = 4
+	envs := synthetic(5, n, 10)
+	tp := New(nil, Schedule{Crashes: []CrashSpan{{Machine: 2, From: 1, To: 3}}}, nil)
+	if _, err := tp.Deliver(n, envs, 0); err != nil {
+		t.Fatalf("tick 0 precedes the window: %v", err)
+	}
+	for tick := 1; tick < 3; tick++ {
+		if _, err := tp.Deliver(n, envs, 0); !errors.Is(err, mpc.ErrMachineLost) {
+			t.Fatalf("tick %d: want ErrMachineLost, got %v", tick, err)
+		}
+	}
+	if _, err := tp.Deliver(n, envs, 0); err != nil {
+		t.Fatalf("tick 3: machine restarted, want clean delivery: %v", err)
+	}
+	if s := tp.Stats(); s.CrashedRounds != 2 {
+		t.Fatalf("CrashedRounds = %d, want 2", s.CrashedRounds)
+	}
+}
+
+func TestStragglerTripsDeadline(t *testing.T) {
+	const n = 4
+	envs := synthetic(5, n, 10)
+	sched := Schedule{
+		BaseLatency: time.Millisecond,
+		Stragglers:  []StragglerSpan{{Machine: envs[0].From, From: 0, To: 2, Factor: 10}},
+	}
+	tp := New(nil, sched, nil)
+	if _, err := tp.Deliver(n, envs, 2*time.Millisecond); !errors.Is(err, mpc.ErrRoundTimeout) {
+		t.Fatalf("want ErrRoundTimeout under 10x straggler, got %v", err)
+	}
+	// No deadline → stragglers are harmless.
+	if _, err := tp.Deliver(n, envs, 0); err != nil {
+		t.Fatalf("tick 1 without deadline: %v", err)
+	}
+	// Window over → deadline satisfiable again.
+	if _, err := tp.Deliver(n, envs, 2*time.Millisecond); err != nil {
+		t.Fatalf("tick 2 after window: %v", err)
+	}
+	if s := tp.Stats(); s.Timeouts != 1 {
+		t.Fatalf("Timeouts = %d, want 1", s.Timeouts)
+	}
+}
+
+func TestSilentCrashDropsWholeMachine(t *testing.T) {
+	const n = 4
+	envs := []mpc.Envelope{
+		{From: 0, To: 1, Rec: []int64{1}},
+		{From: 1, To: 2, Rec: []int64{2}}, // from crashed
+		{From: 3, To: 1, Rec: []int64{3}}, // to crashed
+		{From: 3, To: 2, Rec: []int64{4}},
+	}
+	tp := New(nil, Schedule{Crashes: []CrashSpan{{Machine: 1, From: 0, To: 1, Silent: true}}}, nil)
+	in, err := tp.Deliver(n, envs, 0)
+	if err != nil {
+		t.Fatalf("silent crash must not be loud: %v", err)
+	}
+	if len(in[1]) != 0 {
+		t.Fatalf("crashed machine received %d messages", len(in[1]))
+	}
+	if len(in[2]) != 1 || in[2][0].Rec[0] != 4 {
+		t.Fatalf("machine 2 inbox wrong: %v", in[2])
+	}
+	if s := tp.Stats(); s.Drops != 3 {
+		t.Fatalf("Drops = %d, want 3", s.Drops)
+	}
+}

@@ -1,0 +1,105 @@
+package faultinject
+
+import (
+	"testing"
+
+	"parcolor/internal/mpc"
+	"parcolor/internal/rng"
+)
+
+// FuzzFaultyTransportNeverCorrupts pins the wrapper's one hard promise:
+// whatever the schedule, a record is delivered with the sender's exact
+// words or not at all. Faults may drop, duplicate, or reorder whole
+// envelopes — they may never mutate payload words, forge senders, or
+// misroute to a different destination.
+func FuzzFaultyTransportNeverCorrupts(f *testing.F) {
+	f.Add(uint64(1), uint8(5), uint8(5), uint8(50), uint8(4), uint8(9))
+	f.Add(uint64(42), uint8(0), uint8(0), uint8(0), uint8(2), uint8(1))
+	f.Add(uint64(7), uint8(100), uint8(100), uint8(100), uint8(8), uint8(31))
+	f.Add(uint64(99), uint8(30), uint8(80), uint8(10), uint8(16), uint8(200))
+	f.Fuzz(func(t *testing.T, seed uint64, dropPct, dupPct, reorderPct, nMach, nMsg uint8) {
+		n := int(nMach%16) + 2
+		sched := Schedule{
+			Seed:        seed,
+			DropProb:    float64(dropPct%101) / 100,
+			DupProb:     float64(dupPct%101) / 100,
+			ReorderProb: float64(reorderPct%101) / 100,
+		}
+		// Half the runs also get a silent-crash window over one machine,
+		// exercising the whole-machine drop path.
+		if seed%2 == 1 {
+			sched.Crashes = []CrashSpan{{Machine: int(seed % uint64(n)), From: 0, To: 2, Silent: true}}
+		}
+		// Deterministic synthetic traffic: payloads derived from the fuzz
+		// seed, snapshotted before delivery.
+		gen := rng.New(seed ^ 0xFEED)
+		envs := make([]mpc.Envelope, int(nMsg)%64)
+		snapshot := make([][]int64, len(envs))
+		for i := range envs {
+			rec := make([]int64, 1+gen.Intn(6))
+			for j := range rec {
+				rec[j] = int64(gen.Uint64() % 1000)
+			}
+			envs[i] = mpc.Envelope{From: gen.Intn(n), To: gen.Intn(n), Rec: rec}
+			snapshot[i] = append([]int64(nil), rec...)
+		}
+		tp := New(nil, sched, nil)
+		// Two rounds through the same wrapper so the tick advances and the
+		// crash window (ticks [0,2)) is exercised on both sides.
+		for round := 0; round < 3; round++ {
+			inboxes, err := tp.Deliver(n, envs, 0)
+			if err != nil {
+				t.Fatalf("round %d: silent-fault-only schedule returned loud error: %v", round, err)
+			}
+			if len(inboxes) != n {
+				t.Fatalf("round %d: %d inboxes for %d machines", round, len(inboxes), n)
+			}
+			for to, inbox := range inboxes {
+				for _, d := range inbox {
+					if !matchesSent(envs, d, to) {
+						t.Fatalf("round %d: machine %d received corrupted/forged record from %d: %v",
+							round, to, d.From, d.Rec)
+					}
+				}
+			}
+			// The sender-side payloads must be untouched.
+			for i, rec := range snapshot {
+				got := envs[i].Rec
+				if len(got) != len(rec) {
+					t.Fatalf("round %d: sent payload %d resized", round, i)
+				}
+				for j := range rec {
+					if got[j] != rec[j] {
+						t.Fatalf("round %d: sent payload %d mutated at word %d", round, i, j)
+					}
+				}
+			}
+		}
+		st := tp.Stats()
+		if st.Ticks != 3 {
+			t.Fatalf("ticks = %d, want 3", st.Ticks)
+		}
+		if st.Timeouts != 0 || st.CrashedRounds != 0 {
+			t.Fatalf("loud faults counted on a silent-only schedule: %+v", st)
+		}
+	})
+}
+
+// matchesSent reports whether delivery d at destination `to` is
+// word-for-word one of the records actually sent to that destination by
+// d.From.
+func matchesSent(envs []mpc.Envelope, d mpc.Delivery, to int) bool {
+outer:
+	for _, e := range envs {
+		if e.From != d.From || e.To != to || len(e.Rec) != len(d.Rec) {
+			continue
+		}
+		for j := range e.Rec {
+			if e.Rec[j] != d.Rec[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

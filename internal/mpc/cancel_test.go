@@ -1,0 +1,84 @@
+package mpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+)
+
+// cancelAfterTransport delegates to Loopback but fires a context cancel
+// after a fixed number of Deliver calls — simulating the operator pulling
+// the plug while a multi-round converge-cast is in flight.
+type cancelAfterTransport struct {
+	calls  int
+	after  int
+	cancel context.CancelFunc
+}
+
+func (t *cancelAfterTransport) Deliver(n int, envs []Envelope, deadline time.Duration) ([][]Delivery, error) {
+	t.calls++
+	if t.calls == t.after {
+		t.cancel()
+	}
+	return Loopback{}.Deliver(n, envs, deadline)
+}
+
+// Cancelling mid-converge-cast must abort the selection promptly with
+// context.Canceled: the round already in flight completes (the model is
+// synchronous), but no further round starts.
+func TestRoundCancelMidConvergeCast(t *testing.T) {
+	const nm = 64
+	c, err := NewCluster(Config{Machines: nm, LocalSpace: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The row converge-cast over 64 machines spends several rounds
+	// (pipelined levels); cancelling on the 2nd Deliver lands mid-cast.
+	tp := &cancelAfterTransport{after: 2, cancel: cancel}
+	c.cfg.Transport = tp
+	c.SetContext(ctx)
+	defer c.SetContext(nil)
+
+	_, _, err = DistributedSelectSeedRows(c, 32, func(mid int, row []int64) {
+		for s := range row {
+			row[s] = int64((mid ^ s) & 1)
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled mid-converge-cast, got %v", err)
+	}
+	if tp.calls != tp.after {
+		t.Fatalf("cast kept going after cancel: %d Deliver calls, cancelled on %d", tp.calls, tp.after)
+	}
+	if c.Metrics.Rounds != tp.after {
+		t.Fatalf("committed rounds %d != delivered rounds %d", c.Metrics.Rounds, tp.after)
+	}
+}
+
+// The same prompt-abort contract holds for the full solver: a cancel in
+// the middle of a TRC round's protocol surfaces context.Canceled without
+// running further rounds.
+func TestDeterministicColorMPCCancelMidRun(t *testing.T) {
+	in := d1lc.TrivialPalettes(graph.Cycle(48))
+	c, err := NewCluster(Config{Machines: in.G.N() + 1, LocalSpace: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tp := &cancelAfterTransport{after: 3, cancel: cancel}
+	c.cfg.Transport = tp
+	_, _, err = DeterministicColorMPC(ctx, c, in, 5, 0, nil, RoundOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if tp.calls != tp.after {
+		t.Fatalf("solver kept delivering after cancel: %d calls, cancelled on %d", tp.calls, tp.after)
+	}
+}

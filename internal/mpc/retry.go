@@ -1,0 +1,69 @@
+package mpc
+
+import (
+	"context"
+	"time"
+
+	"parcolor/internal/rng"
+	"parcolor/internal/trace"
+)
+
+// retryPhase runs one idempotent protocol phase under the retry policy:
+// attempt fn; when it fails with a retryable transport fault and budget
+// remains, sleep the jittered exponential backoff (abandoning the wait —
+// and the phase — if the cluster's context is cancelled) and re-attempt.
+// Non-fault errors (space violations, validation, cancellation) return
+// immediately. Every re-attempt is counted in Metrics.Retries and, when
+// tr is non-nil, emitted as an "mpc"/"retry:<phase>" trace span whose
+// Round field is the attempt number, so serving layers can alert on
+// fault recovery without parsing logs.
+//
+// fn must be safe to re-run from scratch: phases qualify by rebuilding
+// their host-side staging on every attempt and deferring all durable
+// mutations (colors, palette pruning) until after their delivery checks
+// pass.
+func (c *Cluster) retryPhase(p RetryPolicy, tr trace.Tracer, phase string, fn func() error) error {
+	p = p.normalized()
+	backoff := p.BaseBackoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil || !IsTransportFault(err) || attempt >= p.MaxAttempts {
+			return err
+		}
+		c.Metrics.Retries++
+		sp := trace.Begin(tr, "mpc", "retry:"+phase, attempt, 0)
+		// Deterministic jitter in [½, 1)·backoff: enough spread to
+		// de-synchronize real deployments, seeded so chaos runs replay.
+		j := rng.Hash3(p.JitterSeed, uint64(attempt), uint64(c.Metrics.Rounds))
+		sleep := backoff/2 + time.Duration(uint64(backoff/2)*(j%1024)/1024)
+		werr := sleepCtx(c.ctx, sleep)
+		sp.End(0, 0, 0)
+		if werr != nil {
+			return werr
+		}
+		if backoff *= 2; backoff > p.MaxBackoff {
+			backoff = p.MaxBackoff
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx (nil = never) is cancelled,
+// returning the context's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -20,7 +20,7 @@ func TestDeterministicColorMPCProper(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		col, stats, err := DeterministicColorMPC(context.Background(), c, in, 6, 0, nil)
+		col, stats, err := DeterministicColorMPC(context.Background(), c, in, 6, 0, nil, RoundOptions{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -40,7 +40,7 @@ func TestDeterministicColorMPCMatchesReplay(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Gnp(40, 0.12, 5))
 	run := func() *d1lc.Coloring {
 		c, _ := NewCluster(Config{Machines: in.G.N() + 1, LocalSpace: 1 << 16, Strict: true})
-		col, _, err := DeterministicColorMPC(context.Background(), c, in, 5, 0, nil)
+		col, _, err := DeterministicColorMPC(context.Background(), c, in, 5, 0, nil, RoundOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,11 +57,11 @@ func TestDeterministicColorMPCMatchesReplay(t *testing.T) {
 func TestDeterministicColorMPCValidation(t *testing.T) {
 	in := d1lc.TrivialPalettes(graph.Path(4))
 	c, _ := NewCluster(Config{Machines: 5, LocalSpace: 1024, Strict: true})
-	if _, _, err := DeterministicColorMPC(context.Background(), c, in, 0, 0, nil); err == nil {
+	if _, _, err := DeterministicColorMPC(context.Background(), c, in, 0, 0, nil, RoundOptions{}); err == nil {
 		t.Fatal("seedBits 0 accepted")
 	}
 	bad := &d1lc.Instance{G: graph.Path(3), Palettes: [][]int32{{0}, {0, 1}, {0, 1}}}
-	if _, _, err := DeterministicColorMPC(context.Background(), c, bad, 4, 0, nil); err == nil {
+	if _, _, err := DeterministicColorMPC(context.Background(), c, bad, 4, 0, nil, RoundOptions{}); err == nil {
 		t.Fatal("invalid instance accepted")
 	}
 }
@@ -71,7 +71,7 @@ func BenchmarkDeterministicColorMPC(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c, _ := NewCluster(Config{Machines: in.G.N() + 1, LocalSpace: 1 << 16})
-		if _, _, err := DeterministicColorMPC(context.Background(), c, in, 5, 0, nil); err != nil {
+		if _, _, err := DeterministicColorMPC(context.Background(), c, in, 5, 0, nil, RoundOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,137 @@
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// The transport seam: Round hands every queued record of a round to a
+// Transport, which routes them into per-machine inboxes. The default
+// Loopback reproduces the historical in-process semantics exactly —
+// instant, lossless, sender-ordered delivery — so clusters built without
+// an explicit Transport behave bit-identically to the pre-seam engine
+// (same inbox order, same metrics, same round counts). Alternative
+// transports slot in here: the fault-injecting wrapper in
+// internal/faultinject today, OS-process or TCP workers next.
+
+// Envelope is one record crossing the transport at a round boundary,
+// queued by Mailer.Send. Transports MUST treat Rec as immutable: a
+// delivery either carries the sender's payload words untouched or does
+// not happen at all (the faultinject fuzz suite pins this).
+type Envelope struct {
+	From, To int
+	Rec      []int64
+}
+
+// Transport routes one round's outgoing messages into inboxes.
+//
+// envs arrive in sender order (all of machine 0's sends, then machine
+// 1's, …), with every destination already validated against [0, n). The
+// returned slice holds machine i's inbox at index i; a faithful transport
+// preserves sender order within each inbox, while a faulty one may drop,
+// duplicate, or reorder deliveries — but never mutate payloads.
+//
+// deadline is the round's (simulated) delivery deadline; zero means
+// unbounded. A transport that cannot complete the round returns a
+// classified error — ErrRoundTimeout when delivery would exceed the
+// deadline, ErrMachineLost when a machine is down — and no deliveries
+// take effect for the round.
+type Transport interface {
+	Deliver(n int, envs []Envelope, deadline time.Duration) ([][]Delivery, error)
+}
+
+// Loopback is the default in-process transport: instant, lossless,
+// sender-ordered delivery. It ignores the deadline (nothing is ever
+// late) and never fails.
+type Loopback struct{}
+
+// Deliver routes every envelope, preserving sender order per inbox.
+func (Loopback) Deliver(n int, envs []Envelope, _ time.Duration) ([][]Delivery, error) {
+	inboxes := make([][]Delivery, n)
+	for _, e := range envs {
+		inboxes[e.To] = append(inboxes[e.To], Delivery{From: e.From, Rec: e.Rec})
+	}
+	return inboxes, nil
+}
+
+// Classified transport/protocol failures. Errors.Is-able sentinels wrap
+// the detail (which machine, which round, which segment), so policy code
+// branches on the class while logs keep the specifics. Space violations
+// are deliberately NOT in this family: they are model-budget errors, not
+// faults, and retrying them cannot help.
+var (
+	// ErrRoundTimeout classifies a round whose delivery exceeded the
+	// cluster's per-round deadline (a straggling machine, typically).
+	ErrRoundTimeout = errors.New("mpc: round deadline exceeded")
+	// ErrMachineLost classifies a round aborted because a machine was
+	// detected down (crash before restart).
+	ErrMachineLost = errors.New("mpc: machine lost")
+	// ErrSegmentLost classifies a protocol-level detection: an expected
+	// record (a palette, a converge-cast segment, a commit announcement)
+	// was not delivered, so the phase's result would be incomplete.
+	ErrSegmentLost = errors.New("mpc: protocol segment lost")
+)
+
+// IsTransportFault reports whether err belongs to the retryable fault
+// family — a timeout, a lost machine, or a lost segment. Context
+// cancellation, validation errors and strict space violations are not
+// transport faults.
+func IsTransportFault(err error) bool {
+	return errors.Is(err, ErrRoundTimeout) || errors.Is(err, ErrMachineLost) || errors.Is(err, ErrSegmentLost)
+}
+
+// RetryPolicy bounds how protocol phases recover from transport faults:
+// a failed phase is re-attempted up to MaxAttempts times total, sleeping
+// an exponentially growing, jittered backoff between attempts. The zero
+// value means "no retries" (one attempt), which keeps fault-free paths
+// byte-identical to the pre-policy engine.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per phase, first try
+	// included. Values ≤ 1 disable retries.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first re-attempt; each further
+	// re-attempt doubles it, capped at MaxBackoff. Zero defaults to
+	// 500µs (tests and simulations want tiny real-time sleeps).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero defaults to 50ms.
+	MaxBackoff time.Duration
+	// JitterSeed drives the deterministic jitter PRG, so chaos runs
+	// replay byte-for-byte. The attempt's sleep is backoff·[½, 1).
+	JitterSeed uint64
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 500 * time.Microsecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 50 * time.Millisecond
+	}
+	return p
+}
+
+// segKey identifies one expected protocol delivery: a (sender, batch)
+// pair in the converge-cast, a (sender, level) pair in the scalar
+// aggregation.
+type segKey struct{ from, batch int }
+
+// expectSegments verifies that every expected (sender, batch) delivery
+// was observed and returns ErrSegmentLost naming the first gap
+// otherwise. seen is the per-parent delivery record the fold loops
+// maintain (duplicates are deduplicated at fold time and never reach
+// here twice).
+func expectSegments(parent int, seen map[segKey]bool, children []int, batches int) error {
+	for _, child := range children {
+		for b := 0; b < batches; b++ {
+			if !seen[segKey{child, b}] {
+				return fmt.Errorf("machine %d missing segment (child %d, batch %d): %w",
+					parent, child, b, ErrSegmentLost)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package parcolor_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"parcolor"
+)
+
+// The chaos differential contract: under any fault schedule, SolveOnMPC
+// either produces the fault-free oracle's coloring bit-for-bit (via
+// retries or the loopback fallback) or returns a classified transport
+// error — never a silently different coloring.
+
+func chaosOracle(t *testing.T, s *parcolor.Solver, in *parcolor.Instance) []int32 {
+	t.Helper()
+	res, err := s.SolveOnMPC(context.Background(), in, 0, 5)
+	if err != nil {
+		t.Fatalf("fault-free oracle solve: %v", err)
+	}
+	return res.Coloring.Colors
+}
+
+func sameColors(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestChaosDifferential(t *testing.T) {
+	s, err := parcolor.NewSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := parcolor.TrivialPalettes(parcolor.GenerateGraph("gnp-sparse", 72, 3))
+	oracle := chaosOracle(t, s, in)
+
+	retry := parcolor.MPCRetryPolicy{
+		MaxAttempts: 10,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+	}
+	kinds := []struct {
+		name     string
+		schedule func(seed uint64) parcolor.FaultSchedule
+		deadline time.Duration
+	}{
+		{
+			name: "drop",
+			schedule: func(seed uint64) parcolor.FaultSchedule {
+				return parcolor.FaultSchedule{Seed: seed, DropProb: 0.02, DupProb: 0.01, ReorderProb: 0.1}
+			},
+		},
+		{
+			name: "straggler",
+			schedule: func(seed uint64) parcolor.FaultSchedule {
+				return parcolor.FaultSchedule{
+					Seed:        seed,
+					BaseLatency: time.Millisecond,
+					Stragglers:  []parcolor.StragglerSpan{{Machine: int(seed % 7), From: 0, To: 6, Factor: 10}},
+				}
+			},
+			deadline: 2 * time.Millisecond,
+		},
+		{
+			name: "crash",
+			schedule: func(seed uint64) parcolor.FaultSchedule {
+				return parcolor.FaultSchedule{
+					Seed:    seed,
+					Crashes: []parcolor.CrashSpan{{Machine: int(seed % 5), From: 2, To: 7}},
+				}
+			},
+		},
+		{
+			name: "silent-crash",
+			schedule: func(seed uint64) parcolor.FaultSchedule {
+				return parcolor.FaultSchedule{
+					Seed:    seed,
+					Crashes: []parcolor.CrashSpan{{Machine: 3, From: 0, To: 4, Silent: true}},
+				}
+			},
+		},
+	}
+	for _, k := range kinds {
+		for _, seed := range []uint64{1, 2, 3} {
+			k, seed := k, seed
+			t.Run(k.name, func(t *testing.T) {
+				res, err := s.SolveOnMPC(context.Background(), in, 0, 5,
+					parcolor.WithMPCFaults(k.schedule(seed)),
+					parcolor.WithMPCDeadline(k.deadline),
+					parcolor.WithMPCRetry(retry),
+					parcolor.WithMPCFallback(true),
+				)
+				if err != nil {
+					t.Fatalf("seed %d: lossy solve with retry+fallback failed: %v", seed, err)
+				}
+				if !sameColors(res.Coloring.Colors, oracle) {
+					t.Fatalf("seed %d: lossy coloring differs from fault-free oracle (degraded=%v)", seed, res.Degraded)
+				}
+				if res.FaultEvents == 0 && k.name != "straggler" {
+					// Straggler schedules can inject zero events when the
+					// machine index never sends in the faulted window; the
+					// others always trip on these seeds.
+					t.Errorf("seed %d: schedule injected no faults — test exercises nothing", seed)
+				}
+				if res.Retries == 0 && !res.Degraded && res.FaultEvents > 0 {
+					t.Errorf("seed %d: faults were injected but neither retried nor degraded", seed)
+				}
+			})
+		}
+	}
+}
+
+// Without a fallback and with a starved retry budget, heavy loss must
+// surface as a classified error — never as a wrong coloring.
+func TestChaosClassifiedErrorWithoutFallback(t *testing.T) {
+	s, err := parcolor.NewSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := parcolor.TrivialPalettes(parcolor.GenerateGraph("gnp-sparse", 72, 3))
+	oracle := chaosOracle(t, s, in)
+	for _, seed := range []uint64{1, 2, 3} {
+		res, err := s.SolveOnMPC(context.Background(), in, 0, 5,
+			parcolor.WithMPCFaults(parcolor.FaultSchedule{Seed: seed, DropProb: 0.3}),
+			parcolor.WithMPCRetry(parcolor.MPCRetryPolicy{MaxAttempts: 2, BaseBackoff: 10 * time.Microsecond}),
+		)
+		if err != nil {
+			if !parcolor.IsMPCTransportFault(err) {
+				t.Fatalf("seed %d: error is not a classified transport fault: %v", seed, err)
+			}
+			if !errors.Is(err, parcolor.ErrMPCSegmentLost) {
+				t.Errorf("seed %d: 30%% drop should classify as segment loss, got %v", seed, err)
+			}
+			continue
+		}
+		if !sameColors(res.Coloring.Colors, oracle) {
+			t.Fatalf("seed %d: survived heavy loss but coloring differs from oracle", seed)
+		}
+	}
+}
+
+// A crash that outlives every retry budget must classify as machine loss
+// when no fallback is armed, and still recover bit-identically when one is.
+func TestChaosCrashClassification(t *testing.T) {
+	s, err := parcolor.NewSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := parcolor.TrivialPalettes(parcolor.GenerateGraph("cycle", 48, 1))
+	sched := parcolor.FaultSchedule{Crashes: []parcolor.CrashSpan{{Machine: 0, From: 0, To: -1}}}
+	_, err = s.SolveOnMPC(context.Background(), in, 0, 5,
+		parcolor.WithMPCFaults(sched),
+		parcolor.WithMPCRetry(parcolor.MPCRetryPolicy{MaxAttempts: 3, BaseBackoff: 10 * time.Microsecond}),
+	)
+	if !errors.Is(err, parcolor.ErrMPCMachineLost) {
+		t.Fatalf("permanent crash without fallback: want ErrMPCMachineLost, got %v", err)
+	}
+	res, err := s.SolveOnMPC(context.Background(), in, 0, 5,
+		parcolor.WithMPCFaults(sched),
+		parcolor.WithMPCRetry(parcolor.MPCRetryPolicy{MaxAttempts: 3, BaseBackoff: 10 * time.Microsecond}),
+		parcolor.WithMPCFallback(true),
+	)
+	if err != nil {
+		t.Fatalf("permanent crash with fallback: %v", err)
+	}
+	if !res.Degraded || res.DegradedReason == "" {
+		t.Fatalf("fallback run must record degradation, got %+v", res)
+	}
+	if !sameColors(res.Coloring.Colors, chaosOracle(t, s, in)) {
+		t.Fatal("degraded coloring differs from fault-free oracle")
+	}
+}
+
+// A zero-probability injector must be a true no-op: identical coloring,
+// rounds, and space accounting to a run with no injector at all.
+func TestChaosZeroScheduleIdentical(t *testing.T) {
+	s, err := parcolor.NewSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := parcolor.TrivialPalettes(parcolor.GenerateGraph("gnp-sparse", 72, 3))
+	clean, err := s.SolveOnMPC(context.Background(), in, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := s.SolveOnMPC(context.Background(), in, 0, 5,
+		parcolor.WithMPCFaults(parcolor.FaultSchedule{Seed: 42}),
+		parcolor.WithMPCRetry(parcolor.MPCRetryPolicy{MaxAttempts: 4}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameColors(clean.Coloring.Colors, wrapped.Coloring.Colors) {
+		t.Fatal("zero-fault injector changed the coloring")
+	}
+	if clean.MPCRounds != wrapped.MPCRounds || clean.MaxSent != wrapped.MaxSent ||
+		clean.MaxReceived != wrapped.MaxReceived || clean.MaxStored != wrapped.MaxStored {
+		t.Fatalf("zero-fault injector changed engine accounting: clean=%+v wrapped=%+v", clean, wrapped)
+	}
+	if wrapped.FaultEvents != 0 || wrapped.Retries != 0 || wrapped.Degraded {
+		t.Fatalf("zero-fault run reported fault activity: %+v", wrapped)
+	}
+}
