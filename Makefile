@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-bitset fmt bench bench-smoke bench-diff bench-kernel test-chaos
+.PHONY: all build test race vet vet-bitset fmt bench bench-smoke bench-diff bench-kernel test-chaos bench-scale bench-scale-smoke bench-scale-diff
 
 all: build test
 
@@ -85,3 +85,30 @@ bench-kernel:
 	$(GO) test -run '^$$' -bench 'Kernel' -benchmem -count 1 -json ./internal/kernel \
 		>> BENCH_kernel.json
 	@echo "wrote BENCH_kernel.json (host $(HOST_FINGERPRINT))"
+
+# bench-scale sweeps the derandomized deframe solver and the classical
+# randomized baselines (Jones–Plassmann, Luby) across graph sizes up to
+# 10^6 vertices on gnp and Chung–Lu power-law workloads, streaming wall
+# time, rounds, peak live heap and color count into BENCH_scale.json
+# (host-stamped, benchdiff-gateable like the other streams). The full
+# sweep takes minutes; CI runs bench-scale-smoke instead.
+bench-scale:
+	$(GO) run ./cmd/scalebench -sizes 10000,100000,1000000 -out BENCH_scale.json
+	@echo "wrote BENCH_scale.json"
+
+# bench-scale-smoke is the CI leg: a small-n sweep that keeps the whole
+# harness (generators, baselines, stream format) exercised in seconds.
+bench-scale-smoke:
+	$(GO) run ./cmd/scalebench -sizes 2000 -out BENCH_scale_smoke.json
+	$(GO) run ./cmd/benchdiff -old BENCH_scale_smoke.json -new BENCH_scale_smoke.json \
+		-tol 0.10 -filter Scale/ > /dev/null
+	@echo "scale smoke ok (stream parses and self-diffs clean)"
+
+# bench-scale-diff gates BENCH_scale.json rows against a recorded
+# baseline at the same >10% threshold as the kernel stream. Snapshot a
+# baseline once per machine:
+#   make bench-scale && cp BENCH_scale.json BENCH_scale_$$(hostname).json
+BENCH_SCALE_BASELINE ?= BENCH_scale.json
+bench-scale-diff:
+	$(GO) run ./cmd/benchdiff -old $(BENCH_SCALE_BASELINE) \
+		-new BENCH_scale.json -tol 0.10 -filter Scale/

@@ -10,7 +10,8 @@
 //
 // Algorithms: deterministic (Theorem 1), randomized (Lemma 4),
 // greedy (sequential baseline), lowdeg (conditional-expectations
-// iterative solver).
+// iterative solver), jp (Jones–Plassmann classical baseline), luby
+// (Luby-MIS classical baseline).
 //
 // The command drives the reusable Solver API: -workers scopes the worker
 // budget to this run, -timeout cancels the solve through its context (a
@@ -24,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"parcolor"
@@ -35,7 +38,7 @@ func main() {
 		graphName = flag.String("graph", "mixed", "workload graph: "+fmt.Sprint(parcolor.GraphNames()))
 		input     = flag.String("input", "", "read the graph from an edge-list file instead of generating")
 		n         = flag.Int("n", 500, "approximate node count")
-		alg       = flag.String("alg", "deterministic", "deterministic|randomized|greedy|lowdeg")
+		alg       = flag.String("alg", "deterministic", "deterministic|randomized|greedy|lowdeg|jp|luby")
 		seed      = flag.Uint64("seed", 1, "seed for randomized components and generators")
 		seedBits  = flag.Int("seedbits", 0, "PRG seed bits for derandomization (0 = auto)")
 		nisan     = flag.Bool("nisan", false, "use the Nisan-style PRG")
@@ -44,9 +47,13 @@ func main() {
 		palette   = flag.String("palette", "trivial", "trivial|delta1|random")
 		extra     = flag.Int("extra", 2, "extra palette slack for -palette random")
 		printCols = flag.Bool("print", false, "print the coloring")
+		dsshard   = flag.Bool("degreeshard", false, "solve on the degree-sorted sharded relabeling (coloring mapped back)")
 		workers   = flag.Int("workers", 0, "worker goroutine bound for this solve (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "cancel the solve after this long (0 = no timeout)")
 		traceFlag = flag.Bool("trace", false, "print the per-phase trace summary")
+		traceMem  = flag.Bool("tracemem", false, "add per-phase allocation/peak-heap columns to -trace (implies -trace)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the solve to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile (post-solve) to this file")
 	)
 	flag.Parse()
 
@@ -87,6 +94,10 @@ func main() {
 		algorithm = parcolor.GreedySequential
 	case "lowdeg":
 		algorithm = parcolor.LowDegreeDeterministic
+	case "jp":
+		algorithm = parcolor.JonesPlassmann
+	case "luby":
+		algorithm = parcolor.LubyColoring
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
 		os.Exit(2)
@@ -99,11 +110,15 @@ func main() {
 		parcolor.WithNisan(*nisan),
 		parcolor.WithBitwise(*bitwise),
 		parcolor.WithNaiveScoring(*naive),
+		parcolor.WithDegreeShard(*dsshard),
 		parcolor.WithWorkers(*workers),
 	}
 	var collector *parcolor.TraceCollector
-	if *traceFlag {
+	if *traceFlag || *traceMem {
 		collector = parcolor.NewTraceCollector()
+		if *traceMem {
+			collector.EnableMemoryTracking()
+		}
 		opts = append(opts, parcolor.WithTrace(collector))
 	}
 	solver, err := parcolor.NewSolver(opts...)
@@ -119,9 +134,39 @@ func main() {
 		defer cancel()
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	start := time.Now()
 	res, err := solver.Solve(ctx, in)
 	elapsed := time.Since(start)
+
+	if *memProf != "" {
+		f, ferr := os.Create(*memProf)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "error:", ferr)
+			os.Exit(2)
+		}
+		runtime.GC() // profile live objects, not garbage
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fmt.Fprintln(os.Stderr, "error:", werr)
+			os.Exit(2)
+		}
+		f.Close()
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "timeout: solve cancelled after %s (%v)\n", elapsed.Round(time.Millisecond), err)

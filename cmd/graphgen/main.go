@@ -5,7 +5,17 @@
 // Usage:
 //
 //	graphgen -graph powerlaw -n 1000 -seed 3 > powerlaw.txt
+//	graphgen -graph chunglu -n 1000000 -stream -o big.txt
 //	graphgen -list
+//
+// -stream writes edges as the generator produces them instead of building
+// the graph in memory first, so million-edge instances cost O(1) beyond
+// the generator's own state. Streaming is supported for the generators
+// with an edge-emitter path (gnp-sparse, gnp-dense, chunglu) and requires
+// -o: the "n m" header is back-patched with the final edge count once the
+// stream ends. Streamed chunglu output may contain duplicate pairs — the
+// reader's builder semantics deduplicate them, exactly as the in-memory
+// path does.
 package main
 
 import (
@@ -15,15 +25,80 @@ import (
 	"os"
 
 	"parcolor"
+	"parcolor/internal/graph"
 )
+
+// headerWidth pads the streamed header line so it can be rewritten in
+// place once the edge count is known.
+const headerWidth = 48
+
+// streamEdges drives the named generator's edge emitter; the supported
+// names mirror the parameter choices of graph.Named.
+func streamEdges(name string, n int, seed uint64, emit func(u, v int32)) error {
+	switch name {
+	case "gnp-sparse":
+		p := 6 / float64(n)
+		if n < 7 {
+			p = 6.0 / 7
+		}
+		graph.GnpEdges(n, p, seed, emit)
+	case "gnp-dense":
+		graph.GnpEdges(n, 0.3, seed, emit)
+	case "chunglu":
+		graph.ChungLuEdges(n, 2.5, 8, seed, emit)
+	default:
+		return fmt.Errorf("generator %q has no streaming path (supported: gnp-sparse, gnp-dense, chunglu)", name)
+	}
+	return nil
+}
+
+func stream(name string, n int, seed uint64, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	header := func(m int64) string {
+		return fmt.Sprintf("%-*s\n", headerWidth, fmt.Sprintf("%d %d", n, m))
+	}
+	if _, err := w.WriteString(header(0)); err != nil {
+		return err
+	}
+	var m int64
+	var werr error
+	err = streamEdges(name, n, seed, func(u, v int32) {
+		if werr != nil {
+			return
+		}
+		m++
+		_, werr = fmt.Fprintf(w, "%d %d\n", u, v)
+	})
+	if err != nil {
+		return err
+	}
+	if werr != nil {
+		return werr
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// Back-patch the padded header with the real edge count.
+	if _, err := f.WriteAt([]byte(header(m)), 0); err != nil {
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	var (
-		name = flag.String("graph", "gnp-sparse", "generator name")
-		n    = flag.Int("n", 1000, "approximate node count")
-		seed = flag.Uint64("seed", 1, "generator seed")
-		list = flag.Bool("list", false, "list generator names and exit")
-		stat = flag.Bool("stats", false, "print degree statistics instead of edges")
+		name   = flag.String("graph", "gnp-sparse", "generator name")
+		n      = flag.Int("n", 1000, "approximate node count")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		list   = flag.Bool("list", false, "list generator names and exit")
+		stat   = flag.Bool("stats", false, "print degree statistics instead of edges")
+		doStr  = flag.Bool("stream", false, "stream edges from the generator without building the graph (requires -o)")
+		outArg = flag.String("o", "", "output file (default stdout; required with -stream)")
 	)
 	flag.Parse()
 
@@ -33,8 +108,35 @@ func main() {
 		}
 		return
 	}
+
+	if *doStr {
+		if *stat {
+			fmt.Fprintln(os.Stderr, "error: -stream and -stats are mutually exclusive")
+			os.Exit(2)
+		}
+		if *outArg == "" {
+			fmt.Fprintln(os.Stderr, "error: -stream requires -o (the header is back-patched in place)")
+			os.Exit(2)
+		}
+		if err := stream(*name, *n, *seed, *outArg); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	out := os.Stdout
+	if *outArg != "" {
+		f, err := os.Create(*outArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
 	g := parcolor.GenerateGraph(*name, *n, *seed)
-	w := bufio.NewWriter(os.Stdout)
+	w := bufio.NewWriter(out)
 	defer w.Flush()
 
 	if *stat {

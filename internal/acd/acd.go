@@ -20,7 +20,7 @@
 package acd
 
 import (
-	"sort"
+	"slices"
 
 	"parcolor/internal/d1lc"
 	"parcolor/internal/graph"
@@ -167,7 +167,7 @@ func ComputePar(r *par.Runner, in *d1lc.Instance, opts Options) *ACD {
 				}
 			}
 		}
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		slices.Sort(members)
 		cliques = append(cliques, members)
 	}
 	// Dissolve undersized cliques.

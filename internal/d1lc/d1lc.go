@@ -7,6 +7,7 @@ package d1lc
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"parcolor/internal/graph"
@@ -215,7 +216,7 @@ func randomSubset(universe, k int, s *rng.Stream) []int32 {
 		chosen[t] = true
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -237,26 +238,72 @@ func Reduce(in *Instance, col *Coloring, nodes []int32) (res *Instance, origOf [
 // ReducePar is Reduce with the residual graph construction scoped to r's
 // workers (nil = process default), so self-reduction inside a
 // budget-scoped solve honors the solve's worker bound.
+//
+// Palette shrinking is map-free: each worker gathers its node's blocked
+// colors into a reused sorted buffer and subtracts it from the (sorted)
+// palette with one merge walk. The per-node hash map this replaced was
+// the dominant allocation in million-node profiles (runtime map ops were
+// ~26% of cumulative CPU on a 10^6-node gnp solve).
 func ReducePar(r *par.Runner, in *Instance, col *Coloring, nodes []int32) (res *Instance, origOf []int32) {
 	sub, origOf := graph.InducedSubgraphPar(r, in.G, nodes)
 	pal := make([][]int32, sub.N())
-	for i, v := range origOf {
-		blocked := map[int32]bool{}
-		for _, u := range in.G.Neighbors(v) {
-			if c := col.Colors[u]; c != Uncolored {
-				blocked[c] = true
-			}
+	r.ForChunked(len(origOf), func(lo, hi int) {
+		var blocked []int32
+		for i := lo; i < hi; i++ {
+			v := origOf[i]
+			blocked = gatherBlocked(in.G.Neighbors(v), col, blocked[:0])
+			src := in.Palettes[v]
+			p := make([]int32, 0, len(src))
+			pal[i] = subtractSorted(p, src, blocked)
 		}
-		src := in.Palettes[v]
-		p := make([]int32, 0, len(src))
-		for _, c := range src {
-			if !blocked[c] {
-				p = append(p, c)
-			}
-		}
-		pal[i] = p
-	}
+	})
 	return &Instance{G: sub, Palettes: pal}, origOf
+}
+
+// gatherBlocked appends the colors of v's colored neighbors to buf and
+// returns it sorted (duplicates kept — the merge walks tolerate them).
+func gatherBlocked(neighbors []int32, col *Coloring, buf []int32) []int32 {
+	for _, u := range neighbors {
+		if c := col.Colors[u]; c != Uncolored {
+			buf = append(buf, c)
+		}
+	}
+	slices.Sort(buf)
+	return buf
+}
+
+// subtractSorted appends to dst the values of palette (strictly sorted
+// ascending) not present in blocked (sorted ascending, duplicates
+// allowed) and returns dst. One merge walk, no lookups.
+func subtractSorted(dst, palette, blocked []int32) []int32 {
+	j := 0
+	for _, c := range palette {
+		for j < len(blocked) && blocked[j] < c {
+			j++
+		}
+		if j == len(blocked) || blocked[j] != c {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// FirstFreeColor returns the smallest color of palette (strictly sorted
+// ascending) not present in blocked (sorted ascending, duplicates
+// allowed), or Uncolored if every palette color is blocked. This is the
+// greedy color choice shared by GreedyComplete and the classical
+// baseline engines (Jones–Plassmann, Luby coloring).
+func FirstFreeColor(palette, blocked []int32) int32 {
+	j := 0
+	for _, c := range palette {
+		for j < len(blocked) && blocked[j] < c {
+			j++
+		}
+		if j == len(blocked) || blocked[j] != c {
+			return c
+		}
+	}
+	return Uncolored
 }
 
 // ReduceUncolored is Reduce over exactly the uncolored nodes of col.
@@ -292,27 +339,17 @@ func Apply(col *Coloring, residual *Coloring, origOf []int32) {
 // machine and color greedily" step, and the universal fallback that makes
 // every pipeline in this repository unconditionally correct.
 func GreedyComplete(in *Instance, col *Coloring) error {
+	var blocked []int32
 	for v := int32(0); v < int32(in.G.N()); v++ {
 		if col.Colors[v] != Uncolored {
 			continue
 		}
-		blocked := map[int32]bool{}
-		for _, u := range in.G.Neighbors(v) {
-			if c := col.Colors[u]; c != Uncolored {
-				blocked[c] = true
-			}
-		}
-		assigned := false
-		for _, c := range in.Palettes[v] {
-			if !blocked[c] {
-				col.Colors[v] = c
-				assigned = true
-				break
-			}
-		}
-		if !assigned {
+		blocked = gatherBlocked(in.G.Neighbors(v), col, blocked[:0])
+		c := FirstFreeColor(in.Palettes[v], blocked)
+		if c == Uncolored {
 			return fmt.Errorf("d1lc: greedy found no color for node %d (invalid instance)", v)
 		}
+		col.Colors[v] = c
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"parcolor/internal/rng"
 )
@@ -79,10 +80,36 @@ func Gnp(n int, p float64, seed uint64) *Graph {
 	if p >= 1 {
 		return Complete(n)
 	}
+	b.Reserve(int(p * float64(int64(n)*int64(n-1)/2)))
+	GnpEdges(n, p, seed, func(u, v int32) { b.AddEdge(u, v) })
+	return b.Build()
+}
+
+// GnpEdges streams the edges of Gnp(n, p, seed) to emit without
+// materializing the graph: duplicate-free pairs (u < v) in lexicographic
+// order, O(1) memory. The stream is deterministic in seed and is exactly
+// the edge set Gnp builds.
+func GnpEdges(n int, p float64, seed uint64, emit func(u, v int32)) {
+	if p <= 0 || n < 2 {
+		return
+	}
+	if p >= 1 {
+		for u := int32(0); u < int32(n); u++ {
+			for v := u + 1; v < int32(n); v++ {
+				emit(u, v)
+			}
+		}
+		return
+	}
 	s := rng.New(rng.Hash2(seed, 0xE5D0))
 	// Iterate pairs (u,v), u<v, in lexicographic order with geometric skips.
+	// pos is monotone, so the row cursor (rowStart, rowEnd for row u)
+	// advances amortized O(1) per edge — the whole stream is O(n + m),
+	// where a per-edge pairFromIndex lookup would make it O(n·m).
 	total := int64(n) * int64(n-1) / 2
 	pos := int64(-1)
+	row := int64(0)
+	rowStart, rowEnd := int64(0), int64(n-1)
 	for {
 		// Skip ~ Geometric(p): number of failures before next success.
 		u01 := s.Float64()
@@ -95,10 +122,13 @@ func Gnp(n int, p float64, seed uint64) *Graph {
 		if pos >= total {
 			break
 		}
-		u, v := pairFromIndex(pos, n)
-		b.AddEdge(u, v)
+		for pos >= rowEnd {
+			row++
+			rowStart = rowEnd
+			rowEnd += int64(n-1) - row
+		}
+		emit(int32(row), int32(row+1+pos-rowStart))
 	}
-	return b.Build()
 }
 
 // logRatio computes log(1-u)/log(1-p), the geometric skip length used by
@@ -108,7 +138,9 @@ func logRatio(u, p float64) float64 {
 }
 
 // pairFromIndex maps a linear index over {(u,v): 0<=u<v<n} in lexicographic
-// order back to the pair.
+// order back to the pair. It scans rows from zero, so it is O(n) per call —
+// retained as the reference the streaming row cursor in GnpEdges is pinned
+// against, not for use on a hot path.
 func pairFromIndex(pos int64, n int) (int32, int32) {
 	// Row u occupies n-1-u entries. Find u by accumulating.
 	u := int64(0)
@@ -169,6 +201,66 @@ func PowerLaw(n, k int, seed uint64) *Graph {
 		endpoints = append(endpoints, int32(v))
 	}
 	return b.Build()
+}
+
+// ChungLu returns a random graph from the (fixed-edge-count) Chung–Lu
+// model with a power-law weight sequence: vertex v carries weight
+// w_v ∝ (v+1)^(-1/(beta-1)) for exponent beta > 1, and n·avgDeg/2
+// candidate edges are drawn with both endpoints weight-proportional, so
+// expected degrees follow the weights and the realized degree sequence is
+// heavy-tailed. Unlike PowerLaw (preferential attachment) the edges are
+// independent, which is the model scale benchmarks usually quote.
+// Self-loops and duplicates are dropped by the builder, so the realized
+// edge count is slightly below n·avgDeg/2.
+func ChungLu(n int, beta float64, avgDeg int, seed uint64) *Graph {
+	if n <= 0 {
+		return Empty(0)
+	}
+	b := NewBuilder(n)
+	b.Reserve(n * avgDeg / 2)
+	ChungLuEdges(n, beta, avgDeg, seed, func(u, v int32) { b.AddEdge(u, v) })
+	return b.Build()
+}
+
+// ChungLuEdges streams the Chung–Lu candidate edges of ChungLu(n, beta,
+// avgDeg, seed) to emit, one at a time, without materializing an edge
+// list. Emitted pairs may repeat and are not deduplicated; peak memory is
+// the O(n) cumulative-weight table. The stream is deterministic in seed.
+func ChungLuEdges(n int, beta float64, avgDeg int, seed uint64, emit func(u, v int32)) {
+	if n <= 1 {
+		return
+	}
+	if beta <= 1.01 {
+		beta = 1.01
+	}
+	alpha := 1 / (beta - 1)
+	cum := make([]float64, n+1)
+	for v := 0; v < n; v++ {
+		cum[v+1] = cum[v] + math.Pow(float64(v+1), -alpha)
+	}
+	s := rng.New(rng.Hash2(seed, 0xC1))
+	m := n * avgDeg / 2
+	for i := 0; i < m; i++ {
+		u := pickWeighted(cum, s)
+		v := pickWeighted(cum, s)
+		if u != v {
+			emit(u, v)
+		}
+	}
+}
+
+// pickWeighted draws a vertex with probability proportional to its weight
+// via inverse-CDF binary search on the cumulative table.
+func pickWeighted(cum []float64, s *rng.Stream) int32 {
+	x := s.Float64() * cum[len(cum)-1]
+	i := sort.SearchFloat64s(cum, x)
+	if i > 0 {
+		i--
+	}
+	if i > len(cum)-2 {
+		i = len(cum) - 2
+	}
+	return int32(i)
 }
 
 // CliquesPlusMatching returns t disjoint cliques of size c whose node sets
@@ -307,6 +399,8 @@ func Named(name string, n int, seed uint64) (*Graph, error) {
 		return RandomRegular(n, 8, seed), nil
 	case "powerlaw":
 		return PowerLaw(n, 4, seed), nil
+	case "chunglu":
+		return ChungLu(n, 2.5, 8, seed), nil
 	case "cliques":
 		return CliquesPlusMatching(maxInt(n/32, 1), 32, seed), nil
 	case "mixed":

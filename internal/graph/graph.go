@@ -6,10 +6,37 @@
 // components (the shattering experiment E5).
 //
 // Graphs are simple and undirected. Nodes are int32 indices [0, n).
+//
+// # Construction at scale
+//
+// Two construction paths share the CSR layout:
+//
+//   - Builder accumulates an explicit edge list (duplicates and self-loops
+//     tolerated) and builds in O(n+m): a counting placement scatters both
+//     arc directions straight into the output adjacency array, then each
+//     list is sorted and deduplicated independently — parallel across
+//     nodes, no global comparison sort, no allocation beyond the output
+//     (plus the caller's edge list, which is never larger than the output).
+//
+//   - StreamBuilder is the two-pass path for producers that can enumerate
+//     their arcs twice (induced subgraphs, power graphs, streamed
+//     generators): pass one counts per-node degrees, pass two writes arcs
+//     directly into the final adjacency array. No intermediate edge list
+//     exists at any point, so peak memory is exactly the output CSR.
+//
+// # Degree-sorted sharding (relabel.go)
+//
+// Relabeling permutes vertices into degree-sorted order and cuts the new
+// id space into shards whose adjacency storage fits a cache budget.
+// NewOf/OldOf are inverse bijections; a coloring computed on the relabeled
+// graph maps back through OldOf exactly (MapColoringBack), so the layout
+// is a pure optimization — solvers observe a relabeled instance, callers
+// observe original ids, bit-for-bit.
 package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"parcolor/internal/par"
@@ -111,6 +138,15 @@ func NewBuilder(n int) *Builder {
 	return &Builder{n: n}
 }
 
+// Reserve grows the edge buffer to hold at least m edges, so generators
+// that know their size up front avoid append's geometric reallocation —
+// at million-edge scale the doubling overshoot alone is tens of MB.
+func (b *Builder) Reserve(m int) {
+	if cap(b.edges) < m {
+		b.edges = append(make([][2]int32, 0, m), b.edges...)
+	}
+}
+
 // AddEdge records the undirected edge {u,v}. Out-of-range endpoints panic:
 // they are programming errors in generators, not data errors.
 func (b *Builder) AddEdge(u, v int32) {
@@ -131,50 +167,181 @@ func (b *Builder) AddEdge(u, v int32) {
 // budget-scoped solve goes through BuildPar.
 func (b *Builder) Build() *Graph { return b.BuildPar(nil) }
 
-// BuildPar is Build with the adjacency-sort fan-out scoped to r's workers
+// BuildPar is Build with the per-node sort fan-out scoped to r's workers
 // (nil = process default): leaf construction phases inside a solve honor
 // the solve's budget instead of falling back to GOMAXPROCS.
+//
+// The build is O(n+m) counting placement plus independent per-node sorts:
+// both arc directions scatter straight into the output adjacency array,
+// then each list sorts and deduplicates in place. There is no global edge
+// sort (the former comparison sort over the whole edge list was the
+// super-linear, reflection-heavy step at million-edge scale), and the
+// only allocation beyond the output CSR is one n+1 cursor array.
 func (b *Builder) BuildPar(r *par.Runner) *Graph {
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
-		}
-		return b.edges[i][1] < b.edges[j][1]
-	})
-	// Deduplicate.
-	uniq := b.edges[:0]
-	for i, e := range b.edges {
-		if i == 0 || e != b.edges[i-1] {
-			uniq = append(uniq, e)
-		}
-	}
-	deg := make([]int32, b.n+1)
-	for _, e := range uniq {
-		deg[e[0]+1]++
-		deg[e[1]+1]++
+	// Counting placement: degrees including duplicates; per-list dedup
+	// happens after the per-node sorts, followed by one compaction.
+	counts := make([]int32, b.n+1)
+	for _, e := range b.edges {
+		counts[e[0]+1]++
+		counts[e[1]+1]++
 	}
 	for i := 0; i < b.n; i++ {
-		deg[i+1] += deg[i]
+		counts[i+1] += counts[i]
 	}
-	offsets := deg
+	offsets := counts
 	adj := make([]int32, offsets[b.n])
 	cursor := make([]int32, b.n)
-	for _, e := range uniq {
+	for _, e := range b.edges {
 		u, v := e[0], e[1]
-		adj[offsets[u]+cursor[u]] = v
+		adj[int(offsets[u])+int(cursor[u])] = v
 		cursor[u]++
-		adj[offsets[v]+cursor[v]] = u
+		adj[int(offsets[v])+int(cursor[v])] = u
 		cursor[v]++
 	}
-	g := &Graph{offsets: offsets, adj: adj}
-	// Each list was filled in order of the second endpoint for the u side,
-	// but the v side receives u out of order; sort each list.
-	r.For(b.n, func(i int) {
-		lo, hi := offsets[i], offsets[i+1]
-		s := adj[lo:hi]
-		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	// Sort and dedup each list independently; record the deduped lengths
+	// in cursor for the compaction pass. Workers touch disjoint indices,
+	// so the duplicate check is a sequential sum afterwards.
+	r.ForChunked(b.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := adj[offsets[i]:offsets[i+1]]
+			slices.Sort(s)
+			cursor[i] = int32(dedupSorted(s))
+		}
 	})
-	return g
+	kept := 0
+	for i := 0; i < b.n; i++ {
+		kept += int(cursor[i])
+	}
+	if kept == len(adj) {
+		return &Graph{offsets: offsets, adj: adj}
+	}
+	// Compact out the per-list tails the dedup left behind. Sequential
+	// O(n+m); runs only when duplicates actually occurred.
+	newOff := make([]int32, b.n+1)
+	for i := 0; i < b.n; i++ {
+		newOff[i+1] = newOff[i] + cursor[i]
+	}
+	w := int32(0)
+	for i := 0; i < b.n; i++ {
+		lo := offsets[i]
+		copy(adj[w:], adj[lo:lo+cursor[i]])
+		w += cursor[i]
+	}
+	return &Graph{offsets: newOff, adj: adj[:w:w]}
+}
+
+// dedupSorted compacts consecutive duplicates in a sorted slice in place
+// and returns the deduplicated length.
+func dedupSorted(s []int32) int {
+	if len(s) < 2 {
+		return len(s)
+	}
+	k := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[k-1] {
+			s[k] = s[i]
+			k++
+		}
+	}
+	return k
+}
+
+// StreamBuilder constructs a CSR graph in two passes without ever holding
+// an intermediate edge list: pass one counts each node's arcs (CountArc /
+// CountEdge), pass two writes them directly into the final adjacency
+// array (FillArc / FillEdge). Producers that can enumerate their arcs
+// twice — induced subgraphs, power-graph balls, streamed generators — pay
+// exactly the output CSR in memory, nothing else.
+//
+// The producer must emit the same multiset of arcs in both passes: every
+// directed arc u→v exactly once (use CountEdge/FillEdge to emit both
+// directions of an undirected edge at once), no self-loops, no
+// duplicates. Finish checks the two passes agreed on every node's count
+// and that each list is duplicate-free after sorting, returning an error
+// otherwise.
+type StreamBuilder struct {
+	n       int
+	offsets []int32 // counts during pass 1, prefix-summed by BeginFill
+	cursor  []int32
+	adj     []int32
+	filling bool
+}
+
+// NewStreamBuilder returns a streaming builder for an n-node graph,
+// starting in the counting pass.
+func NewStreamBuilder(n int) *StreamBuilder {
+	return &StreamBuilder{n: n, offsets: make([]int32, n+1)}
+}
+
+// CountArc records, during the counting pass, that u will receive one
+// neighbor entry.
+func (b *StreamBuilder) CountArc(u int32) { b.offsets[u+1]++ }
+
+// CountArcs records k neighbor entries for u at once (a BFS ball's size,
+// a filtered adjacency length).
+func (b *StreamBuilder) CountArcs(u int32, k int) { b.offsets[u+1] += int32(k) }
+
+// CountEdge counts both directions of the undirected edge {u,v}.
+func (b *StreamBuilder) CountEdge(u, v int32) {
+	b.offsets[u+1]++
+	b.offsets[v+1]++
+}
+
+// BeginFill ends the counting pass: offsets are prefix-summed and the
+// adjacency array is allocated at its exact final size.
+func (b *StreamBuilder) BeginFill() {
+	for i := 0; i < b.n; i++ {
+		b.offsets[i+1] += b.offsets[i]
+	}
+	b.adj = make([]int32, b.offsets[b.n])
+	b.cursor = make([]int32, b.n)
+	b.filling = true
+}
+
+// FillArc writes, during the fill pass, the directed arc u→v.
+func (b *StreamBuilder) FillArc(u, v int32) {
+	b.adj[int(b.offsets[u])+int(b.cursor[u])] = v
+	b.cursor[u]++
+}
+
+// FillEdge writes both directions of the undirected edge {u,v}.
+func (b *StreamBuilder) FillEdge(u, v int32) {
+	b.FillArc(u, v)
+	b.FillArc(v, u)
+}
+
+// Finish sorts each adjacency list (parallel on r's workers; nil =
+// process default) and returns the graph. sortedLists tells Finish the
+// producer filled every list already sorted ascending (monotone mappings
+// of sorted source lists), skipping the sort pass entirely. Finish errors
+// if the two passes disagreed on any node's arc count or a list holds a
+// duplicate or self-loop — a producer bug surfaced loudly rather than a
+// corrupt graph.
+func (b *StreamBuilder) Finish(r *par.Runner, sortedLists bool) (*Graph, error) {
+	if !b.filling {
+		return nil, fmt.Errorf("graph: StreamBuilder.Finish before BeginFill")
+	}
+	for i := 0; i < b.n; i++ {
+		if got, want := b.cursor[i], b.offsets[i+1]-b.offsets[i]; got != want {
+			return nil, fmt.Errorf("graph: StreamBuilder node %d filled %d arcs, counted %d", i, got, want)
+		}
+	}
+	if !sortedLists {
+		r.ForChunked(b.n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				slices.Sort(b.adj[b.offsets[i]:b.offsets[i+1]])
+			}
+		})
+	}
+	for i := 0; i < b.n; i++ {
+		s := b.adj[b.offsets[i]:b.offsets[i+1]]
+		for j := range s {
+			if s[j] == int32(i) || (j > 0 && s[j-1] >= s[j]) {
+				return nil, fmt.Errorf("graph: StreamBuilder node %d list invalid at %d (dup, unsorted or self-loop)", i, j)
+			}
+		}
+	}
+	return &Graph{offsets: b.offsets, adj: b.adj}, nil
 }
 
 // FromAdjacency constructs a graph directly from adjacency lists; used by
@@ -200,22 +367,54 @@ func InducedSubgraph(g *Graph, keep []int32) (sub *Graph, origOf []int32) {
 // InducedSubgraphPar is InducedSubgraph with construction scoped to r's
 // workers (nil = process default), so residue and bin sub-instances built
 // inside a budget-scoped solve honor the solve's worker bound.
+//
+// The build is streaming: kept neighbors are located by binary search in
+// the sorted keep set (no O(n) translation map, no per-call hashing), the
+// counting pass sizes each adjacency list, and the fill pass writes the
+// relabeled neighbors directly into the output CSR. Because origOf is
+// ascending, the old→new mapping is monotone and every filled list is
+// already sorted — the whole construction is comparison-sort-free.
 func InducedSubgraphPar(r *par.Runner, g *Graph, keep []int32) (sub *Graph, origOf []int32) {
 	origOf = append([]int32(nil), keep...)
-	sort.Slice(origOf, func(i, j int) bool { return origOf[i] < origOf[j] })
-	newOf := make(map[int32]int32, len(origOf))
-	for i, v := range origOf {
-		newOf[v] = int32(i)
+	slices.Sort(origOf)
+	k := len(origOf)
+	b := NewStreamBuilder(k)
+	// newIndex locates u in origOf, or -1. Galloping would help for very
+	// sparse keeps; plain binary search keeps both passes identical.
+	newIndex := func(u int32) int32 {
+		i, ok := slices.BinarySearch(origOf, u)
+		if !ok {
+			return -1
+		}
+		return int32(i)
 	}
-	b := NewBuilder(len(origOf))
-	for i, v := range origOf {
-		for _, u := range g.Neighbors(v) {
-			if j, ok := newOf[u]; ok && int32(i) < j {
-				b.AddEdge(int32(i), j)
+	r.ForChunked(k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cnt := 0
+			for _, u := range g.Neighbors(origOf[i]) {
+				if newIndex(u) >= 0 {
+					cnt++
+				}
+			}
+			// Disjoint i per worker: CountArcs races with nothing.
+			b.CountArcs(int32(i), cnt)
+		}
+	})
+	b.BeginFill()
+	r.ForChunked(k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for _, u := range g.Neighbors(origOf[i]) {
+				if j := newIndex(u); j >= 0 {
+					b.FillArc(int32(i), j)
+				}
 			}
 		}
+	})
+	sub, err := b.Finish(r, true)
+	if err != nil {
+		panic(fmt.Sprintf("graph: induced subgraph construction: %v", err))
 	}
-	return b.BuildPar(r), origOf
+	return sub, origOf
 }
 
 // LineGraph returns the line graph L(G) (nodes = edges of G, adjacency =
@@ -302,27 +501,169 @@ func PowerGraph(g *Graph, radius, maxBall int) (*Graph, error) {
 // PowerGraphPar is PowerGraph with construction scoped to r's workers
 // (nil = process default), so the power-graph build inside a
 // budget-scoped solve honors the solve's worker bound.
+//
+// Construction is streaming and chunked: each worker re-runs the
+// deterministic bounded BFS in a counting pass and a fill pass, writing
+// every ball straight into the output CSR — no intermediate edge list.
+// With maxBall > 0 the per-worker visited set is O(maxBall), not O(n):
+// the scratch footprint is bounded by the output row size, so a
+// space-budgeted chunk assignment never allocates a full node array per
+// worker. Only the unbounded maxBall = 0 case falls back to per-worker
+// O(n) stamp arrays (its output rows can be O(n) anyway).
 func PowerGraphPar(r *par.Runner, g *Graph, radius, maxBall int) (*Graph, error) {
 	n := g.N()
-	b := NewBuilder(n)
-	scratch := make([]int32, n)
-	for i := range scratch {
-		scratch[i] = -1
-	}
-	var ball []int32
-	for v := int32(0); v < int32(n); v++ {
-		var ok bool
-		ball, ok = BallBounded(g, v, radius, maxBall, ball, scratch)
-		if !ok {
-			return nil, fmt.Errorf("graph: ball of %d exceeds limit %d in G^%d", v, maxBall, radius)
-		}
-		for _, u := range ball {
-			if v < u {
-				b.AddEdge(v, u)
+	b := NewStreamBuilder(n)
+	workers := r.Workers(n)
+	scratches := make([]*ballScratch, workers)
+	errs := make([]error, workers)
+	pass := func(fill bool) error {
+		r.ForChunkedWorker(n, func(w, lo, hi int) {
+			sc := scratches[w]
+			if sc == nil {
+				sc = newBallScratch(n, maxBall)
+				scratches[w] = sc
+			}
+			for i := lo; i < hi; i++ {
+				if errs[w] != nil {
+					return
+				}
+				v := int32(i)
+				ball, ok := sc.ball(g, v, radius, maxBall)
+				if !ok {
+					errs[w] = fmt.Errorf("graph: ball of %d exceeds limit %d in G^%d", v, maxBall, radius)
+					return
+				}
+				if fill {
+					for _, u := range ball {
+						b.FillArc(v, u)
+					}
+				} else {
+					b.CountArcs(v, len(ball))
+				}
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
 			}
 		}
+		return nil
 	}
-	return b.BuildPar(r), nil
+	if err := pass(false); err != nil {
+		return nil, err
+	}
+	b.BeginFill()
+	if err := pass(true); err != nil {
+		return nil, err
+	}
+	return b.Finish(r, false)
+}
+
+// ballScratch is one worker's reusable state for bounded-radius BFS. With
+// a positive ball bound it tracks visited nodes in an open-addressing set
+// of O(maxBall) slots; unbounded callers get the classic O(n) stamp
+// array. Both variants produce identical deterministic traversals.
+type ballScratch struct {
+	stamp    []int32 // unbounded variant: node → -1 or visit marker
+	keys     []int32 // bounded variant: open-addressing set, -1 = empty
+	mask     uint32
+	out      []int32 // ball accumulator, reused across calls
+	frontier []int32
+	next     []int32
+}
+
+func newBallScratch(n, maxBall int) *ballScratch {
+	sc := &ballScratch{}
+	if maxBall > 0 {
+		size := uint32(8)
+		for size < uint32(4*(maxBall+2)) {
+			size <<= 1
+		}
+		sc.keys = make([]int32, size)
+		for i := range sc.keys {
+			sc.keys[i] = -1
+		}
+		sc.mask = size - 1
+	} else {
+		sc.stamp = make([]int32, n)
+		for i := range sc.stamp {
+			sc.stamp[i] = -1
+		}
+	}
+	return sc
+}
+
+// visit marks v visited, reporting whether it was new.
+func (sc *ballScratch) visit(v int32) bool {
+	if sc.stamp != nil {
+		if sc.stamp[v] >= 0 {
+			return false
+		}
+		sc.stamp[v] = 0
+		return true
+	}
+	h := uint32(v) * 2654435761 & sc.mask
+	for {
+		k := sc.keys[h]
+		if k == v {
+			return false
+		}
+		if k < 0 {
+			sc.keys[h] = v
+			return true
+		}
+		h = (h + 1) & sc.mask
+	}
+}
+
+// reset clears the visited state touched by the last traversal.
+func (sc *ballScratch) reset(touched []int32, center int32) {
+	if sc.stamp != nil {
+		sc.stamp[center] = -1
+		for _, u := range touched {
+			sc.stamp[u] = -1
+		}
+		return
+	}
+	for i := range sc.keys {
+		sc.keys[i] = -1
+	}
+}
+
+// ball runs the deterministic bounded BFS from v, returning all nodes at
+// distance [1, radius] (aliasing sc.out; valid until the next call). ok
+// is false when the ball exceeds maxBall > 0.
+func (sc *ballScratch) ball(g *Graph, v int32, radius, maxBall int) (out []int32, ok bool) {
+	sc.out = sc.out[:0]
+	if radius <= 0 {
+		return sc.out, true
+	}
+	sc.visit(v)
+	sc.frontier = append(sc.frontier[:0], v)
+	ok = true
+bfs:
+	for depth := 1; depth <= radius && len(sc.frontier) > 0; depth++ {
+		sc.next = sc.next[:0]
+		for _, u := range sc.frontier {
+			for _, w := range g.Neighbors(u) {
+				if !sc.visit(w) {
+					continue
+				}
+				sc.out = append(sc.out, w)
+				sc.next = append(sc.next, w)
+				if maxBall > 0 && len(sc.out) > maxBall {
+					ok = false
+					break bfs
+				}
+			}
+		}
+		sc.frontier, sc.next = sc.next, sc.frontier
+	}
+	sc.reset(sc.out, v)
+	if !ok {
+		return sc.out[:0], false
+	}
+	return sc.out, true
 }
 
 // Components labels connected components; comp[v] is the component id of v

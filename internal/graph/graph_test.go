@@ -3,6 +3,8 @@ package graph
 import (
 	"testing"
 	"testing/quick"
+
+	"parcolor/internal/rng"
 )
 
 func TestBuilderDeduplicatesAndSorts(t *testing.T) {
@@ -100,6 +102,45 @@ func TestGnpEdgeCases(t *testing.T) {
 	}
 	if g := Gnp(1, 0.5, 1); g.N() != 1 || g.M() != 0 {
 		t.Fatal("n=1 wrong")
+	}
+}
+
+// TestGnpEdgesMatchesPairFromIndex pins GnpEdges' streaming row cursor
+// against the O(n)-per-call pairFromIndex reference: replaying the same
+// geometric skip sequence through both mappings must yield the identical
+// edge stream. This is the differential that let the cursor replace the
+// per-edge reference lookup (which made generation O(n·m) at n=10^6).
+func TestGnpEdgesMatchesPairFromIndex(t *testing.T) {
+	for _, n := range []int{2, 3, 9, 57, 400} {
+		for _, p := range []float64{0.01, 0.2, 0.7, 0.97} {
+			const seed = 7
+			s := rng.New(rng.Hash2(seed, 0xE5D0))
+			total := int64(n) * int64(n-1) / 2
+			pos := int64(-1)
+			var want [][2]int32
+			for {
+				u01 := s.Float64()
+				if u01 >= 1 {
+					u01 = 0.9999999999999999
+				}
+				pos += 1 + int64(logRatio(u01, p))
+				if pos >= total {
+					break
+				}
+				u, v := pairFromIndex(pos, n)
+				want = append(want, [2]int32{u, v})
+			}
+			var got [][2]int32
+			GnpEdges(n, p, seed, func(u, v int32) { got = append(got, [2]int32{u, v}) })
+			if len(got) != len(want) {
+				t.Fatalf("n=%d p=%g: %d edges streamed, reference has %d", n, p, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d p=%g: edge %d is %v, reference %v", n, p, i, got[i], want[i])
+				}
+			}
+		}
 	}
 }
 

@@ -1,7 +1,7 @@
 package hknt
 
 import (
-	"sort"
+	"slices"
 
 	"parcolor/internal/d1lc"
 	"parcolor/internal/rng"
@@ -343,7 +343,7 @@ type CliqueInfo struct {
 
 // sortNodes sorts a node list ascending in place and returns it.
 func sortNodes(xs []int32) []int32 {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.Sort(xs)
 	return xs
 }
 

@@ -1,0 +1,119 @@
+// Package jp implements Jones–Plassmann list coloring, the classical
+// randomized parallel baseline (Jones & Plassmann 1993): every vertex
+// draws a random priority once, and in each round the uncolored vertices
+// that are local priority maxima among their uncolored neighbors
+// simultaneously take their smallest available palette color. Local
+// maxima of a round form an independent set, so the parallel commit is
+// conflict-free, and a vertex waits at most as many rounds as it has
+// higher-priority neighbors, so the algorithm terminates on every valid
+// D1LC instance (palette size ≥ degree+1 guarantees a free color).
+//
+// The engine exists as a measurement baseline for the derandomized
+// solvers: same Instance/Coloring types, same verification, same trace
+// surface (engine "jp", one phase per round), no derandomization
+// machinery. Expected round count on bounded-degree graphs is
+// O(log n / log log n); on general graphs it is O(Δ + log n) whp.
+package jp
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/par"
+	"parcolor/internal/rng"
+	"parcolor/internal/trace"
+)
+
+// Stats reports round accounting for one Color run.
+type Stats struct {
+	// Rounds is the number of synchronous local-maxima rounds executed.
+	Rounds int
+}
+
+// higher reports whether u's priority beats v's, breaking hash ties by id
+// so the order is a strict total order for any seed.
+func higher(prio []uint64, u, v int32) bool {
+	if prio[u] != prio[v] {
+		return prio[u] > prio[v]
+	}
+	return u > v
+}
+
+// Color colors the instance with Jones–Plassmann under the given seed.
+// Work per round is linear in the adjacency of the still-uncolored
+// vertices — the active set is compacted every round, so the tail of the
+// schedule never rescans colored regions. Scratch is per worker; the only
+// per-round allocation is the compacted active list.
+func Color(ctx context.Context, r *par.Runner, in *d1lc.Instance, seed uint64, tr trace.Tracer) (*d1lc.Coloring, Stats, error) {
+	n := in.G.N()
+	col := d1lc.NewColoring(n)
+	prio := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		prio[v] = rng.Hash2(seed, uint64(v))
+	}
+	active := make([]int32, n)
+	for v := range active {
+		active[v] = int32(v)
+	}
+	proposal := make([]int32, n)
+
+	var st Stats
+	for len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
+		if st.Rounds > n {
+			return nil, st, fmt.Errorf("jp: no progress after %d rounds on %d active nodes", st.Rounds, len(active))
+		}
+		sp := trace.Begin(tr, "jp", "round", st.Rounds, len(active))
+		// Propose: winners (local maxima among uncolored neighbors) pick
+		// their smallest free color. Only col is read; proposal entries are
+		// per-vertex, so workers never overlap.
+		r.ForChunked(len(active), func(lo, hi int) {
+			var blocked []int32
+			for i := lo; i < hi; i++ {
+				v := active[i]
+				proposal[v] = d1lc.Uncolored
+				win := true
+				blocked = blocked[:0]
+				for _, u := range in.G.Neighbors(v) {
+					if c := col.Colors[u]; c != d1lc.Uncolored {
+						blocked = append(blocked, c)
+					} else if higher(prio, u, v) {
+						win = false
+						break
+					}
+				}
+				if !win {
+					continue
+				}
+				slices.Sort(blocked)
+				proposal[v] = d1lc.FirstFreeColor(in.Palettes[v], blocked)
+			}
+		})
+		// Commit winners and compact the active list in place. Winners are
+		// independent, so order does not matter; the compaction keeps the
+		// active list sorted (stable filter), keeping rounds deterministic.
+		colored := 0
+		kept := active[:0]
+		for _, v := range active {
+			if c := proposal[v]; c != d1lc.Uncolored {
+				col.Colors[v] = c
+				colored++
+			} else {
+				kept = append(kept, v)
+			}
+		}
+		active = kept
+		st.Rounds++
+		sp.End(0, colored, len(active))
+		if colored == 0 {
+			// Cannot happen on a valid instance: the global maximum among
+			// uncolored vertices always wins and always finds a free color.
+			return nil, st, fmt.Errorf("jp: round %d colored nothing (invalid instance?)", st.Rounds)
+		}
+	}
+	return col, st, nil
+}

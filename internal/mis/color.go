@@ -1,0 +1,152 @@
+package mis
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/par"
+	"parcolor/internal/rng"
+	"parcolor/internal/trace"
+)
+
+// This file is the Luby-based coloring baseline: repeated randomized
+// Luby MIS on the residual uncolored subgraph, with every selected
+// independent set taking its smallest available palette colors
+// simultaneously. Maximality bounds the phase count — after a phase,
+// every still-uncolored vertex lost an uncolored neighbor to the set —
+// so a vertex waits at most deg(v)+1 phases. Together with
+// Jones–Plassmann (internal/jp) it is the classical comparison point for
+// the derandomized engines at scale.
+
+// ColorStats reports round accounting for one LubyColor run.
+type ColorStats struct {
+	// Phases is the number of MIS-and-commit phases.
+	Phases int
+	// Rounds is the total number of Luby rounds across all phases — the
+	// depth proxy comparable to the derandomized engines' round counts.
+	Rounds int
+}
+
+// lubyPriority is the phase/round-salted priority of v: drawn bits in the
+// high word, id in the low word as the exact tiebreak (same packing as
+// the derandomized engine's priority()).
+func lubyPriority(seed uint64, phase, round int, v int32) uint64 {
+	h := rng.Hash3(seed, uint64(phase)<<20|uint64(round), uint64(uint32(v)))
+	return h<<32 | uint64(uint32(v))
+}
+
+// LubyColor colors the instance by iterated randomized Luby MIS under the
+// given seed. Work per round is linear in the adjacency of the vertices
+// still undecided in the current phase; the active set is compacted every
+// round. One phase emits one trace span (engine "luby", phase "mis").
+func LubyColor(ctx context.Context, r *par.Runner, in *d1lc.Instance, seed uint64, tr trace.Tracer) (*d1lc.Coloring, ColorStats, error) {
+	n := in.G.N()
+	g := in.G
+	col := d1lc.NewColoring(n)
+	// state is per-phase: Undecided while competing in the current MIS,
+	// Out once dominated (stays uncolored, re-enters next phase).
+	state := make([]NodeState, n)
+	prio := make([]uint64, n)
+	joined := make([]bool, n)
+	uncolored := make([]int32, n)
+	for v := range uncolored {
+		uncolored[v] = int32(v)
+	}
+
+	var st ColorStats
+	for len(uncolored) > 0 {
+		if st.Phases > g.MaxDegree()+1 {
+			return nil, st, fmt.Errorf("mis: luby coloring made no progress after %d phases", st.Phases)
+		}
+		sp := trace.Begin(tr, "luby", "mis", st.Phases, len(uncolored))
+		for _, v := range uncolored {
+			state[v] = Undecided
+		}
+		active := slices.Clone(uncolored)
+		colored := 0
+		round := 0
+		for len(active) > 0 {
+			if err := ctx.Err(); err != nil {
+				sp.End(0, colored, len(uncolored))
+				return nil, st, err
+			}
+			if round > n {
+				sp.End(0, colored, len(uncolored))
+				return nil, st, fmt.Errorf("mis: luby phase %d stalled after %d rounds", st.Phases, round)
+			}
+			// Draw priorities and find local maxima among Undecided
+			// neighbors; maxima join the set and immediately pick the
+			// smallest palette color free of their colored neighbors (set
+			// members are independent, so the reads are race-free).
+			r.For(len(active), func(i int) {
+				v := active[i]
+				prio[v] = lubyPriority(seed, st.Phases, round, v)
+			})
+			r.ForChunked(len(active), func(lo, hi int) {
+				var blocked []int32
+				for i := lo; i < hi; i++ {
+					v := active[i]
+					joined[v] = false
+					win := true
+					for _, u := range g.Neighbors(v) {
+						if state[u] == Undecided && prio[u] > prio[v] {
+							win = false
+							break
+						}
+					}
+					if !win {
+						continue
+					}
+					blocked = blocked[:0]
+					for _, u := range g.Neighbors(v) {
+						if c := col.Colors[u]; c != d1lc.Uncolored {
+							blocked = append(blocked, c)
+						}
+					}
+					slices.Sort(blocked)
+					joined[v] = true
+					col.Colors[v] = d1lc.FirstFreeColor(in.Palettes[v], blocked)
+				}
+			})
+			// Commit: set members leave the phase colored, their Undecided
+			// neighbors become Out (dominated, retry next phase).
+			for _, v := range active {
+				if !joined[v] {
+					continue
+				}
+				if col.Colors[v] == d1lc.Uncolored {
+					sp.End(0, colored, len(uncolored))
+					return nil, st, fmt.Errorf("mis: no free color for node %d (invalid instance)", v)
+				}
+				state[v] = InSet
+				colored++
+				for _, u := range g.Neighbors(v) {
+					if state[u] == Undecided {
+						state[u] = Out
+					}
+				}
+			}
+			kept := active[:0]
+			for _, v := range active {
+				if state[v] == Undecided {
+					kept = append(kept, v)
+				}
+			}
+			active = kept
+			round++
+			st.Rounds++
+		}
+		next := uncolored[:0]
+		for _, v := range uncolored {
+			if col.Colors[v] == d1lc.Uncolored {
+				next = append(next, v)
+			}
+		}
+		uncolored = next
+		st.Phases++
+		sp.End(0, colored, len(uncolored))
+	}
+	return col, st, nil
+}

@@ -2,7 +2,7 @@ package mpc
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"parcolor/internal/graph"
 )
@@ -96,7 +96,7 @@ func Exponentiate(c *Cluster, g *graph.Graph, radius int) (rounds int, err error
 		for u := range ball[v] {
 			members = append(members, u)
 		}
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		slices.Sort(members)
 		for _, u := range members {
 			m.Recs = append(m.Recs, []int64{-3, int64(u), int64(ball[v][u])})
 		}

@@ -15,6 +15,7 @@ package trace
 
 import (
 	"fmt"
+	"runtime/metrics"
 	"sort"
 	"strings"
 	"sync"
@@ -43,6 +44,37 @@ type Event struct {
 	Deferred int
 	// Elapsed is the phase's wall time (exit only).
 	Elapsed time.Duration
+	// AllocBytes is the process-wide heap allocation attributed to the
+	// phase: the /gc/heap/allocs delta between enter and exit. Exit only,
+	// and only when the attached Tracer opts into memory tracking (see
+	// MemoryTracker) — 0 otherwise. Concurrent phases each observe the
+	// full process delta, so sums over overlapping phases can overcount;
+	// per-phase growth trends (the super-linear-allocation regression
+	// signal) are what the field is for.
+	AllocBytes int64
+	// HeapBytes is the live heap (/memory/classes/heap/objects) at phase
+	// exit. Exit only, memory tracking only.
+	HeapBytes int64
+}
+
+// MemoryTracker is the opt-in for per-phase memory accounting: a Tracer
+// that also implements MemoryTracker and returns true has every span
+// sample the runtime's allocation counters at Begin and End, filling
+// Event.AllocBytes and Event.HeapBytes. The samples use runtime/metrics
+// (no stop-the-world), but cost two counter reads per phase — which is
+// why plain Tracers never pay for them.
+type MemoryTracker interface {
+	TrackMemory() bool
+}
+
+// readMem samples cumulative heap allocation and live heap bytes.
+func readMem() (allocs, live uint64) {
+	s := [2]metrics.Sample{
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+	}
+	metrics.Read(s[:])
+	return s[0].Value.Uint64(), s[1].Value.Uint64()
 }
 
 // Tracer observes phase events. Implementations must be safe for
@@ -58,9 +90,11 @@ type Tracer interface {
 // Tracer) is valid and makes End a no-op, so emission sites need no
 // nil-checks of their own.
 type Span struct {
-	tr    Tracer
-	ev    Event
-	start time.Time
+	tr          Tracer
+	ev          Event
+	start       time.Time
+	memOn       bool
+	startAllocs uint64
 }
 
 // Begin emits PhaseEnter and returns the span to close with End. tr may be
@@ -71,7 +105,12 @@ func Begin(tr Tracer, engine, phase string, round, participants int) *Span {
 	}
 	ev := Event{Engine: engine, Phase: phase, Round: round, Participants: participants}
 	tr.PhaseEnter(ev)
-	return &Span{tr: tr, ev: ev, start: time.Now()}
+	sp := &Span{tr: tr, ev: ev, start: time.Now()}
+	if mt, ok := tr.(MemoryTracker); ok && mt.TrackMemory() {
+		sp.memOn = true
+		sp.startAllocs, _ = readMem()
+	}
+	return sp
 }
 
 // End emits PhaseExit with the phase's outcome counts. Safe on a nil span.
@@ -83,6 +122,11 @@ func (s *Span) End(seedEvals, colored, deferred int) {
 	s.ev.Colored = colored
 	s.ev.Deferred = deferred
 	s.ev.Elapsed = time.Since(s.start)
+	if s.memOn {
+		allocs, live := readMem()
+		s.ev.AllocBytes = int64(allocs - s.startAllocs)
+		s.ev.HeapBytes = int64(live)
+	}
 	s.tr.PhaseExit(s.ev)
 }
 
@@ -95,19 +139,40 @@ type PhaseSummary struct {
 	Colored       int
 	Deferred      int
 	Elapsed       time.Duration
+	// AllocBytes sums Event.AllocBytes over executions; PeakHeapBytes is
+	// the maximum Event.HeapBytes observed. Both stay 0 unless the
+	// collector's memory tracking is enabled (EnableMemoryTracking).
+	AllocBytes    int64
+	PeakHeapBytes int64
 }
 
 // Collector is a Tracer that aggregates exit events into per-phase
 // summaries. Safe for concurrent use; the zero value is usable.
 type Collector struct {
-	mu     sync.Mutex
-	phases map[string]*PhaseSummary
-	order  []string // first-seen order, for stable Summary output
+	mu       sync.Mutex
+	phases   map[string]*PhaseSummary
+	order    []string // first-seen order, for stable Summary output
+	trackMem bool
 }
 
 // NewCollector returns an empty aggregating tracer.
 func NewCollector() *Collector {
 	return &Collector{phases: make(map[string]*PhaseSummary)}
+}
+
+// EnableMemoryTracking makes every span attached to this collector sample
+// allocation counters (see MemoryTracker); call it before solving.
+func (c *Collector) EnableMemoryTracking() {
+	c.mu.Lock()
+	c.trackMem = true
+	c.mu.Unlock()
+}
+
+// TrackMemory implements MemoryTracker.
+func (c *Collector) TrackMemory() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trackMem
 }
 
 // PhaseEnter is a no-op: the collector aggregates completed phases only.
@@ -133,6 +198,10 @@ func (c *Collector) PhaseExit(e Event) {
 	s.Colored += e.Colored
 	s.Deferred += e.Deferred
 	s.Elapsed += e.Elapsed
+	s.AllocBytes += e.AllocBytes
+	if e.HeapBytes > s.PeakHeapBytes {
+		s.PeakHeapBytes = e.HeapBytes
+	}
 }
 
 // Summary returns the aggregated phases sorted by engine then first-seen
@@ -160,18 +229,29 @@ func (c *Collector) Summary() []PhaseSummary {
 }
 
 // String renders the summary as an aligned table (one line per phase).
+// The memory columns appear only when memory tracking is enabled, so
+// untracked output is unchanged.
 func (c *Collector) String() string {
 	sums := c.Summary()
 	if len(sums) == 0 {
 		return "trace: no phases observed\n"
 	}
+	mem := c.TrackMemory()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %-18s %6s %12s %10s %9s %9s %12s\n",
+	fmt.Fprintf(&b, "%-10s %-18s %6s %12s %10s %9s %9s %12s",
 		"engine", "phase", "count", "participants", "seedEvals", "colored", "deferred", "elapsed")
+	if mem {
+		fmt.Fprintf(&b, " %12s %12s", "allocBytes", "peakHeap")
+	}
+	b.WriteByte('\n')
 	for _, s := range sums {
-		fmt.Fprintf(&b, "%-10s %-18s %6d %12d %10d %9d %9d %12s\n",
+		fmt.Fprintf(&b, "%-10s %-18s %6d %12d %10d %9d %9d %12s",
 			s.Engine, s.Phase, s.Count, s.Participants, s.SeedEvals, s.Colored, s.Deferred,
 			s.Elapsed.Round(time.Microsecond))
+		if mem {
+			fmt.Fprintf(&b, " %12d %12d", s.AllocBytes, s.PeakHeapBytes)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -57,5 +58,38 @@ func TestCollectorConcurrent(t *testing.T) {
 	sums := c.Summary()
 	if len(sums) != 1 || sums[0].Count != g*per || sums[0].SeedEvals != 2*g*per {
 		t.Fatalf("concurrent aggregation wrong: %+v", sums)
+	}
+}
+
+func TestMemoryTrackingOptIn(t *testing.T) {
+	// Without opt-in: no memory fields, ever.
+	c := NewCollector()
+	sp := Begin(c, "e", "p", 0, 1)
+	sink := make([]byte, 1<<20)
+	_ = sink
+	sp.End(0, 1, 0)
+	if s := c.Summary()[0]; s.AllocBytes != 0 || s.PeakHeapBytes != 0 {
+		t.Fatalf("memory fields set without opt-in: %+v", s)
+	}
+
+	// With opt-in: the span observes the allocation made inside it.
+	c = NewCollector()
+	c.EnableMemoryTracking()
+	sp = Begin(c, "e", "p", 0, 1)
+	big := make([]byte, 8<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	sp.End(0, 1, 0)
+	runtime.KeepAlive(big)
+	s := c.Summary()[0]
+	if s.AllocBytes < 8<<20 {
+		t.Fatalf("AllocBytes %d did not capture an 8MiB allocation", s.AllocBytes)
+	}
+	if s.PeakHeapBytes <= 0 {
+		t.Fatalf("PeakHeapBytes %d not sampled", s.PeakHeapBytes)
+	}
+	if !strings.Contains(c.String(), "allocBytes") {
+		t.Fatalf("String() missing memory columns:\n%s", c.String())
 	}
 }

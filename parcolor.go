@@ -36,6 +36,21 @@
 // Tracer (parcolor.WithTrace). The package-level Solve, SolveOnMPC and
 // MISDeterministic remain as thin compatibility wrappers over a default
 // Solver.
+//
+// Two classical randomized baselines ship as first-class algorithms for
+// benchmarking the derandomized pipeline against the literature's
+// standard comparison points:
+//
+//	jp, _ := parcolor.NewSolver(parcolor.WithAlgorithm(parcolor.JonesPlassmann))
+//	lb, _ := parcolor.NewSolver(parcolor.WithAlgorithm(parcolor.LubyColoring))
+//
+// Both scale past 10^6 vertices; `make bench-scale` (cmd/scalebench)
+// sweeps them alongside the deterministic solver on gnp and Chung–Lu
+// power-law graphs and records wall time, rounds, peak live heap and
+// color counts. parcolor.WithDegreeShard(true) additionally solves on a
+// degree-sorted sharded relabeling of the input (cache-friendly CSR
+// layout for skewed degree distributions) and maps the coloring back to
+// the original ids.
 package parcolor
 
 import (
@@ -78,6 +93,14 @@ const (
 	// LowDegreeDeterministic is the conditional-expectations iterative
 	// solver (the Lemma 14 stand-in), usable directly on any instance.
 	LowDegreeDeterministic
+	// JonesPlassmann is the classical randomized parallel baseline: random
+	// priorities drawn once, local maxima color greedily each round. No
+	// derandomization; the comparison point for scale benchmarks.
+	JonesPlassmann
+	// LubyColoring is the classical Luby-based baseline: repeated
+	// randomized Luby MIS on the uncolored residual, each selected set
+	// taking its smallest available palette colors simultaneously.
+	LubyColoring
 )
 
 func (a Algorithm) String() string {
@@ -90,6 +113,10 @@ func (a Algorithm) String() string {
 		return "greedy"
 	case LowDegreeDeterministic:
 		return "lowdeg"
+	case JonesPlassmann:
+		return "jp"
+	case LubyColoring:
+		return "luby"
 	}
 	return "?"
 }
@@ -130,6 +157,13 @@ type Options struct {
 	Workers int
 	// SkipVerify disables the built-in output verification.
 	SkipVerify bool
+	// DegreeShard solves on the degree-sorted sharded relabeling of the
+	// graph (see internal/graph.DegreeSorted) and maps the coloring back
+	// to original vertex ids. A pure layout optimization: the result is
+	// always a verified proper coloring of the original instance, and on
+	// regular graphs (identity relabeling) it is bit-identical to the
+	// unsharded solve.
+	DegreeShard bool
 }
 
 // Result is a Solve outcome.
@@ -152,7 +186,8 @@ func Verify(in *Instance, col *Coloring) error { return d1lc.Verify(in, col) }
 // --- Graph and instance construction ----------------------------------------
 
 // GenerateGraph builds one of the named workload graphs:
-// "gnp-sparse", "gnp-dense", "regular", "powerlaw", "cliques", "mixed",
+// "gnp-sparse", "gnp-dense", "regular", "powerlaw" (preferential
+// attachment), "chunglu" (Chung–Lu power-law), "cliques", "mixed",
 // "caterpillar", "cycle", "complete". It panics on unknown names; use
 // graph generators through NewGraphBuilder for custom topologies.
 func GenerateGraph(name string, n int, seed uint64) *Graph {
@@ -165,7 +200,7 @@ func GenerateGraph(name string, n int, seed uint64) *Graph {
 
 // GraphNames lists the generator names accepted by GenerateGraph.
 func GraphNames() []string {
-	return []string{"gnp-sparse", "gnp-dense", "regular", "powerlaw", "cliques", "mixed", "caterpillar", "cycle", "complete"}
+	return []string{"gnp-sparse", "gnp-dense", "regular", "powerlaw", "chunglu", "cliques", "mixed", "caterpillar", "cycle", "complete"}
 }
 
 // GraphBuilder accumulates edges for a custom graph.

@@ -1,0 +1,91 @@
+package parcolor
+
+import (
+	"context"
+	"runtime"
+	"runtime/metrics"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// liveHeap samples the runtime's live-heap gauge (bytes in live objects).
+func liveHeap() int64 {
+	s := [1]metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(s[:])
+	return int64(s[0].Value.Uint64())
+}
+
+// peakHeapDuring runs fn while polling the live heap and returns the
+// highest value observed (sampled every 2ms plus once after fn returns).
+func peakHeapDuring(fn func()) int64 {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var peak atomic.Int64
+	peak.Store(liveHeap())
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if b := liveHeap(); b > peak.Load() {
+					peak.Store(b)
+				}
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	<-done
+	if b := liveHeap(); b > peak.Load() {
+		peak.Store(b)
+	}
+	return peak.Load()
+}
+
+// TestDeframeSolvePeakHeapLinear pins the scale contract of the whole
+// deterministic pipeline: a n=100k deframe solve's peak live heap must
+// stay under a linear-in-(n+m) budget, so a super-linear allocation
+// (per-worker O(n) scratch, quadratic edge staging, reflection-sort
+// copies) can never silently return. The budget is calibrated ~2.5× above
+// the measured peak (~107 bytes per n+m entry at the time of writing) —
+// loose enough for GC timing variance, tight enough that any
+// super-linear term at this size blows straight through it.
+func TestDeframeSolvePeakHeapLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-ms solve; skipped in -short")
+	}
+	const n = 100_000
+	g := GenerateGraph("gnp-sparse", n, 1)
+	in := TrivialPalettes(g)
+	s := mustSolver(t)
+
+	runtime.GC()
+	base := liveHeap() // instance + harness, counted outside the budget
+
+	var res *Result
+	var err error
+	peak := peakHeapDuring(func() {
+		res, err = s.Solve(context.Background(), in)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(in, res.Coloring); err != nil {
+		t.Fatal(err)
+	}
+
+	entries := int64(g.N() + g.M())
+	budget := 160*entries + 32<<20
+	used := peak - base
+	t.Logf("n=%d m=%d: peak live heap above baseline = %d MiB (budget %d MiB, %.0f B per n+m entry)",
+		g.N(), g.M(), used>>20, budget>>20, float64(used)/float64(entries))
+	if used > budget {
+		t.Fatalf("peak live heap %d bytes exceeds linear budget %d bytes (%.0f B per n+m entry) — a super-linear allocation is back",
+			used, budget, float64(used)/float64(entries))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"parcolor/internal/graph"
 	"parcolor/internal/greedy"
 	"parcolor/internal/hknt"
+	"parcolor/internal/jp"
 	"parcolor/internal/lowdeg"
 	"parcolor/internal/mis"
 	"parcolor/internal/mpc"
@@ -153,6 +154,14 @@ func WithTrace(t Tracer) Option {
 	return func(s *Solver) error { s.tracer = t; return nil }
 }
 
+// WithDegreeShard solves on the degree-sorted sharded relabeling of the
+// input graph — vertices permuted into cache-resident, degree-sorted
+// shards — and maps the coloring back to original ids through the inverse
+// permutation. Verification always runs against the original instance.
+func WithDegreeShard(on bool) Option {
+	return func(s *Solver) error { s.o.DegreeShard = on; return nil }
+}
+
 // WithBatchConcurrency bounds how many instances SolveBatch streams
 // through the Solver concurrently (0 = min(len(instances), GOMAXPROCS)).
 // Validated by NewSolver.
@@ -198,7 +207,8 @@ func NewSolver(opts ...Option) (*Solver, error) {
 		return nil, fmt.Errorf("parcolor: negative batch concurrency %d", s.batch)
 	}
 	switch s.o.Algorithm {
-	case Deterministic, Randomized, GreedySequential, LowDegreeDeterministic:
+	case Deterministic, Randomized, GreedySequential, LowDegreeDeterministic,
+		JonesPlassmann, LubyColoring:
 	default:
 		return nil, fmt.Errorf("parcolor: unknown algorithm %d", s.o.Algorithm)
 	}
@@ -232,22 +242,44 @@ func (s *Solver) Solve(ctx context.Context, in *Instance) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Degree sharding: permute the instance into the degree-sorted
+	// cache-resident layout, solve the permuted instance, and map the
+	// coloring back through the inverse permutation. Verification below
+	// always runs against the caller's original instance.
+	solveIn := in
+	var rl *graph.Relabeling
+	if s.o.DegreeShard {
+		rl = graph.DegreeSorted(in.G)
+		pg := rl.Apply(s.runner(ctx), in.G)
+		pal := make([][]int32, in.G.N())
+		for i, old := range rl.OldOf {
+			pal[i] = in.Palettes[old]
+		}
+		solveIn = &Instance{G: pg, Palettes: pal}
+	}
 	var (
 		res *Result
 		err error
 	)
 	switch s.o.Algorithm {
 	case Randomized:
-		res, err = s.solveRandomized(ctx, in)
+		res, err = s.solveRandomized(ctx, solveIn)
 	case GreedySequential:
-		res, err = s.solveGreedy(in)
+		res, err = s.solveGreedy(solveIn)
 	case LowDegreeDeterministic:
-		res, err = s.solveLowDeg(ctx, in)
+		res, err = s.solveLowDeg(ctx, solveIn)
+	case JonesPlassmann:
+		res, err = s.solveJP(ctx, solveIn)
+	case LubyColoring:
+		res, err = s.solveLuby(ctx, solveIn)
 	default:
-		res, err = s.solveDeterministic(ctx, in)
+		res, err = s.solveDeterministic(ctx, solveIn)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if rl != nil {
+		res.Coloring = &Coloring{Colors: rl.MapBack(res.Coloring.Colors)}
 	}
 	if !s.o.SkipVerify {
 		if err := d1lc.Verify(in, res.Coloring); err != nil {
@@ -376,6 +408,27 @@ func (s *Solver) solveGreedy(in *Instance) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Coloring: col}, nil
+}
+
+// solveJP is the Jones–Plassmann classical baseline: no derandomization,
+// one trace phase per local-maxima round under engine "jp".
+func (s *Solver) solveJP(ctx context.Context, in *Instance) (*Result, error) {
+	col, st, err := jp.Color(ctx, s.runner(ctx), in, s.o.Seed, s.tracer)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Coloring: col, Rounds: st.Rounds}, nil
+}
+
+// solveLuby is the Luby-MIS classical baseline: repeated randomized MIS
+// on the uncolored residual, one trace phase per MIS under engine "luby".
+// Rounds reports total Luby rounds (the depth proxy), not phases.
+func (s *Solver) solveLuby(ctx context.Context, in *Instance) (*Result, error) {
+	col, st, err := mis.LubyColor(ctx, s.runner(ctx), in, s.o.Seed, s.tracer)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Coloring: col, Rounds: st.Rounds}, nil
 }
 
 func (s *Solver) solveLowDeg(ctx context.Context, in *Instance) (*Result, error) {
