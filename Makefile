@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-bitset fmt bench bench-smoke bench-diff bench-kernel test-chaos bench-scale bench-scale-smoke bench-scale-diff
+.PHONY: all build test race vet vet-bitset fmt bench bench-smoke bench-diff bench-kernel bench-kernel-diff test-chaos bench-scale bench-scale-smoke bench-scale-diff
 
 all: build test
 
@@ -73,18 +73,27 @@ bench-diff:
 		-new BENCH_seed_selection.json -tol 0.10 -filter table/
 
 # bench-kernel streams the internal/kernel microbenchmarks — the
-# unit-stride row add/reduce, compare-and-movemask and blocked-transpose
-# inner loops under the seed-major tables — into BENCH_kernel.json, host-
-# stamped like the seed-selection stream, so benchdiff can gate the
-# kernels alongside end-to-end selection:
-#   make bench-kernel && cp BENCH_kernel.json BENCH_kernel_$$(hostname).json
-#   make bench-kernel && $(GO) run ./cmd/benchdiff -old BENCH_kernel_$$(hostname).json \
-#       -new BENCH_kernel.json -tol 0.10 -filter Kernel
+# unit-stride row add/reduce, compare-and-movemask, blocked-transpose,
+# popcount and and-not inner loops under the seed-major tables — into
+# BENCH_kernel.json, host-stamped like the seed-selection stream. Every
+# kernel emits one row per dispatch path (dispatch=generic vs
+# dispatch=avx2 on capable amd64 hosts), so the committed stream records
+# the scalar-vs-vector gap, not just one number per shape.
 bench-kernel:
 	@echo '{"Host":"$(HOST_FINGERPRINT)"}' > BENCH_kernel.json
 	$(GO) test -run '^$$' -bench 'Kernel' -benchmem -count 1 -json ./internal/kernel \
 		>> BENCH_kernel.json
 	@echo "wrote BENCH_kernel.json (host $(HOST_FINGERPRINT))"
+
+# bench-kernel-diff gates the kernel stream against a recorded baseline
+# at the same >10% threshold as the other streams (hard only when the
+# baseline carries this host's fingerprint; advisory across hardware).
+# Snapshot a baseline once per machine:
+#   make bench-kernel && cp BENCH_kernel.json BENCH_kernel_$$(hostname).json
+BENCH_KERNEL_BASELINE ?= BENCH_kernel.json
+bench-kernel-diff:
+	$(GO) run ./cmd/benchdiff -old $(BENCH_KERNEL_BASELINE) \
+		-new BENCH_kernel.json -tol 0.10 -filter Kernel
 
 # bench-scale sweeps the derandomized deframe solver and the classical
 # randomized baselines (Jones–Plassmann, Luby) across graph sizes up to

@@ -10,6 +10,12 @@
 // word i>>6, position i&63 — the same layout rng.Bits uses for PRG
 // output, so masks and expanded randomness share one storage discipline.
 //
+// The word loops under Count/CountRange, AndNot and FromNeq32 are
+// internal/kernel primitives (PopcountWords, AndNotWords, MaskNeq32),
+// so they take that package's AVX2 bodies on capable amd64 hosts and
+// its pure-Go references everywhere else — bit-identical either way;
+// see the kernel package doc for the dispatch model.
+//
 // Invariant: bits at positions ≥ the mask's logical length are zero.
 // Every bulk constructor (Fill, FillPar, FromNeq32, FromBools)
 // maintains it; Set/Clear/SetTo callers must stay within the length they
@@ -79,17 +85,23 @@ func (m Mask) Test(i int) bool { return m[i>>6]>>uint(i&63)&1 == 1 }
 // (word |= m.Bit(v) << k).
 func (m Mask) Bit(i int) uint64 { return m[i>>6] >> uint(i&63) & 1 }
 
-// Count returns the number of set bits (popcount over all words).
+// Count returns the number of set bits: the whole-mask popcount, via
+// the dispatched kernel (AVX2 nibble-LUT on capable amd64 hosts,
+// unrolled POPCNT otherwise).
 func (m Mask) Count() int {
-	c := 0
-	for _, w := range m {
-		c += bits.OnesCount64(w)
-	}
-	return c
+	return kernel.PopcountWords(m)
 }
 
+// countRangeKernelWords is the interior word count above which
+// CountRange hands the middle run to kernel.PopcountWords: the engines'
+// per-chunk counts are 1–16 interior words, where an inline POPCNT loop
+// beats a kernel call, while FromNeq32-scale ranges clear the threshold
+// and get the vector body.
+const countRangeKernelWords = 16
+
 // CountRange returns the number of set bits in [lo, hi): one chunk's
-// contribution as a popcount over 64 participants at a time.
+// contribution as a popcount over 64 participants at a time — masked
+// edge words inline, long interiors through the popcount kernel.
 func (m Mask) CountRange(lo, hi int) int {
 	if lo >= hi {
 		return 0
@@ -101,8 +113,12 @@ func (m Mask) CountRange(lo, hi int) int {
 		return bits.OnesCount64(m[wlo] & first & last)
 	}
 	c := bits.OnesCount64(m[wlo] & first)
-	for w := wlo + 1; w < whi; w++ {
-		c += bits.OnesCount64(m[w])
+	if whi-wlo > countRangeKernelWords {
+		c += kernel.PopcountWords(m[wlo+1 : whi])
+	} else {
+		for w := wlo + 1; w < whi; w++ {
+			c += bits.OnesCount64(m[w])
+		}
 	}
 	return c + bits.OnesCount64(m[whi]&last)
 }
@@ -116,14 +132,13 @@ func (m Mask) Copy(src Mask) {
 }
 
 // AndNot clears every bit of m that is set in b: the elimination step
-// (candidates &^ losers = winners), 64 participants per operation.
+// (candidates &^ losers = winners), 64 participants per operation —
+// word-wise through the dispatched and-not kernel.
 func (m Mask) AndNot(b Mask) {
 	if len(m) != len(b) {
 		panic("bitset: AndNot length mismatch")
 	}
-	for i := range m {
-		m[i] &^= b[i]
-	}
+	kernel.AndNotWords(m, b)
 }
 
 // ForEach calls fn for every set bit in ascending order, skipping zero

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"parcolor/internal/kernel"
 	"parcolor/internal/par"
 )
 
@@ -239,5 +240,65 @@ func BenchmarkCountRangeVsBoolScan(b *testing.B) {
 				b.Fatal("impossible")
 			}
 		}
+	})
+}
+
+// TestMaskKernelOpsBothDispatchPaths re-runs the kernel-backed mask
+// operations (Count, CountRange, AndNot, FromNeq32) against the naive
+// oracle under each of internal/kernel's dispatch paths: the pure-Go
+// bodies always, and the AVX2 bodies when the binary and host carry
+// them. The bitset layer must be bit-identical under both — this is the
+// in-binary counterpart of the noasm CI leg, one layer up from the
+// kernel package's own differentials.
+func TestMaskKernelOpsBothDispatchPaths(t *testing.T) {
+	runPath := func(t *testing.T) {
+		for _, n := range raggedSizes {
+			rng := rand.New(rand.NewSource(int64(n) + 77))
+			m, r := randomPair(n, rng)
+			checkAgainst(t, m, r, "random")
+			for lo := 0; lo <= n; lo += 17 {
+				for hi := lo; hi <= n; hi += 41 {
+					if got, want := m.CountRange(lo, hi), r.countRange(lo, hi); got != want {
+						t.Fatalf("n=%d: CountRange(%d,%d) = %d, want %d", n, lo, hi, got, want)
+					}
+				}
+			}
+			b, rb := randomPair(n, rng)
+			m.AndNot(b)
+			for i := 0; i < n; i++ {
+				want := r[i] && !rb[i]
+				if m.Test(i) != want {
+					t.Fatalf("n=%d: AndNot bit %d = %v, want %v", n, i, m.Test(i), want)
+				}
+			}
+			xs := make([]int32, n)
+			for i := range xs {
+				if rng.Intn(2) == 0 {
+					xs[i] = -1
+				} else {
+					xs[i] = int32(i)
+				}
+			}
+			neq := New(n)
+			neq.FromNeq32(nil, xs, -1)
+			for i := 0; i < n; i++ {
+				if neq.Test(i) != (xs[i] != -1) {
+					t.Fatalf("n=%d: FromNeq32 bit %d = %v, want %v", n, i, neq.Test(i), xs[i] != -1)
+				}
+			}
+		}
+	}
+	t.Run("generic", func(t *testing.T) {
+		prev := kernel.SetAVX2ForTest(false)
+		defer kernel.SetAVX2ForTest(prev)
+		runPath(t)
+	})
+	t.Run("avx2", func(t *testing.T) {
+		prev := kernel.SetAVX2ForTest(true)
+		defer kernel.SetAVX2ForTest(prev)
+		if !kernel.UsingAVX2() {
+			t.Skip("AVX2 kernel bodies unavailable in this binary")
+		}
+		runPath(t)
 	})
 }

@@ -1,0 +1,64 @@
+package condexp
+
+import (
+	"testing"
+
+	"parcolor/internal/kernel"
+)
+
+// TestTableBitIdenticalAcrossDispatchPaths pins the contribution-table
+// pipeline — build, converge-cast totals, flat and bitwise selection —
+// bit-identical under the pure-Go and AVX2 kernel bodies. Exact int64
+// wrap-around addition commutes and associates, so any lane regrouping
+// the vector bodies introduce must not change a single word; a mismatch
+// here means a kernel body is wrong, not that the table is "close".
+// Off amd64 or under -tags noasm only the generic path exists and the
+// test skips.
+func TestTableBitIdenticalAcrossDispatchPaths(t *testing.T) {
+	type snapshot struct {
+		contrib []int64
+		totals  []int64
+		flat    Result
+		bitwise Result
+	}
+	build := func(salt uint64, seedBits, numChunks int) snapshot {
+		fill, _ := randomObjective(salt, numChunks)
+		tbl := buildTable(1<<seedBits, numChunks, fill)
+		return snapshot{
+			contrib: append([]int64(nil), tbl.Contrib...),
+			totals:  append([]int64(nil), tbl.Totals...),
+			flat:    tbl.SelectSeed(),
+			bitwise: tbl.SelectSeedBitwise(seedBits),
+		}
+	}
+	prev := kernel.SetAVX2ForTest(false)
+	defer kernel.SetAVX2ForTest(prev)
+	for salt := uint64(0); salt < 12; salt++ {
+		seedBits := 1 + int(salt%7)
+		numChunks := 1 + int(salt*13%200)
+		kernel.SetAVX2ForTest(false)
+		gen := build(salt, seedBits, numChunks)
+		if kernel.SetAVX2ForTest(true); !kernel.UsingAVX2() {
+			t.Skip("AVX2 path not present in this binary")
+		}
+		avx := build(salt, seedBits, numChunks)
+		for i := range gen.contrib {
+			if gen.contrib[i] != avx.contrib[i] {
+				t.Fatalf("salt=%d: Contrib[%d] = %d (generic) vs %d (avx2)",
+					salt, i, gen.contrib[i], avx.contrib[i])
+			}
+		}
+		for s := range gen.totals {
+			if gen.totals[s] != avx.totals[s] {
+				t.Fatalf("salt=%d: Totals[%d] = %d (generic) vs %d (avx2)",
+					salt, s, gen.totals[s], avx.totals[s])
+			}
+		}
+		if !sameSelection(gen.flat, avx.flat) {
+			t.Fatalf("salt=%d: flat selection diverges: %+v vs %+v", salt, gen.flat, avx.flat)
+		}
+		if !sameSelection(gen.bitwise, avx.bitwise) {
+			t.Fatalf("salt=%d: bitwise selection diverges: %+v vs %+v", salt, gen.bitwise, avx.bitwise)
+		}
+	}
+}

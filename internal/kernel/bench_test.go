@@ -7,17 +7,56 @@ import (
 )
 
 // The kernel microbenchmarks stream into BENCH_kernel.json via
-// `make bench-kernel`, so benchdiff can gate the inner loops alongside
-// the end-to-end seed-selection rows. Sizes bracket the table shapes the
-// engines build: a ScoreChunks row is ≤1024 cells, a seed space is
-// ≤4096, and FromNeq32 runs over whole node sets.
+// `make bench-kernel` and gate via `make bench-kernel-diff`, so kernel
+// regressions fail a PR the way table-path regressions do. Every kernel
+// runs once per dispatch path — dispatch=generic (the pure-Go bodies)
+// and dispatch=avx2 (the hand-vectorized bodies, absent off amd64 or
+// under -tags noasm) — so the stream always carries scalar-vs-AVX2 rows
+// for the same shapes and a vectorization regression is visible as a
+// shrinking gap, not just a slower absolute number.
+//
+// Sizes bracket the table shapes the engines build, at both ends:
+// n=64/256 are the NumChunks-sized rows the engines actually reduce per
+// seed (latency-bound: call overhead and tail handling dominate), 1024
+// is a full ScoreChunks row, 65536 is the FromNeq32/whole-mask regime
+// (bandwidth-bound: the vector win is in bytes per cycle).
 
-func benchSizes() []int { return []int{64, 1024, 65536} }
+func benchSizes() []int { return []int{64, 256, 1024, 65536} }
+
+// benchPaths returns the dispatch paths available in this binary.
+func benchPaths() []struct {
+	name string
+	on   bool
+} {
+	paths := []struct {
+		name string
+		on   bool
+	}{{"dispatch=generic", false}}
+	if prev := SetAVX2ForTest(true); UsingAVX2() {
+		paths = append(paths, struct {
+			name string
+			on   bool
+		}{"dispatch=avx2", true})
+		SetAVX2ForTest(prev)
+	}
+	return paths
+}
+
+// runPaths runs body once per dispatch path as a sub-benchmark.
+func runPaths(b *testing.B, name string, body func(b *testing.B)) {
+	for _, p := range benchPaths() {
+		b.Run(p.name+"/"+name, func(b *testing.B) {
+			prev := SetAVX2ForTest(p.on)
+			defer SetAVX2ForTest(prev)
+			body(b)
+		})
+	}
+}
 
 func BenchmarkKernelSum(b *testing.B) {
 	for _, n := range benchSizes() {
 		xs := randInt64s(n, rand.New(rand.NewSource(int64(n))))
-		b.Run(sizeName(n), func(b *testing.B) {
+		runPaths(b, sizeName(n), func(b *testing.B) {
 			b.SetBytes(int64(n * 8))
 			var sink int64
 			for i := 0; i < b.N; i++ {
@@ -33,7 +72,7 @@ func BenchmarkKernelAdd(b *testing.B) {
 		rng := rand.New(rand.NewSource(int64(n)))
 		dst := randInt64s(n, rng)
 		src := randInt64s(n, rng)
-		b.Run(sizeName(n), func(b *testing.B) {
+		runPaths(b, sizeName(n), func(b *testing.B) {
 			b.SetBytes(int64(n * 8))
 			for i := 0; i < b.N; i++ {
 				Add(dst, src)
@@ -54,7 +93,7 @@ func BenchmarkKernelMaskNeq32(b *testing.B) {
 			}
 		}
 		dst := make([]uint64, (n+63)>>6)
-		b.Run(sizeName(n), func(b *testing.B) {
+		runPaths(b, sizeName(n), func(b *testing.B) {
 			b.SetBytes(int64(n * 4))
 			for i := 0; i < b.N; i++ {
 				MaskNeq32(dst, xs, -1)
@@ -96,15 +135,47 @@ func BenchmarkKernelMaskNeq32(b *testing.B) {
 }
 
 func BenchmarkKernelTranspose(b *testing.B) {
-	shapes := [][2]int{{8, 4096}, {64, 1024}, {256, 256}}
+	// 8x8 is the MPC root's per-child staging tile at small clusters;
+	// 8x4096 and up are the million-node root assemblies.
+	shapes := [][2]int{{8, 8}, {8, 4096}, {64, 1024}, {256, 256}}
 	for _, sh := range shapes {
 		rows, cols := sh[0], sh[1]
 		src := randInt64s(rows*cols, rand.New(rand.NewSource(int64(rows))))
 		dst := make([]int64, rows*cols)
-		b.Run(shapeName(rows, cols), func(b *testing.B) {
+		runPaths(b, shapeName(rows, cols), func(b *testing.B) {
 			b.SetBytes(int64(rows * cols * 8))
 			for i := 0; i < b.N; i++ {
 				Transpose(dst, src, rows, cols)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelPopcountWords(b *testing.B) {
+	// Word counts bracketing bitset.CountRange interiors (engine chunks
+	// are 1–16 words) up to whole 64Ki-bit masks.
+	for _, n := range []int{4, 16, 1024} {
+		ws := randUint64s(n, rand.New(rand.NewSource(int64(n))))
+		runPaths(b, sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				sink += int64(PopcountWords(ws))
+			}
+			benchSink = sink
+		})
+	}
+}
+
+func BenchmarkKernelAndNotWords(b *testing.B) {
+	for _, n := range []int{4, 16, 1024} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		dst := randUint64s(n, rng)
+		src := randUint64s(n, rng)
+		runPaths(b, sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				AndNotWords(dst, src)
 			}
 		})
 	}

@@ -14,133 +14,142 @@
 //     time into LSB-first words (bitset.FromNeq32's word fill).
 //   - Transpose converts a chunk-major staging buffer into the seed-major
 //     layout in cache-friendly tiles (the MPC root's table assembly).
+//   - PopcountWords reduces a word stream to its set-bit count
+//     (bitset.Count/CountRange, the engines' popcount-into-row fills).
+//   - AndNotWords clears dst bits set in src, word-wise (bitset.AndNot,
+//     the winners = candidates &^ losers elimination step).
 //
-// Everything here is pure Go with no dependencies, written so the loops
-// are unit-stride with all bounds checks hoisted — the form both the
-// compiler's scalar scheduler and a later hand-vectorized (GOAMD64/asm)
-// drop-in can exploit. Differential tests pin each kernel to a naive
-// reference implementation; microbenchmarks feed BENCH_kernel.json via
-// `make bench-kernel`.
+// # Dispatch model
 //
-// Determinism note: int64 addition is exact (wrap-around, no rounding),
-// so Sum's multi-accumulator blocking and Add's unroll are bit-identical
-// to a strict left-to-right walk under any blocking — which is what keeps
-// the shared-memory converge-cast totals equal to the MPC tree-order
-// totals no matter how either side associates the additions.
+// Every kernel is one exported front door that selects between two
+// interchangeable bodies:
+//
+//   - a hand-vectorized AVX2 implementation (kernel_amd64.s), compiled on
+//     amd64 without the noasm tag and selected at process start iff the
+//     CPU and OS support AVX2 (CPUID leaf 7 + OSXSAVE/XGETBV, see
+//     dispatch_amd64.go), and
+//   - the pure-Go reference bodies (generic.go), which compile everywhere
+//     and are the only bodies on non-amd64 targets or under the noasm
+//     build tag.
+//
+// Forcing the fallback: build with `-tags noasm` (removes the assembly
+// entirely — the CI leg that keeps that path green), set PARCOLOR_NOAVX2
+// to any non-empty value before process start (runtime opt-out on an
+// AVX2 host), or flip paths inside one test binary with SetAVX2ForTest
+// (how the differential suites pin both bodies bit-identical in the same
+// run). UsingAVX2 reports which path the front doors currently take.
+//
+// # Determinism under lane reassociation
+//
+// The dispatch is invisible to callers because every kernel is exact:
+// int64/uint64 addition wraps (no rounding), so Sum's four-accumulator
+// blocking, the AVX2 four-lane vpaddq folds, a strict left-to-right walk,
+// and the MPC aggregation tree all produce the same bits no matter how
+// the additions associate; the compare, popcount and and-not kernels are
+// pure bit movement with one defined answer per lane. That is the same
+// exactness argument that keeps the shared-memory converge-cast totals
+// equal to the MPC tree-order totals, extended down to SIMD lane order —
+// nothing here would survive a float accumulator.
+//
+// Differential tests pin each kernel to a naive reference on both
+// dispatch paths; fuzzing covers ragged lengths, unaligned tails and
+// aliasing-adjacent slices; microbenchmarks feed BENCH_kernel.json via
+// `make bench-kernel` and gate via `make bench-kernel-diff`.
 package kernel
 
+import "fmt"
+
+// Dispatch thresholds: below these sizes the front doors take the pure-Go
+// body unconditionally — the vector setup (ymm zeroing, horizontal
+// reduction, vzeroupper) costs more than the handful of scalar ops it
+// would replace, and the engines' latency-bound call sites (NumChunks-
+// sized rows, few-word interior popcounts) sit exactly there. The
+// assembly bodies themselves handle every length ≥ 0; the differential
+// suites call them directly below these cutoffs.
+const (
+	minAVX2Elems = 16 // Sum/Add: int64 elements (two 4-lane unrolled steps)
+	minAVX2Lanes = 64 // MaskNeq32: int32 lanes (one full output word)
+	minAVX2Words = 8  // PopcountWords/AndNotWords: 64-bit words
+	minAVX2Tile  = 4  // Transpose: rows and cols for one 4×4 ymm tile
+)
+
 // Add folds src into dst elementwise: dst[i] += src[i]. Lengths must
-// match. The four-way unroll keeps four independent add chains in flight;
-// exact integer addition makes the result identical to the sequential
-// loop.
+// match. Exact integer addition makes the result identical to the
+// sequential loop under any unroll or lane order.
 func Add(dst, src []int64) {
 	if len(dst) != len(src) {
-		panic("kernel: Add length mismatch")
+		panic(fmt.Sprintf("kernel: Add: length mismatch: len(dst)=%d len(src)=%d", len(dst), len(src)))
 	}
-	i := 0
-	for ; i+4 <= len(dst); i += 4 {
-		s := src[i : i+4 : i+4]
-		d := dst[i : i+4 : i+4]
-		d[0] += s[0]
-		d[1] += s[1]
-		d[2] += s[2]
-		d[3] += s[3]
+	if useAVX2 && len(dst) >= minAVX2Elems {
+		addAVX2(dst, src)
+		return
 	}
-	for ; i < len(dst); i++ {
-		dst[i] += src[i]
-	}
+	addGeneric(dst, src)
 }
 
-// Sum reduces one contiguous row to its total with four independent
-// accumulators (blocked so the adds pipeline instead of serializing on
-// one register). Exact integer addition makes any accumulation order —
-// this blocking, a strict scan, or the MPC aggregation tree — return the
-// same bits.
+// Sum reduces one contiguous row to its total. Exact integer addition
+// makes any accumulation order — the generic four-accumulator blocking,
+// the AVX2 four-lane folds, a strict scan, or the MPC aggregation tree —
+// return the same bits.
 func Sum(xs []int64) int64 {
-	var a0, a1, a2, a3 int64
-	i := 0
-	for ; i+4 <= len(xs); i += 4 {
-		x := xs[i : i+4 : i+4]
-		a0 += x[0]
-		a1 += x[1]
-		a2 += x[2]
-		a3 += x[3]
+	if useAVX2 && len(xs) >= minAVX2Elems {
+		return sumAVX2(xs)
 	}
-	for ; i < len(xs); i++ {
-		a0 += xs[i]
-	}
-	return a0 + a1 + a2 + a3
-}
-
-// neq32 reports x != s branchlessly as 0 or 1: the lane compare under the
-// movemask accumulation (x^s is nonzero exactly when they differ, and
-// d|-d smears any nonzero into the sign bit).
-func neq32(x, s int32) uint64 {
-	d := uint32(x ^ s)
-	return uint64((d | -d) >> 31)
+	return sumGeneric(xs)
 }
 
 // MaskNeq32 writes the compare movemask of xs against sentinel into dst:
 // bit i of the LSB-first word stream is xs[i] != sentinel, tail bits of
-// the last word zero. dst must hold at least (len(xs)+63)/64 words. Full
-// words accumulate eight 8-lane compare blocks — the hand-rolled
-// compare-and-movemask shape that vectorizes to a lane compare plus
-// movemask per block — instead of a branch per element.
+// the last word zero. dst must hold at least (len(xs)+63)/64 words; those
+// words are fully rewritten and any further words are untouched.
 func MaskNeq32(dst []uint64, xs []int32, sentinel int32) {
-	n := len(xs)
-	_ = dst[:(n+63)>>6] // one bounds check up front
-	wi := 0
-	for ; (wi+1)<<6 <= n; wi++ {
-		var w uint64
-		for o := 0; o < 64; o += 8 {
-			x := xs[wi<<6+o : wi<<6+o+8 : wi<<6+o+8]
-			b := neq32(x[0], sentinel) |
-				neq32(x[1], sentinel)<<1 |
-				neq32(x[2], sentinel)<<2 |
-				neq32(x[3], sentinel)<<3 |
-				neq32(x[4], sentinel)<<4 |
-				neq32(x[5], sentinel)<<5 |
-				neq32(x[6], sentinel)<<6 |
-				neq32(x[7], sentinel)<<7
-			w |= b << uint(o)
-		}
-		dst[wi] = w
+	if need := (len(xs) + 63) >> 6; len(dst) < need {
+		panic(fmt.Sprintf("kernel: MaskNeq32: dst too short: len(dst)=%d, need %d words for len(xs)=%d", len(dst), need, len(xs)))
 	}
-	if base := wi << 6; base < n {
-		var w uint64
-		for i := base; i < n; i++ {
-			w |= neq32(xs[i], sentinel) << uint(i-base)
-		}
-		dst[wi] = w
+	if useAVX2 && len(xs) >= minAVX2Lanes {
+		maskNeq32AVX2(dst, xs, sentinel)
+		return
 	}
+	maskNeq32Generic(dst, xs, sentinel)
 }
 
-// transposeTile is the square tile edge of the blocked transpose: 8×8
-// int64 cells are one cache line per row of the tile, so both the
-// chunk-major reads and the seed-major writes stay line-resident while a
-// tile is in flight.
-const transposeTile = 8
-
 // Transpose writes dst as the [cols × rows] transpose of the
-// [rows × cols] row-major src: dst[c*rows+r] = src[r*cols+c]. It walks
-// tile × tile blocks so neither side's stride walks out of cache — the
-// MPC root uses it to turn the converge-cast's chunk-major staging rows
-// into the seed-major contribution table. src and dst must not overlap
-// and must each hold rows*cols cells.
+// [rows × cols] row-major src: dst[c*rows+r] = src[r*cols+c]. The MPC
+// root uses it to turn the converge-cast's chunk-major staging rows into
+// the seed-major contribution table. src and dst must not overlap and
+// must each hold rows*cols cells.
 func Transpose(dst, src []int64, rows, cols int) {
 	if len(src) < rows*cols || len(dst) < rows*cols {
-		panic("kernel: Transpose buffers shorter than rows*cols")
+		panic(fmt.Sprintf("kernel: Transpose: buffers shorter than rows*cols: len(dst)=%d len(src)=%d rows=%d cols=%d", len(dst), len(src), rows, cols))
 	}
-	for r0 := 0; r0 < rows; r0 += transposeTile {
-		r1 := min(r0+transposeTile, rows)
-		for c0 := 0; c0 < cols; c0 += transposeTile {
-			c1 := min(c0+transposeTile, cols)
-			for r := r0; r < r1; r++ {
-				row := src[r*cols+c0 : r*cols+c1 : r*cols+c1]
-				for c := c0; c < c1; c++ {
-					dst[c*rows+r] = row[c-c0]
-				}
-			}
-		}
+	if useAVX2 && rows >= minAVX2Tile && cols >= minAVX2Tile {
+		transposeAVX2(dst, src, rows, cols)
+		return
 	}
+	transposeGeneric(dst, src, rows, cols)
+}
+
+// PopcountWords returns the total number of set bits across ws — the
+// whole-mask popcount under bitset.Count and the interior-word run of
+// bitset.CountRange, which is what every engine's per-chunk
+// popcount-into-row fill reduces to.
+func PopcountWords(ws []uint64) int {
+	if useAVX2 && len(ws) >= minAVX2Words {
+		return popcountWordsAVX2(ws)
+	}
+	return popcountWordsGeneric(ws)
+}
+
+// AndNotWords clears every bit of dst that is set in src: dst[i] &^=
+// src[i]. Lengths must match. This is bitset.AndNot's word loop — the
+// winners = candidates &^ losers elimination — as a dispatchable kernel.
+func AndNotWords(dst, src []uint64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("kernel: AndNotWords: length mismatch: len(dst)=%d len(src)=%d", len(dst), len(src)))
+	}
+	if useAVX2 && len(dst) >= minAVX2Words {
+		andNotWordsAVX2(dst, src)
+		return
+	}
+	andNotWordsGeneric(dst, src)
 }

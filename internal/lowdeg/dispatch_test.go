@@ -1,0 +1,48 @@
+package lowdeg
+
+import (
+	"context"
+	"testing"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+	"parcolor/internal/kernel"
+)
+
+// TestIterativeBitIdenticalAcrossDispatchPaths requires the iterative
+// low-degree derandomizer to produce the identical coloring and the
+// identical per-round seed certificates under both kernel dispatch
+// paths. Skips when the binary has no AVX2 path.
+func TestIterativeBitIdenticalAcrossDispatchPaths(t *testing.T) {
+	in := d1lc.DeltaPlus1Palettes(graph.Gnp(150, 0.05, 11))
+	solve := func() (*d1lc.Coloring, Stats) {
+		col, stats, err := IterativeDerandomized(context.Background(), in, Options{SeedBits: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col, stats
+	}
+	prev := kernel.SetAVX2ForTest(false)
+	defer kernel.SetAVX2ForTest(prev)
+	colG, statsG := solve()
+	if kernel.SetAVX2ForTest(true); !kernel.UsingAVX2() {
+		t.Skip("AVX2 path not present in this binary")
+	}
+	colA, statsA := solve()
+	for v := range colG.Colors {
+		if colG.Colors[v] != colA.Colors[v] {
+			t.Fatalf("colorings diverge at node %d: %d (generic) vs %d (avx2)",
+				v, colG.Colors[v], colA.Colors[v])
+		}
+	}
+	if len(statsG.Certificates) != len(statsA.Certificates) {
+		t.Fatalf("certificate counts diverge: %d vs %d",
+			len(statsG.Certificates), len(statsA.Certificates))
+	}
+	for i := range statsG.Certificates {
+		if statsG.Certificates[i] != statsA.Certificates[i] {
+			t.Fatalf("round %d certificate diverges: %+v vs %+v",
+				i, statsG.Certificates[i], statsA.Certificates[i])
+		}
+	}
+}

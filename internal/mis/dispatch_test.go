@@ -1,0 +1,40 @@
+package mis
+
+import (
+	"testing"
+
+	"parcolor/internal/graph"
+	"parcolor/internal/kernel"
+)
+
+// TestDerandomizedBitIdenticalAcrossDispatchPaths requires the
+// derandomized MIS — whose per-round seed scoring runs through the
+// kernel-backed mask popcounts — to produce the identical node states
+// and identical per-round seed certificates under both kernel dispatch
+// paths. Skips when the binary has no AVX2 path.
+func TestDerandomizedBitIdenticalAcrossDispatchPaths(t *testing.T) {
+	g := graph.Mixed(160, 6)
+	prev := kernel.SetAVX2ForTest(false)
+	defer kernel.SetAVX2ForTest(prev)
+	gen := mustDerand(t, g, Options{SeedBits: 6})
+	if kernel.SetAVX2ForTest(true); !kernel.UsingAVX2() {
+		t.Skip("AVX2 path not present in this binary")
+	}
+	avx := mustDerand(t, g, Options{SeedBits: 6})
+	for v := range gen.State {
+		if gen.State[v] != avx.State[v] {
+			t.Fatalf("states diverge at node %d: %v (generic) vs %v (avx2)",
+				v, gen.State[v], avx.State[v])
+		}
+	}
+	if len(gen.SeedReports) != len(avx.SeedReports) {
+		t.Fatalf("seed report counts diverge: %d vs %d",
+			len(gen.SeedReports), len(avx.SeedReports))
+	}
+	for i := range gen.SeedReports {
+		if gen.SeedReports[i] != avx.SeedReports[i] {
+			t.Fatalf("round %d seed selection diverges: %+v vs %+v",
+				i, gen.SeedReports[i], avx.SeedReports[i])
+		}
+	}
+}
