@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-bitset fmt bench bench-smoke bench-diff bench-kernel bench-kernel-diff test-chaos bench-scale bench-scale-smoke bench-scale-diff
+.PHONY: all build test race vet vet-bitset fmt bench bench-smoke bench-diff bench-kernel bench-kernel-diff test-chaos bench-scale bench-scale-smoke bench-scale-diff test-serve bench-serving bench-serving-smoke bench-serving-diff
 
 all: build test
 
@@ -121,3 +121,40 @@ BENCH_SCALE_BASELINE ?= BENCH_scale.json
 bench-scale-diff:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_SCALE_BASELINE) \
 		-new BENCH_scale.json -tol 0.10 -filter Scale/
+
+# test-serve runs the HTTP serving layer and its trace dependency under
+# the race detector: the request-path cancellation tests, the overload /
+# 429 shedding test and the cache canonicalization suite all exercise
+# cross-goroutine state on purpose.
+test-serve:
+	$(GO) test -race -count=1 ./internal/serve ./internal/trace
+
+# bench-serving drives a mixed workload (3 generators × 2 sizes × 3
+# algorithms, 50% repeats hitting the content-addressed cache) against
+# an in-process colord over loopback HTTP and records serving latency
+# percentiles, inverse throughput and cache hit rate as a host-stamped
+# test2json stream — the serving-layer analogue of `make bench-scale`.
+bench-serving:
+	$(GO) run ./cmd/loadgen -inprocess -duration 20s -concurrency 8 \
+		-repeat 0.5 -out BENCH_serving.json
+	@echo "wrote BENCH_serving.json"
+
+# bench-serving-smoke is the CI leg: a short in-process run that keeps
+# the whole serving pipeline (server, loadgen, stream format, benchdiff
+# parse) exercised in seconds, self-diffed so format drift fails fast.
+bench-serving-smoke:
+	$(GO) run ./cmd/loadgen -inprocess -duration 5s -requests 60 -concurrency 4 \
+		-sizes 200,400 -out BENCH_serving_smoke.json
+	$(GO) run ./cmd/benchdiff -old BENCH_serving_smoke.json -new BENCH_serving_smoke.json \
+		-tol 0.10 -filter Serving/ > /dev/null
+	@echo "serving smoke ok (stream parses and self-diffs clean)"
+
+# bench-serving-diff gates BENCH_serving.json rows (all lower-is-better:
+# p50/p99 latency, ns per solve) against a recorded baseline at the same
+# >10% threshold as the other streams. Snapshot a baseline once per
+# machine:
+#   make bench-serving && cp BENCH_serving.json BENCH_serving_$$(hostname).json
+BENCH_SERVING_BASELINE ?= BENCH_serving.json
+bench-serving-diff:
+	$(GO) run ./cmd/benchdiff -old $(BENCH_SERVING_BASELINE) \
+		-new BENCH_serving.json -tol 0.10 -filter Serving/

@@ -1,11 +1,25 @@
-// Command benchdiff compares two BENCH_seed_selection.json test2json
-// streams (see `make bench`) and fails loudly when the current engine
-// path regresses beyond a tolerance against the recorded baseline.
+// Command benchdiff compares two test2json benchmark streams and fails
+// loudly when the current numbers regress beyond a tolerance against
+// the recorded baseline. It gates every stream the repo records:
+// BENCH_seed_selection.json (`make bench`, filter "table/"),
+// BENCH_kernel.json (`make bench-kernel`, filter "Kernel"),
+// BENCH_scale.json (`make bench-scale`, filter "Scale/") and the
+// serving stream BENCH_serving.json that cmd/loadgen writes
+// (`make bench-serving`, filter "Serving/").
 //
 // Usage:
 //
 //	go run ./cmd/benchdiff -old BENCH_seed_selection_flat.json \
 //	    -new BENCH_seed_selection.json -tol 0.10 -filter table/
+//	go run ./cmd/benchdiff -old BENCH_serving_baseline.json \
+//	    -new BENCH_serving.json -tol 0.10 -filter Serving/
+//
+// Streams need not come from `go test -bench`: loadgen synthesizes rows
+// in the same shape (`<name> 1 <value> ns/op`), one per serving metric,
+// all lower-is-better so the one-directional gate stays sound. Its
+// context rows (cache hit rate, request counts) live under
+// BenchmarkServingInfo/…, which the "Serving/" filter deliberately does
+// not match — they inform, never gate.
 //
 // Rows are keyed by (package, benchmark) and matched by exact name; only
 // rows whose name contains the filter substring (default "table/", the

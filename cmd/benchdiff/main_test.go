@@ -54,6 +54,60 @@ func TestParseRejectsMalformedLine(t *testing.T) {
 	}
 }
 
+// servingStream is the fixture shape cmd/loadgen writes: synthesized
+// test2json rows (iteration count always 1), gated latency rows under
+// BenchmarkServing/ and context rows under BenchmarkServingInfo/.
+const servingStream = `{"Host":"linux-amd64-hostA-8"}
+{"Action":"output","Package":"parcolor/loadgen","Test":"BenchmarkServing/mix/all/p50","Output":"BenchmarkServing/mix/all/p50 1 41000000 ns/op\n"}
+{"Action":"output","Package":"parcolor/loadgen","Test":"BenchmarkServing/mix/all/p99","Output":"BenchmarkServing/mix/all/p99 1 390000000 ns/op\n"}
+{"Action":"output","Package":"parcolor/loadgen","Test":"BenchmarkServing/mix/deterministic/p50","Output":"BenchmarkServing/mix/deterministic/p50 1 52000000 ns/op\n"}
+{"Action":"output","Package":"parcolor/loadgen","Test":"BenchmarkServing/mix/all/ns_per_solve","Output":"BenchmarkServing/mix/all/ns_per_solve 1 83000000 ns/op\n"}
+{"Action":"output","Package":"parcolor/loadgen","Test":"BenchmarkServingInfo/mix/cache_hit_pct","Output":"BenchmarkServingInfo/mix/cache_hit_pct 1 47 ns/op\n"}
+{"Action":"output","Package":"parcolor/loadgen","Test":"BenchmarkServingInfo/mix/requests","Output":"BenchmarkServingInfo/mix/requests 1 212 ns/op\n"}
+`
+
+func TestParseServingStream(t *testing.T) {
+	p := writeStream(t, "serving.json", servingStream)
+	ns, host, err := parse(p)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if host != "linux-amd64-hostA-8" {
+		t.Fatalf("host = %q", host)
+	}
+	wants := map[string]float64{
+		"parcolor/loadgen BenchmarkServing/mix/all/p50":           41000000,
+		"parcolor/loadgen BenchmarkServing/mix/all/p99":           390000000,
+		"parcolor/loadgen BenchmarkServing/mix/deterministic/p50": 52000000,
+		"parcolor/loadgen BenchmarkServing/mix/all/ns_per_solve":  83000000,
+		"parcolor/loadgen BenchmarkServingInfo/mix/cache_hit_pct": 47,
+		"parcolor/loadgen BenchmarkServingInfo/mix/requests":      212,
+	}
+	for k, v := range wants {
+		if ns[k] != v {
+			t.Errorf("ns[%q] = %v, want %v", k, ns[k], v)
+		}
+	}
+	// The gate contract the serving Makefile targets rely on: the
+	// "Serving/" filter selects every latency/throughput row and none of
+	// the informational ones (higher-is-better cache hit rate must never
+	// feed a one-directional lower-is-better gate).
+	gated, info := 0, 0
+	for k := range ns {
+		if strings.Contains(k, "Serving/") {
+			gated++
+			if strings.Contains(k, "ServingInfo/") {
+				t.Errorf("info row %q matches the gating filter", k)
+			}
+		} else if strings.Contains(k, "ServingInfo/") {
+			info++
+		}
+	}
+	if gated != 4 || info != 2 {
+		t.Errorf("filter split gated=%d info=%d, want 4/2", gated, info)
+	}
+}
+
 func TestParseRejectsTruncatedLine(t *testing.T) {
 	// A stream cut off mid-record (crashed bench run) ends in a JSON
 	// fragment; the gate must refuse it rather than compare less.

@@ -98,20 +98,10 @@ func hostFingerprint() string {
 	return fmt.Sprintf("%s-%s-%s-%d", runtime.GOOS, runtime.GOARCH, host, runtime.NumCPU())
 }
 
+// algByName defers to the package-level name registry, so scalebench
+// accepts exactly the names the serving API and CLIs accept.
 func algByName(name string) (parcolor.Algorithm, error) {
-	switch name {
-	case "deterministic":
-		return parcolor.Deterministic, nil
-	case "randomized":
-		return parcolor.Randomized, nil
-	case "greedy":
-		return parcolor.GreedySequential, nil
-	case "jp":
-		return parcolor.JonesPlassmann, nil
-	case "luby":
-		return parcolor.LubyColoring, nil
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", name)
+	return parcolor.AlgorithmByName(name)
 }
 
 func main() {

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CachedResult is the memoized outcome of one (instance, options) solve.
+// Colors is shared between the cache and every hit's response writer and
+// must be treated as immutable by all of them — the solver hands over a
+// fresh slice per solve, and nothing on the serving path writes to it.
+type CachedResult struct {
+	Colors         []int32
+	M              int // edge count of the solved graph
+	DistinctColors int
+	Rounds         int
+}
+
+// Cache is the content-addressed instance cache: canonical cache key →
+// memoized coloring, LRU-evicted under a byte budget. Repeated-graph
+// traffic (the common case under many-user load) hits here and skips the
+// solver entirely. Safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	budget    int64
+	bytes     int64
+	ll        *list.List // front = most recently used
+	m         map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key   string
+	res   CachedResult
+	bytes int64
+}
+
+// entryBytes estimates an entry's resident footprint: the color payload,
+// the key, and fixed map/list bookkeeping overhead.
+func entryBytes(key string, res CachedResult) int64 {
+	return int64(4*len(res.Colors)) + int64(len(key)) + 160
+}
+
+// NewCache returns a cache holding at most budget bytes of entries.
+// budget <= 0 disables caching: Get always misses and Put is a no-op.
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget: budget,
+		ll:     list.New(),
+		m:      make(map[string]*list.Element),
+	}
+}
+
+// Get returns the entry for key, marking it most recently used.
+func (c *Cache) Get(key string) (CachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return CachedResult{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put inserts (or refreshes) key, evicting least-recently-used entries
+// until the budget holds. An entry larger than the whole budget is not
+// admitted.
+func (c *Cache) Put(key string, res CachedResult) {
+	nb := entryBytes(key, res)
+	if nb > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		// Concurrent misses of the same key both solve and both Put; the
+		// results are identical by construction, so refresh recency only.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, res: res, bytes: nb})
+	c.m[key] = el
+	c.bytes += nb
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.m, ev.key)
+		c.bytes -= ev.bytes
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Budget    int64 `json:"budget_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

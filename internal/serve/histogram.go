@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Histogram is a streaming log-linear latency histogram: values land in
+// power-of-two major buckets split into 16 linear sub-buckets (4
+// significant bits, ≤ ~6% relative quantile error), so p50/p99 over an
+// unbounded request stream cost O(1) memory and O(buckets) per quantile
+// read — no per-request sample retention. Safe for concurrent use.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	mu       sync.Mutex
+	counts   [histBuckets]int64
+	total    int64
+	sum      int64
+	min, max int64
+}
+
+// histBuckets covers the full int64 range: 16 direct buckets for values
+// < 16, then 16 sub-buckets per leading-bit position up to bit 63.
+const histBuckets = 16 + 60*16
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	if v < 16 {
+		return int(v)
+	}
+	major := bits.Len64(uint64(v)) // ≥ 5
+	sub := (v >> (major - 5)) & 15 // 4 bits after the leading 1
+	return (major-4)*16 + int(sub) // continues 16,17,… seamlessly
+}
+
+// histValue returns the representative (midpoint) value of bucket i.
+func histValue(i int) int64 {
+	if i < 16 {
+		return int64(i)
+	}
+	major := i/16 + 4
+	sub := int64(i % 16)
+	width := int64(1) << (major - 5)
+	lower := (16 + sub) << (major - 5)
+	return lower + width/2
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[histIndex(v)]++
+	h.total++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as a bucket-midpoint
+// estimate, clamped to the exact observed min/max so tail quantiles of
+// small samples never overshoot. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > target {
+			v := histValue(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}

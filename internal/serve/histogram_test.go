@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramIndexContiguous(t *testing.T) {
+	// Every value maps into range, indices are monotone non-decreasing in
+	// the value, and bucket representatives stay within relative error.
+	prev := 0
+	for v := int64(0); v < 1<<20; v += 7 {
+		i := histIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("index %d out of range for %d", i, v)
+		}
+		if i < prev {
+			t.Fatalf("index not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if v >= 16 {
+			rep := histValue(i)
+			if relErr := math.Abs(float64(rep-v)) / float64(v); relErr > 0.07 {
+				t.Fatalf("bucket rep %d for %d: rel err %.3f", rep, v, relErr)
+			}
+		}
+	}
+	// The largest representable values must not overflow the array.
+	if i := histIndex(math.MaxInt64); i >= histBuckets {
+		t.Fatalf("MaxInt64 index %d out of range", i)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	// 1..1000 ms: p50 ≈ 500ms, p99 ≈ 990ms within bucket resolution.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count %d", got)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.90, 900 * time.Millisecond}, {0.99, 990 * time.Millisecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if relErr := math.Abs(float64(got-c.want)) / float64(c.want); relErr > 0.10 {
+			t.Errorf("q%.2f = %s, want ≈%s (rel err %.3f)", c.q, got, c.want, relErr)
+		}
+	}
+	// Tail quantiles clamp to the exact observed max.
+	if got := h.Quantile(1.0); got > 1000*time.Millisecond {
+		t.Errorf("q1.0 = %s overshoots the observed max", got)
+	}
+	if mean := h.Mean(); mean < 495*time.Millisecond || mean > 506*time.Millisecond {
+		t.Errorf("mean %s, want ≈500.5ms (exact)", mean)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(123456 * time.Nanosecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got != 123456*time.Nanosecond {
+			t.Fatalf("q%.2f = %s, want exactly 123.456µs (min/max clamp)", q, got)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+}

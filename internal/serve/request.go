@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"parcolor"
+	"parcolor/internal/graph"
+)
+
+// GraphSpec names the instance's graph, in exactly one of two forms:
+// an explicit edge list (N plus Edges, 0-based ids, duplicates and
+// self-loops dropped with Builder semantics), or a named deterministic
+// generator (Generator, N, Seed — the names GenerateGraph accepts).
+type GraphSpec struct {
+	// N is the node count (required in both forms).
+	N int `json:"n"`
+	// Edges is the explicit edge list form.
+	Edges [][2]int32 `json:"edges,omitempty"`
+	// Generator is the named-generator form ("gnp-sparse", "mixed", …).
+	Generator string `json:"generator,omitempty"`
+	// Seed drives the generator form.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// SolveRequest is the POST /v1/solve body.
+type SolveRequest struct {
+	Graph GraphSpec `json:"graph"`
+	// Palettes selects the palette regime: "trivial" (default; each node
+	// gets {0..deg(v)}) or "deltaplus1" ({0..Δ} everywhere).
+	Palettes string `json:"palettes,omitempty"`
+	// Algorithm is a parcolor.AlgorithmByName name (default
+	// "deterministic").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Seed drives the randomized algorithms (randomized, greedy, jp,
+	// luby); ignored by the deterministic ones.
+	Seed uint64 `json:"seed,omitempty"`
+	// SeedBits caps the derandomizer's PRG seed space (0 = auto).
+	SeedBits int `json:"seed_bits,omitempty"`
+	// Bitwise selects bit-by-bit conditional expectations.
+	Bitwise bool `json:"bitwise,omitempty"`
+	// DegreeShard solves on the degree-sorted sharded relabeling.
+	DegreeShard bool `json:"degree_shard,omitempty"`
+	// TimeoutMillis lowers the server's per-request solve deadline for
+	// this request (0 = server default; values above the server default
+	// are clamped down to it).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the content-addressed cache for this request
+	// (neither reads nor populates it).
+	NoCache bool `json:"no_cache,omitempty"`
+	// IncludeColors returns the full color vector, not just the summary.
+	IncludeColors bool `json:"include_colors,omitempty"`
+}
+
+// SolveResponse is the POST /v1/solve success body.
+type SolveResponse struct {
+	N              int     `json:"n"`
+	M              int     `json:"m"`
+	Algorithm      string  `json:"algorithm"`
+	DistinctColors int     `json:"distinct_colors"`
+	Rounds         int     `json:"rounds"`
+	Cached         bool    `json:"cached"`
+	CacheKey       string  `json:"cache_key,omitempty"`
+	ElapsedMillis  float64 `json:"elapsed_ms"`
+	Colors         []int32 `json:"colors,omitempty"`
+}
+
+// ErrorResponse is every non-2xx JSON body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429 responses.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// paletteMode normalizes the palette field ("" → "trivial").
+func (r *SolveRequest) paletteMode() (string, error) {
+	switch r.Palettes {
+	case "", "trivial":
+		return "trivial", nil
+	case "deltaplus1":
+		return "deltaplus1", nil
+	}
+	return "", fmt.Errorf("unknown palettes %q (want trivial or deltaplus1)", r.Palettes)
+}
+
+// options maps the request's solver knobs onto a parcolor.Options value —
+// the same value that keys the warm-solver pool and (its result-affecting
+// fields) the cache address.
+func (r *SolveRequest) options(workers int) (parcolor.Options, error) {
+	name := r.Algorithm
+	if name == "" {
+		name = "deterministic"
+	}
+	alg, err := parcolor.AlgorithmByName(name)
+	if err != nil {
+		return parcolor.Options{}, err
+	}
+	return parcolor.Options{
+		Algorithm:   alg,
+		Seed:        r.Seed,
+		SeedBits:    r.SeedBits,
+		Bitwise:     r.Bitwise,
+		DegreeShard: r.DegreeShard,
+		Workers:     workers,
+	}, nil
+}
+
+// timeout resolves the request's effective solve deadline under the
+// server default: requests may lower it, never raise it.
+func (r *SolveRequest) timeout(serverDefault time.Duration) time.Duration {
+	if r.TimeoutMillis <= 0 {
+		return serverDefault
+	}
+	d := time.Duration(r.TimeoutMillis) * time.Millisecond
+	if d > serverDefault {
+		return serverDefault
+	}
+	return d
+}
+
+// buildGraph materializes the request's graph. maxNodes bounds accepted
+// instance sizes (admission-time resource control, before any O(n) work).
+func (s *GraphSpec) buildGraph(maxNodes int) (*parcolor.Graph, error) {
+	if s.N <= 0 {
+		return nil, fmt.Errorf("graph.n must be positive, got %d", s.N)
+	}
+	if s.N > maxNodes {
+		return nil, fmt.Errorf("graph.n %d exceeds the server's limit %d", s.N, maxNodes)
+	}
+	hasEdges := s.Edges != nil
+	hasGen := s.Generator != ""
+	switch {
+	case hasEdges && hasGen:
+		return nil, fmt.Errorf("graph gives both edges and generator; pick one")
+	case hasGen:
+		g, err := graph.Named(s.Generator, s.N, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	case hasEdges:
+		b := graph.NewBuilder(s.N)
+		b.Reserve(len(s.Edges))
+		for i, e := range s.Edges {
+			u, v := e[0], e[1]
+			if u < 0 || v < 0 || int(u) >= s.N || int(v) >= s.N {
+				return nil, fmt.Errorf("edge %d (%d,%d) out of range n=%d", i, u, v, s.N)
+			}
+			b.AddEdge(u, v)
+		}
+		return b.Build(), nil
+	default:
+		return nil, fmt.Errorf("graph needs either edges or a generator name")
+	}
+}
+
+// buildInstance wraps the graph in the requested palette regime.
+func buildInstance(g *parcolor.Graph, paletteMode string) *parcolor.Instance {
+	if paletteMode == "deltaplus1" {
+		return parcolor.DeltaPlus1Palettes(g)
+	}
+	return parcolor.TrivialPalettes(g)
+}

@@ -206,9 +206,37 @@ func (c *Collector) PhaseExit(e Event) {
 
 // Summary returns the aggregated phases sorted by engine then first-seen
 // phase order within the engine.
-func (c *Collector) Summary() []PhaseSummary {
+func (c *Collector) Summary() []PhaseSummary { return c.Snapshot() }
+
+// Snapshot returns a point-in-time copy of the aggregated phases, sorted
+// like Summary. It is safe to call while solves are emitting into the
+// collector — the copy is taken under the collector's lock, so a metrics
+// exporter polling mid-solve never observes a half-folded event — and the
+// returned slice shares no memory with the collector, so callers may
+// retain or mutate it freely.
+func (c *Collector) Snapshot() []PhaseSummary {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+// SnapshotAndReset returns the aggregated phases like Snapshot and
+// atomically clears the collector, so consecutive calls partition the
+// event stream into disjoint windows: every exit event is counted in
+// exactly one returned snapshot (events folding in concurrently land in
+// the next window). This is the per-window export primitive behind
+// windowed /metrics scraping. Memory tracking stays enabled across resets.
+func (c *Collector) SnapshotAndReset() []PhaseSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.snapshotLocked()
+	c.phases = make(map[string]*PhaseSummary)
+	c.order = c.order[:0]
+	return out
+}
+
+// snapshotLocked builds the sorted summary copy. Callers hold c.mu.
+func (c *Collector) snapshotLocked() []PhaseSummary {
 	firstSeen := make(map[string]int, len(c.order))
 	for i, k := range c.order {
 		firstSeen[k] = i

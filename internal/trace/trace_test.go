@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestNilSpanIsNoOp(t *testing.T) {
@@ -58,6 +59,97 @@ func TestCollectorConcurrent(t *testing.T) {
 	sums := c.Summary()
 	if len(sums) != 1 || sums[0].Count != g*per || sums[0].SeedEvals != 2*g*per {
 		t.Fatalf("concurrent aggregation wrong: %+v", sums)
+	}
+}
+
+func TestSnapshotMatchesSummaryAndIsACopy(t *testing.T) {
+	c := NewCollector()
+	Begin(c, "deframe", "step", 0, 10).End(4, 5, 1)
+	Begin(c, "mis", "luby-round", 0, 20).End(8, 6, 2)
+
+	snap := c.Snapshot()
+	sums := c.Summary()
+	if len(snap) != len(sums) {
+		t.Fatalf("Snapshot %d rows vs Summary %d", len(snap), len(sums))
+	}
+	for i := range snap {
+		if snap[i] != sums[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, snap[i], sums[i])
+		}
+	}
+	// Mutating the returned slice must not affect the collector.
+	snap[0].Count = 999
+	if c.Snapshot()[0].Count == 999 {
+		t.Fatal("Snapshot aliases collector state")
+	}
+}
+
+func TestSnapshotAndResetWindows(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 3; i++ {
+		Begin(c, "mis", "luby-round", i, 10).End(1, 1, 0)
+	}
+	w1 := c.SnapshotAndReset()
+	if len(w1) != 1 || w1[0].Count != 3 {
+		t.Fatalf("window 1 wrong: %+v", w1)
+	}
+	// The window boundary cleared the state: an empty window follows.
+	if w0 := c.SnapshotAndReset(); len(w0) != 0 {
+		t.Fatalf("expected empty window after reset, got %+v", w0)
+	}
+	for i := 0; i < 2; i++ {
+		Begin(c, "mis", "luby-round", i, 10).End(1, 1, 0)
+	}
+	w2 := c.SnapshotAndReset()
+	if len(w2) != 1 || w2[0].Count != 2 {
+		t.Fatalf("window 2 wrong: %+v", w2)
+	}
+}
+
+// TestSnapshotConcurrentWithEmitters is the -race guard for the /metrics
+// export path: snapshots (plain and reset-on-read windows) race live span
+// emissions, and every exit event must land in exactly one window.
+func TestSnapshotConcurrentWithEmitters(t *testing.T) {
+	c := NewCollector()
+	const emitters, per = 8, 200
+	var wg sync.WaitGroup
+	for k := 0; k < emitters; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Begin(c, "serve", "solve", i, 1).End(1, 1, 0)
+			}
+		}(k)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var windows [][]PhaseSummary
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-time.After(50 * time.Microsecond):
+				c.Snapshot() // plain reads race the emitters too
+				windows = append(windows, c.SnapshotAndReset())
+			case <-stop:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	windows = append(windows, c.SnapshotAndReset())
+
+	total := 0
+	for _, w := range windows {
+		for _, s := range w {
+			total += s.Count
+		}
+	}
+	if total != emitters*per {
+		t.Fatalf("windows count %d events, want %d (events lost or double-counted across resets)", total, emitters*per)
 	}
 }
 

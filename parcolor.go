@@ -55,6 +55,7 @@ package parcolor
 
 import (
 	"context"
+	"fmt"
 
 	"parcolor/internal/d1lc"
 	"parcolor/internal/faultinject"
@@ -102,6 +103,34 @@ const (
 	// taking its smallest available palette colors simultaneously.
 	LubyColoring
 )
+
+// AlgorithmByName maps the canonical lowercase names — the exact strings
+// Algorithm.String returns ("deterministic", "randomized", "greedy",
+// "lowdeg", "jp", "luby") — back to Algorithm values. It is the single
+// name registry for every text surface (CLI flags, the serving API's
+// request field, bench harness specs).
+func AlgorithmByName(name string) (Algorithm, error) {
+	switch name {
+	case "deterministic":
+		return Deterministic, nil
+	case "randomized":
+		return Randomized, nil
+	case "greedy":
+		return GreedySequential, nil
+	case "lowdeg":
+		return LowDegreeDeterministic, nil
+	case "jp":
+		return JonesPlassmann, nil
+	case "luby":
+		return LubyColoring, nil
+	}
+	return 0, fmt.Errorf("parcolor: unknown algorithm %q", name)
+}
+
+// AlgorithmNames lists the names accepted by AlgorithmByName.
+func AlgorithmNames() []string {
+	return []string{"deterministic", "randomized", "greedy", "lowdeg", "jp", "luby"}
+}
 
 func (a Algorithm) String() string {
 	switch a {
