@@ -201,14 +201,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: no overlapping benchmark matches filter %q — gate checked nothing\n", *filter)
 		os.Exit(2)
 	}
+	// The scale stream's headline number: the million-node deterministic
+	// wall time, surfaced in the summary so the one delta the roadmap
+	// tracks never has to be fished out of the table.
+	headline := ""
+	for _, k := range keys {
+		if !strings.Contains(k, "/n=1000000/deterministic/wall") {
+			continue
+		}
+		o, n := oldNs[k], newNs[k]
+		graph := k
+		if i := strings.Index(k, "Scale/"); i >= 0 {
+			graph = k[i+len("Scale/"):]
+		}
+		if i := strings.Index(graph, "/"); i >= 0 {
+			graph = graph[:i]
+		}
+		if headline == "" {
+			headline = "; n=10^6 deterministic wall: "
+		} else {
+			headline += ", "
+		}
+		headline += fmt.Sprintf("%s %+.1f%%", graph, (n-o)/o*100)
+	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %q rows regressed more than %.0f%% vs %s\n",
-			*filter, *tol*100, *oldPath)
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %q rows regressed more than %.0f%% vs %s%s\n",
+			*filter, *tol*100, *oldPath, headline)
 		os.Exit(1)
 	}
 	if sameHost {
-		fmt.Printf("benchdiff: ok — no %q row regressed more than %.0f%% (host %s)\n", *filter, *tol*100, oldHost)
+		fmt.Printf("benchdiff: ok — no %q row regressed more than %.0f%% (host %s)%s\n", *filter, *tol*100, oldHost, headline)
 	} else {
-		fmt.Printf("benchdiff: ok (host mismatch — comparison indicative only)\n")
+		fmt.Printf("benchdiff: ok (host mismatch — comparison indicative only)%s\n", headline)
 	}
 }

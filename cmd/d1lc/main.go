@@ -183,9 +183,10 @@ func main() {
 	fmt.Printf("algorithm=%s rounds=%d distinctColors=%d deferralFrac=%.3f workers=%d elapsed=%s\n",
 		algorithm, res.Rounds, res.DistinctColors, res.DeferralFraction, *workers, elapsed.Round(time.Millisecond))
 	if res.Sparsify != nil {
-		fmt.Printf("sparsify: depth=%d partitions=%d baseInstances=%d movedToMid=%d lemma23ratio=%.3f\n",
+		fmt.Printf("sparsify: depth=%d partitions=%d baseInstances=%d movedToMid=%d copiedNodes=%d copiedArcs=%d lemma23ratio=%.3f\n",
 			res.Sparsify.Depth, res.Sparsify.Partitions, res.Sparsify.BaseInstances,
-			res.Sparsify.MovedToMid, res.Sparsify.MaxDegreeRatio)
+			res.Sparsify.MovedToMid, res.Sparsify.CopiedNodes, res.Sparsify.CopiedArcs,
+			res.Sparsify.MaxDegreeRatio)
 	}
 	fmt.Println("verified: proper list coloring")
 	if collector != nil {

@@ -198,6 +198,10 @@ func main() {
 				emit(base+"/rounds", int64(res.Rounds))
 				emit(base+"/peakheap", peak)
 				emit(base+"/colors", int64(res.DistinctColors))
+				if res.Sparsify != nil {
+					emit(base+"/copiednodes", res.Sparsify.CopiedNodes)
+					emit(base+"/copiedarcs", res.Sparsify.CopiedArcs)
+				}
 				fmt.Fprintf(os.Stderr, "scalebench:   %-14s wall=%-12s rounds=%-6d peakHeap=%dMB colors=%d\n",
 					aname, wall.Round(time.Millisecond), res.Rounds, peak>>20, res.DistinctColors)
 			}

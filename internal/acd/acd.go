@@ -110,22 +110,27 @@ func ComputePar(r *par.Runner, in *d1lc.Instance, opts Options) *ACD {
 	n := g.N()
 	pr := params.ComputePar(r, in)
 
-	// Friend-edge counts per node.
+	// Friend-edge counts per node, reading the per-arc common-neighbor
+	// counts the parameter pass just computed (CommonNbrs) instead of
+	// re-intersecting every adjacency pair — the friend test is the only
+	// consumer of the intersection sizes, and recomputing them here used
+	// to double the schedule build's quadratic-in-degree work.
 	friendDeg := make([]int, n)
 	friendAdj := make([][]int32, n)
 	r.For(n, func(i int) {
 		if r.Err() != nil {
-			return // cancelled: skip the quadratic work, result discarded
+			return // cancelled: the parameter pass was skipped too
 		}
 		v := int32(i)
 		dv := g.Degree(v)
-		for _, u := range g.Neighbors(v) {
+		lo := g.ArcOffset(v)
+		for k, u := range g.Neighbors(v) {
 			du := g.Degree(u)
 			maxd := dv
 			if du > maxd {
 				maxd = du
 			}
-			common := intersectionSize(g.Neighbors(v), g.Neighbors(u))
+			common := int(pr.CommonNbrs[lo+k])
 			if float64(common) >= (1-opts.EpsFriend)*float64(maxd) {
 				friendAdj[v] = append(friendAdj[v], u)
 			}
@@ -205,23 +210,6 @@ func ComputePar(r *par.Runner, in *d1lc.Instance, opts Options) *ACD {
 		}
 	}
 	return &ACD{Opts: opts, Class: class, CliqueOf: cliqueOf, Cliques: cliques, Params: pr}
-}
-
-func intersectionSize(a, b []int32) int {
-	i, j, c := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			c++
-			i++
-			j++
-		}
-	}
-	return c
 }
 
 // Violation describes one failed Definition 3 condition.

@@ -183,6 +183,47 @@ func (m Mask) FillPar(r *par.Runner, n int, pred func(i int) bool) {
 	})
 }
 
+// FillOnes sets the first n bits of m and zeroes the tail bits of the
+// last word: the all-live reset. The whole-word interior goes through
+// kernel.FillWords (AVX2 broadcast stores on capable hosts); the masked
+// tail word preserves the tail-zero invariant. The pred-driven Fill and
+// FillPar stay closure-bound — an arbitrary pred cannot dispatch to a
+// vector body — so callers with a constant-true pred should use this.
+func (m Mask) FillOnes(n int) {
+	fillOnesRange(m, 0, Words(n), n)
+}
+
+// FillOnesPar is FillOnes with word-aligned ranges distributed across
+// r's workers (nil = process default); identical result for any worker
+// count, sequential below the small-mask threshold.
+func (m Mask) FillOnesPar(r *par.Runner, n int) {
+	w := Words(n)
+	if w < parWordThreshold {
+		fillOnesRange(m, 0, w, n)
+		return
+	}
+	r.ForChunkedWorker(w, func(_, wlo, whi int) {
+		fillOnesRange(m, wlo, whi, n)
+	})
+}
+
+// fillOnesRange writes all-ones words to [wlo, whi), masking the final
+// word when n is not a multiple of 64 (that word is always whi-1, since
+// whi never exceeds Words(n)).
+func fillOnesRange(m Mask, wlo, whi, n int) {
+	if wlo >= whi {
+		return
+	}
+	full := whi
+	if whi<<6 > n {
+		full--
+	}
+	kernel.FillWords(m[wlo:full], ^uint64(0))
+	if full < whi {
+		m[full] = ^uint64(0) >> uint(64-n&63)
+	}
+}
+
 // fillRange rewrites words [wlo, whi) from pred over bit positions < n.
 func fillRange(m Mask, wlo, whi, n int, pred func(i int) bool) {
 	for wi := wlo; wi < whi; wi++ {

@@ -302,3 +302,59 @@ func TestMaskKernelOpsBothDispatchPaths(t *testing.T) {
 		runPath(t)
 	})
 }
+
+// TestFillOnesMatchesFill pins the broadcast fill to the pred-driven
+// reference on both dispatch paths and every worker bound: same set
+// bits, same zero tail, stale capacity words beyond the logical length
+// untouched only within the written word range.
+func TestFillOnesMatchesFill(t *testing.T) {
+	runPath := func(t *testing.T) {
+		for _, n := range raggedSizes {
+			// Larger than parWordThreshold words too, so FillOnesPar's
+			// fan-out path runs.
+			for _, sz := range []int{n, n + 64*parWordThreshold} {
+				want := New(sz)
+				want.Fill(sz, func(int) bool { return true })
+
+				got := New(sz)
+				// Poison so the tail-zero invariant is actually exercised.
+				for i := range got {
+					got[i] = 0xa5a5a5a5a5a5a5a5
+				}
+				got.FillOnes(sz)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("sz=%d: FillOnes word %d = %x, want %x", sz, i, got[i], want[i])
+					}
+				}
+				for _, workers := range []int{1, 2, 4} {
+					for i := range got {
+						got[i] = 0xa5a5a5a5a5a5a5a5
+					}
+					got.FillOnesPar(par.NewRunner(workers), sz)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("sz=%d workers=%d: FillOnesPar word %d = %x, want %x", sz, workers, i, got[i], want[i])
+						}
+					}
+				}
+				if sz > 0 && got.Count() != sz {
+					t.Fatalf("sz=%d: Count after FillOnes = %d", sz, got.Count())
+				}
+			}
+		}
+	}
+	t.Run("generic", func(t *testing.T) {
+		prev := kernel.SetAVX2ForTest(false)
+		defer kernel.SetAVX2ForTest(prev)
+		runPath(t)
+	})
+	t.Run("avx2", func(t *testing.T) {
+		prev := kernel.SetAVX2ForTest(true)
+		defer kernel.SetAVX2ForTest(prev)
+		if !kernel.UsingAVX2() {
+			t.Skip("AVX2 kernel bodies unavailable in this binary")
+		}
+		runPath(t)
+	})
+}

@@ -27,6 +27,7 @@ type Cache struct {
 	tables  condexp.TableCache
 	scratch sync.Pool // of *seedScratch
 	states  hknt.StatePool
+	reduce  sync.Pool // of *d1lc.ReduceArena
 
 	// chunks memoizes chunkAssignment per (graph identity, radius, edge
 	// budget) — but only for graphs the caller declared reusable
@@ -113,6 +114,27 @@ func (c *Cache) getState(in *d1lc.Instance) *hknt.State {
 func (c *Cache) putState(st *hknt.State) {
 	if c != nil {
 		c.states.Put(st)
+	}
+}
+
+// getReduceArena checks a self-reduction arena out of the cache (fresh on
+// a nil cache). Each recursion level holds its own arena for the lifetime
+// of its residual instance — checked out before ReduceUncolored, returned
+// only after the recursive solve and the coloring write-back complete, so
+// at most MaxDepth arenas are live at once.
+func (c *Cache) getReduceArena() *d1lc.ReduceArena {
+	if c != nil {
+		if a, _ := c.reduce.Get().(*d1lc.ReduceArena); a != nil {
+			return a
+		}
+	}
+	return d1lc.NewReduceArena()
+}
+
+// putReduceArena returns an arena for reuse. No-op on a nil cache.
+func (c *Cache) putReduceArena(a *d1lc.ReduceArena) {
+	if c != nil {
+		c.reduce.Put(a)
 	}
 }
 

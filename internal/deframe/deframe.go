@@ -368,9 +368,16 @@ func run(in *d1lc.Instance, o Options, depth int) (*d1lc.Coloring, *Report, erro
 	rep.LocalRounds = st.Meter.Rounds
 
 	// Residue: every uncolored node (deferred, failed put-aside, or
-	// low-degree and never scheduled) re-enters via Definition 11.
-	residual, origOf := d1lc.ReduceUncoloredPar(o.Par, in, st.Col)
+	// low-degree and never scheduled) re-enters via Definition 11. The
+	// reduction rides a pooled arena — stamp-array relabeling instead of
+	// per-arc binary search, reused CSR and palette storage — so the
+	// recursion's per-level extraction is allocation-free in steady state.
+	// The residual instance aliases the arena, which therefore stays
+	// checked out until the recursive solve and Apply both finish.
+	ar := o.Cache.getReduceArena()
+	residual, origOf := ar.ReduceUncolored(o.Par, in, st.Col)
 	if residual.N() == 0 {
+		o.Cache.putReduceArena(ar)
 		return st.Col, rep, nil
 	}
 	if residual.N() == n {
@@ -380,10 +387,12 @@ func run(in *d1lc.Instance, o Options, depth int) (*d1lc.Coloring, *Report, erro
 	}
 	subCol, subRep, err := run(residual, o, depth-1)
 	if err != nil {
+		o.Cache.putReduceArena(ar)
 		return nil, rep, err
 	}
 	rep.Recursed = subRep
 	d1lc.Apply(st.Col, subCol, origOf)
+	o.Cache.putReduceArena(ar)
 	return st.Col, rep, nil
 }
 

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sync"
+
 	"context"
 	"math"
 
@@ -38,17 +40,20 @@ func e1DeterministicD1LC(cfg Config) *stats.Table {
 			in := instanceFor(w, n, cfg.Seed)
 			rounds := 0 // parallel composition: base instances of one level run concurrently
 			deferral := 0.0
+			var statMu sync.Mutex // base solves run concurrently across restricted bins
 			base := func(sub *d1lc.Instance) (*d1lc.Coloring, error) {
 				col, rep, err := deframe.Run(context.Background(), sub, deframe.Options{SeedBits: cfg.SeedBits, Tunables: hknt.Tunables{}})
 				if err != nil {
 					return nil, err
 				}
+				statMu.Lock()
 				if r := rep.TotalRounds(); r > rounds {
 					rounds = r
 				}
 				if f := rep.MaxDeferralFraction(); f > deferral {
 					deferral = f
 				}
+				statMu.Unlock()
 				return col, nil
 			}
 			col, srep, err := sparsify.ColorReduce(context.Background(), in, sparsify.Options{}, base)

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"fmt"
+
+	"parcolor/internal/par"
+)
+
+// SubgraphArena amortizes induced-subgraph extraction across calls: the
+// stamp array, offset table and adjacency storage are allocated once and
+// reused, so a recursion that extracts one sub-instance per level (the
+// sparsify bin solve, the deframe residue reduction) performs no
+// steady-state allocation and no per-arc binary search.
+//
+// Compared with InducedSubgraphPar, Extract replaces the sorted-keep
+// binary search with an O(1) stamp-array lookup (old id → new id). The
+// stamp array is initialized to -1 once and only the kept entries are
+// written and cleared per call, so each extraction costs O(k + arcs), not
+// O(n) — safe to use on tiny sub-instances of huge parents.
+//
+// The returned graph aliases arena storage: it is valid until the next
+// Extract on the same arena, and the arena must not be released (or
+// reused) before every use of the extracted graph has completed. Arenas
+// are not safe for concurrent use; concurrent extractions (parallel bins)
+// each take their own arena.
+type SubgraphArena struct {
+	newIdx  []int32 // parent id → new id, -1 outside the kept set
+	offsets []int32
+	adj     []int32
+}
+
+// NewSubgraphArena returns an empty arena; buffers grow on first use.
+func NewSubgraphArena() *SubgraphArena { return &SubgraphArena{} }
+
+// Extract builds the subgraph induced by keep, which must be sorted
+// ascending and duplicate-free (the bucketing passes that feed arenas
+// produce exactly that; violations panic — they are caller bugs, not data
+// errors). origOf is keep itself: because the old→new mapping is the
+// monotone rank in keep, the output lists inherit sortedness from the
+// parent's and the instance invariants of InducedSubgraphPar hold
+// bit-identically. The returned graph aliases arena storage — see the
+// type comment for the lifetime rule.
+func (a *SubgraphArena) Extract(r *par.Runner, g *Graph, keep []int32) (sub *Graph, origOf []int32) {
+	n := g.N()
+	k := len(keep)
+	if len(a.newIdx) < n {
+		old := len(a.newIdx)
+		a.newIdx = append(a.newIdx, make([]int32, n-old)...)
+		for i := old; i < n; i++ {
+			a.newIdx[i] = -1
+		}
+	}
+	newIdx := a.newIdx
+	for i := 0; i < k; i++ {
+		v := keep[i]
+		if i > 0 && keep[i-1] >= v {
+			panic(fmt.Sprintf("graph: SubgraphArena.Extract keep not sorted at %d", i))
+		}
+		newIdx[v] = int32(i)
+	}
+	if cap(a.offsets) < k+1 {
+		a.offsets = make([]int32, k+1)
+	}
+	offsets := a.offsets[:k+1]
+	offsets[0] = 0
+	r.ForChunked(k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cnt := int32(0)
+			for _, u := range g.Neighbors(keep[i]) {
+				if newIdx[u] >= 0 {
+					cnt++
+				}
+			}
+			offsets[i+1] = cnt
+		}
+	})
+	for i := 0; i < k; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	arcs := int(offsets[k])
+	if cap(a.adj) < arcs {
+		a.adj = make([]int32, arcs)
+	}
+	adj := a.adj[:arcs]
+	r.ForChunked(k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w := offsets[i]
+			for _, u := range g.Neighbors(keep[i]) {
+				if j := newIdx[u]; j >= 0 {
+					adj[w] = j
+					w++
+				}
+			}
+		}
+	})
+	// Clear only the stamps this call wrote: the next Extract (possibly
+	// against a different parent) sees an all--1 array again.
+	r.ForChunked(k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			newIdx[keep[i]] = -1
+		}
+	})
+	// Fresh header per call: downstream caches memoize on *Graph pointer
+	// identity, and an arena-backed instance must never be mistaken for a
+	// previous one whose storage it happens to reuse.
+	return &Graph{offsets: offsets, adj: adj}, keep
+}

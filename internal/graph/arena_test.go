@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+
+	"parcolor/internal/par"
+)
+
+// TestSubgraphArenaMatchesInduced pins the arena extraction bit-identical
+// to InducedSubgraphPar across graph shapes, keep densities, worker
+// bounds, and repeated reuse of one arena (the recursion pattern).
+func TestSubgraphArenaMatchesInduced(t *testing.T) {
+	graphs := []*Graph{
+		Gnp(200, 0.05, 1),
+		Gnp(500, 0.01, 2),
+		ChungLu(300, 2.5, 8, 3),
+		FromAdjacency([][]int32{{1, 2}, {0}, {0}, {}}),
+	}
+	ar := NewSubgraphArena()
+	for gi, g := range graphs {
+		n := int32(g.N())
+		keeps := [][]int32{
+			{},
+			{0},
+			func() []int32 { // every third node
+				var k []int32
+				for v := int32(0); v < n; v += 3 {
+					k = append(k, v)
+				}
+				return k
+			}(),
+			func() []int32 { // all nodes
+				k := make([]int32, n)
+				for i := range k {
+					k[i] = int32(i)
+				}
+				return k
+			}(),
+		}
+		for ki, keep := range keeps {
+			for _, bound := range []int{1, 4} {
+				r := par.NewRunner(bound)
+				want, wantOrig := InducedSubgraphPar(r, g, keep)
+				got, gotOrig := ar.Extract(r, g, keep)
+				if !slices.Equal(wantOrig, gotOrig) {
+					t.Fatalf("g%d keep%d bound%d: origOf mismatch", gi, ki, bound)
+				}
+				if got.N() != want.N() || got.M() != want.M() {
+					t.Fatalf("g%d keep%d bound%d: size %d/%d want %d/%d",
+						gi, ki, bound, got.N(), got.M(), want.N(), want.M())
+				}
+				for v := int32(0); v < int32(want.N()); v++ {
+					if !slices.Equal(got.Neighbors(v), want.Neighbors(v)) {
+						t.Fatalf("g%d keep%d bound%d: adjacency of %d differs", gi, ki, bound, v)
+					}
+				}
+				if err := got.Validate(); err != nil {
+					t.Fatalf("g%d keep%d bound%d: %v", gi, ki, bound, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSubgraphArenaUnsortedPanics pins the sortedness contract: an
+// unsorted or duplicated keep is a caller bug and must panic rather than
+// corrupt the stamp array.
+func TestSubgraphArenaUnsortedPanics(t *testing.T) {
+	g := Gnp(50, 0.1, 7)
+	for _, keep := range [][]int32{{3, 1}, {2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Extract(%v) did not panic", keep)
+				}
+			}()
+			NewSubgraphArena().Extract(nil, g, keep)
+		}()
+	}
+}
+
+// TestSubgraphArenaReuseAcrossParents checks that reusing one arena
+// against parents of different sizes clears its stamps correctly — the
+// deframe pool hands the same arena to successive recursion levels whose
+// parents shrink.
+func TestSubgraphArenaReuseAcrossParents(t *testing.T) {
+	ar := NewSubgraphArena()
+	big := Gnp(400, 0.02, 9)
+	keepBig := []int32{0, 7, 31, 100, 399}
+	subBig, _ := ar.Extract(nil, big, keepBig)
+	wantBig, _ := InducedSubgraph(big, keepBig)
+	if subBig.N() != wantBig.N() || subBig.M() != wantBig.M() {
+		t.Fatalf("big extraction differs")
+	}
+	small := Gnp(40, 0.2, 11)
+	keepSmall := []int32{1, 2, 3, 5, 8, 13, 21, 34}
+	subSmall, _ := ar.Extract(nil, small, keepSmall)
+	wantSmall, _ := InducedSubgraph(small, keepSmall)
+	if subSmall.N() != wantSmall.N() || subSmall.M() != wantSmall.M() {
+		t.Fatalf("small extraction after reuse differs: m=%d want %d", subSmall.M(), wantSmall.M())
+	}
+	for v := int32(0); v < int32(wantSmall.N()); v++ {
+		if !slices.Equal(subSmall.Neighbors(v), wantSmall.Neighbors(v)) {
+			t.Fatalf("adjacency of %d differs after arena reuse", v)
+		}
+	}
+}

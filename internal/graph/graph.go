@@ -67,6 +67,12 @@ func (g *Graph) Neighbors(v int32) []int32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
+// ArcOffset returns the index of v's first arc in the global CSR arc
+// order (arc k of v is global arc ArcOffset(v)+k). Per-arc side tables —
+// the shared common-neighbor counts of the parameter/ACD passes — are
+// indexed with it.
+func (g *Graph) ArcOffset(v int32) int { return int(g.offsets[v]) }
+
 // HasEdge reports whether {u,v} is an edge, by binary search on the shorter
 // adjacency list.
 func (g *Graph) HasEdge(u, v int32) bool {

@@ -146,7 +146,7 @@ func (p *StatePool) Get(in *d1lc.Instance) *State {
 	st.Deferred = growBoolZeroed(st.Deferred, n)
 	st.PutAside = growBoolZeroed(st.PutAside, n)
 	st.live = st.live.Grow(n)
-	st.live.Fill(n, func(int) bool { return true })
+	st.live.FillOnes(n)
 	total := 0
 	for v := 0; v < n; v++ {
 		total += len(in.Palettes[v])

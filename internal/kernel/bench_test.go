@@ -186,3 +186,15 @@ var benchSink int64
 func sizeName(n int) string { return fmt.Sprintf("n=%d", n) }
 
 func shapeName(r, c int) string { return fmt.Sprintf("%dx%d", r, c) }
+
+func BenchmarkKernelFillWords(b *testing.B) {
+	for _, n := range benchSizes() {
+		dst := make([]uint64, n)
+		runPaths(b, sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				FillWords(dst, ^uint64(0))
+			}
+		})
+	}
+}

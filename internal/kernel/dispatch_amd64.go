@@ -87,6 +87,9 @@ func popcountWordsAVX2(ws []uint64) int
 func andNotWordsAVX2(dst, src []uint64)
 
 //go:noescape
+func fillWordsAVX2(dst []uint64, val uint64)
+
+//go:noescape
 func transposeBlocksAVX2(dst, src *int64, rows, cols, r8, c4 int)
 
 // transposeAVX2 transposes via 8×4 int64 ymm tiles (two stacked 4×4

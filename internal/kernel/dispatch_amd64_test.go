@@ -165,3 +165,32 @@ func TestSetAVX2ForTestRespectsSupport(t *testing.T) {
 		t.Fatalf("UsingAVX2 after forcing on = %v, want hardware support %v", got, want)
 	}
 }
+
+func TestAsmFillWordsRaggedUnaligned(t *testing.T) {
+	if !avx2Supported {
+		t.Skip("host lacks AVX2")
+	}
+	rng := rand.New(rand.NewSource(15))
+	const maxN = 300
+	back := randUint64s(4+maxN, rng)
+	for _, off := range []int{0, 1, 2, 3} {
+		for n := 0; n <= maxN; n++ {
+			dst := back[off : off+n : off+n]
+			val := rng.Uint64()
+			fillWordsAVX2(dst, val)
+			for i := range dst {
+				if dst[i] != val {
+					t.Fatalf("off=%d n=%d: fillWordsAVX2[%d] = %x, want %x", off, n, i, dst[i], val)
+				}
+			}
+			// The word after the slice must be untouched.
+			if off+n < len(back) {
+				back[off+n] = 0x5a5a5a5a5a5a5a5a
+				fillWordsAVX2(dst, ^val)
+				if back[off+n] != 0x5a5a5a5a5a5a5a5a {
+					t.Fatalf("off=%d n=%d: fillWordsAVX2 wrote past the slice", off, n)
+				}
+			}
+		}
+	}
+}

@@ -29,6 +29,9 @@ func maskNeq32AVX2(dst []uint64, xs []int32, s int32) {
 }
 func popcountWordsAVX2(ws []uint64) int { panic("kernel: popcountWordsAVX2: unreachable without asm") }
 func andNotWordsAVX2(dst, src []uint64) { panic("kernel: andNotWordsAVX2: unreachable without asm") }
+func fillWordsAVX2(dst []uint64, val uint64) {
+	panic("kernel: fillWordsAVX2: unreachable without asm")
+}
 func transposeAVX2(dst, src []int64, rows, cols int) {
 	panic("kernel: transposeAVX2: unreachable without asm")
 }

@@ -138,6 +138,22 @@ func popcountWordsGeneric(ws []uint64) int {
 	return c0 + c1 + c2 + c3
 }
 
+// fillWordsGeneric is FillWords' fallback: a four-way unrolled broadcast
+// store.
+func fillWordsGeneric(dst []uint64, val uint64) {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d := dst[i : i+4 : i+4]
+		d[0] = val
+		d[1] = val
+		d[2] = val
+		d[3] = val
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = val
+	}
+}
+
 // andNotWordsGeneric is AndNotWords' fallback: a four-way unrolled
 // word-wise and-not.
 func andNotWordsGeneric(dst, src []uint64) {

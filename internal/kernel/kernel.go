@@ -18,6 +18,8 @@
 //     (bitset.Count/CountRange, the engines' popcount-into-row fills).
 //   - AndNotWords clears dst bits set in src, word-wise (bitset.AndNot,
 //     the winners = candidates &^ losers elimination step).
+//   - FillWords broadcasts one value into a word run (bitset.FillOnes's
+//     whole-word interior — the engines' all-live mask resets).
 //
 // # Dispatch model
 //
@@ -69,7 +71,7 @@ import "fmt"
 const (
 	minAVX2Elems = 16 // Sum/Add: int64 elements (two 4-lane unrolled steps)
 	minAVX2Lanes = 64 // MaskNeq32: int32 lanes (one full output word)
-	minAVX2Words = 8  // PopcountWords/AndNotWords: 64-bit words
+	minAVX2Words = 8  // PopcountWords/AndNotWords/FillWords: 64-bit words
 	minAVX2Tile  = 4  // Transpose: rows and cols for one 4×4 ymm tile
 )
 
@@ -152,4 +154,16 @@ func AndNotWords(dst, src []uint64) {
 		return
 	}
 	andNotWordsGeneric(dst, src)
+}
+
+// FillWords stores val into every word of dst — the broadcast store
+// under bitset.FillOnes's whole-word interior (the engines' all-live
+// mask resets). Pure stores with one defined answer per word, so the
+// dispatch is invisible like every other kernel's.
+func FillWords(dst []uint64, val uint64) {
+	if useAVX2 && len(dst) >= minAVX2Words {
+		fillWordsAVX2(dst, val)
+		return
+	}
+	fillWordsGeneric(dst, val)
 }

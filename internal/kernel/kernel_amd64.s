@@ -332,3 +332,34 @@ GLOBL popLUT<>(SB), RODATA|NOPTR, $16
 DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
 DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
 GLOBL nibMask<>(SB), RODATA|NOPTR, $16
+
+// func fillWordsAVX2(dst []uint64, val uint64)
+//
+// Two ymm lanes (8 words) of broadcast stores per iteration: val is
+// splatted once with VPBROADCASTQ and streamed out with unaligned
+// stores, scalar tail for the ragged end. Pure stores — no lane
+// arithmetic — so there is nothing to reassociate.
+TEXT ·fillWordsAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	VPBROADCASTQ val+24(FP), Y0
+	MOVQ val+24(FP), BX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	XORQ AX, AX
+fw_loop8:
+	CMPQ AX, DX
+	JGE  fw_tail
+	VMOVDQU Y0, (DI)(AX*8)
+	VMOVDQU Y0, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  fw_loop8
+fw_tail:
+	CMPQ AX, CX
+	JGE  fw_done
+	MOVQ BX, (DI)(AX*8)
+	INCQ AX
+	JMP  fw_tail
+fw_done:
+	VZEROUPPER
+	RET

@@ -364,3 +364,28 @@ func ExampleSum() {
 	fmt.Println(Sum(row))
 	// Output: 11
 }
+
+func fillWordsRef(dst []uint64, val uint64) {
+	for i := range dst {
+		dst[i] = val
+	}
+}
+
+func TestFillWordsMatchesReference(t *testing.T) {
+	forEachPath(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(9))
+		for _, n := range raggedLens {
+			for _, val := range []uint64{0, ^uint64(0), 0xdeadbeefcafef00d, rng.Uint64()} {
+				dst := randUint64s(n, rng)
+				want := make([]uint64, n)
+				fillWordsRef(want, val)
+				FillWords(dst, val)
+				for i := range want {
+					if dst[i] != want[i] {
+						t.Fatalf("n=%d val=%x: FillWords[%d] = %x, want %x", n, val, i, dst[i], want[i])
+					}
+				}
+			}
+		}
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxWorkers bounds the number of worker goroutines used by the *default*
@@ -180,6 +181,86 @@ func (r *Runner) ForChunkedWorker(n int, body func(w, lo, hi int)) {
 				body(k, lo, hi)
 			}
 		}(k, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Split partitions the runner's worker budget across k concurrent tasks:
+// it returns k runners sharing the receiver's context whose bounds sum to
+// the receiver's effective bound whenever that bound is at least k (each
+// child always gets at least one worker, so oversubscription is capped at
+// k-1 extra goroutines when the budget is smaller than the fan-out). The
+// sparsify bin scheduler uses it to solve restricted bins concurrently
+// without the nested parallel loops overshooting the solve's budget.
+// Children are plain Runners — immutable, safe for concurrent use.
+func (r *Runner) Split(k int) []*Runner {
+	if k < 1 {
+		k = 1
+	}
+	w := r.Bound()
+	if w <= 0 {
+		w = defaultBound()
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	var ctx context.Context
+	if r != nil {
+		ctx = r.ctx
+	}
+	out := make([]*Runner, k)
+	base, extra := w/k, w%k
+	for i := range out {
+		share := base
+		if i < extra {
+			share++
+		}
+		if share < 1 {
+			share = 1
+		}
+		out[i] = &Runner{workers: share, ctx: ctx}
+	}
+	return out
+}
+
+// ForRanges runs body over the half-open ranges offsets[i]..offsets[i+1],
+// handing each range to a worker as one indivisible work unit — the
+// shard-aware counterpart of ForChunked: a degree-sharded instance hands
+// whole cache-resident shards to workers instead of arbitrary contiguous
+// index splits. Ranges are claimed dynamically (an atomic cursor), so a
+// heavy shard does not serialize the light ones behind it; body must
+// write only to data owned by its range, which keeps the result
+// deterministic under any claim order. Empty ranges are skipped.
+func (r *Runner) ForRanges(offsets []int32, body func(lo, hi int)) {
+	k := len(offsets) - 1
+	if k <= 0 {
+		return
+	}
+	w := r.Workers(k)
+	if w == 1 {
+		for i := 0; i < k; i++ {
+			if offsets[i] < offsets[i+1] {
+				body(int(offsets[i]), int(offsets[i+1]))
+			}
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				if offsets[i] < offsets[i+1] {
+					body(int(offsets[i]), int(offsets[i+1]))
+				}
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -136,3 +136,75 @@ func TestRunnerContext(t *testing.T) {
 		t.Fatalf("nil.WithContext: bound %d err %v", r2.Bound(), r2.Err())
 	}
 }
+
+// TestRunnerSplit checks that Split conserves the parent's budget (when it
+// is at least the fan-out), floors every child at one worker, and threads
+// the parent's context into each child.
+func TestRunnerSplit(t *testing.T) {
+	cases := []struct {
+		bound, k int
+		want     []int
+	}{
+		{8, 3, []int{3, 3, 2}},
+		{4, 4, []int{1, 1, 1, 1}},
+		{2, 5, []int{1, 1, 1, 1, 1}}, // oversubscribed: floor of 1 each
+		{7, 2, []int{4, 3}},
+		{1, 1, []int{1}},
+	}
+	for _, c := range cases {
+		kids := NewRunner(c.bound).Split(c.k)
+		if len(kids) != len(c.want) {
+			t.Fatalf("Split(%d) with bound %d: %d children, want %d", c.k, c.bound, len(kids), len(c.want))
+		}
+		for i, kid := range kids {
+			if kid.Bound() != c.want[i] {
+				t.Errorf("bound %d Split(%d)[%d].Bound() = %d, want %d", c.bound, c.k, i, kid.Bound(), c.want[i])
+			}
+		}
+	}
+	if kids := NewRunner(6).Split(0); len(kids) != 1 || kids[0].Bound() != 6 {
+		t.Errorf("Split(0) should clamp to one child with the full budget")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, kid := range NewRunner(4).WithContext(ctx).Split(3) {
+		if kid.Err() != context.Canceled {
+			t.Errorf("child %d did not inherit the cancelled context: %v", i, kid.Err())
+		}
+	}
+	// A nil runner splits its default budget without panicking.
+	var nilR *Runner
+	if kids := nilR.Split(2); len(kids) != 2 {
+		t.Errorf("nil runner Split(2) returned %d children", len(kids))
+	}
+}
+
+// TestRunnerForRanges pins the range executor: every index in every
+// half-open range is visited exactly once, empty ranges are skipped, and
+// the result is identical across worker bounds (ranges own disjoint data).
+func TestRunnerForRanges(t *testing.T) {
+	offsets := []int32{0, 5, 5, 17, 40, 41, 100}
+	n := int(offsets[len(offsets)-1])
+	for _, bound := range []int{1, 2, 4, 16} {
+		visits := make([]int32, n)
+		var calls atomic.Int64
+		NewRunner(bound).ForRanges(offsets, func(lo, hi int) {
+			calls.Add(1)
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("bound %d: index %d visited %d times", bound, i, v)
+			}
+		}
+		// 6 ranges, one empty (5..5): body must run once per non-empty range.
+		if c := calls.Load(); c != 5 {
+			t.Errorf("bound %d: body ran %d times, want 5", bound, c)
+		}
+	}
+	// Degenerate offsets are no-ops.
+	NewRunner(4).ForRanges(nil, func(lo, hi int) { t.Error("body ran for nil offsets") })
+	NewRunner(4).ForRanges([]int32{7}, func(lo, hi int) { t.Error("body ran for single offset") })
+}

@@ -16,7 +16,6 @@ package params
 
 import (
 	"parcolor/internal/d1lc"
-	"parcolor/internal/graph"
 	"parcolor/internal/par"
 )
 
@@ -29,6 +28,14 @@ type Params struct {
 	Unevenness  []float64 // η_v
 	Slackab     []float64 // σ̄_v = discrepancy + sparsity
 	StrongSlack []float64 // σ_v = unevenness + sparsity
+
+	// CommonNbrs[g.ArcOffset(v)+k] = |N(v) ∩ N(u)| for u the k-th neighbor
+	// of v. The counts fall out of the m(N(v)) computation (each edge of
+	// N(v) appears in exactly two of v's arc intersections, so m(N(v)) is
+	// half their sum) and the ACD friend-edge pass reuses them instead of
+	// re-intersecting every adjacency pair — the single most expensive
+	// redundancy of the schedule build at million-node scale.
+	CommonNbrs []int32
 }
 
 // Compute evaluates all parameters for the instance.
@@ -50,6 +57,7 @@ func ComputePar(r *par.Runner, in *d1lc.Instance) *Params {
 		Unevenness:  make([]float64, n),
 		Slackab:     make([]float64, n),
 		StrongSlack: make([]float64, n),
+		CommonNbrs:  make([]int32, 2*g.M()),
 	}
 	r.For(n, func(i int) {
 		if r.Err() != nil {
@@ -57,14 +65,26 @@ func ComputePar(r *par.Runner, in *d1lc.Instance) *Params {
 		}
 		v := int32(i)
 		d := g.Degree(v)
+		ns := g.Neighbors(v)
 		p.Slack[v] = len(in.Palettes[v]) - d
 		if d > 0 {
+			// m(N(v)) via per-arc intersections: an edge {x,y} of N(v)
+			// lands in the intersections of arcs v→x and v→y, so the sum
+			// double-counts it — identical to CountEdgesAmong, but every
+			// per-arc count is kept for the ACD friend pass.
+			lo := g.ArcOffset(v)
+			var twiceM int64
+			for k, u := range ns {
+				c := intersectionSize(ns, g.Neighbors(u))
+				p.CommonNbrs[lo+k] = int32(c)
+				twiceM += int64(c)
+			}
 			pairs := int64(d) * int64(d-1) / 2
-			p.NonEdges[v] = pairs - graph.CountEdgesAmong(g, g.Neighbors(v))
+			p.NonEdges[v] = pairs - twiceM/2
 			p.Sparsity[v] = float64(p.NonEdges[v]) / float64(d)
 		}
 		var disc, unev float64
-		for _, u := range g.Neighbors(v) {
+		for _, u := range ns {
 			disc += Disparity(in.Palettes[u], in.Palettes[v])
 			du := g.Degree(u)
 			if du > d {

@@ -1,0 +1,155 @@
+package sparsify
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"parcolor/internal/d1lc"
+	"parcolor/internal/graph"
+	"parcolor/internal/par"
+	"parcolor/internal/trace"
+)
+
+// fusedSuite is the differential graph suite: dense enough that the
+// partitioner actually fires (MaxDegree > MidDegree) on several recursion
+// levels, plus a skewed Chung–Lu instance where bin populations are
+// lopsided.
+func fusedSuite() []*d1lc.Instance {
+	return []*d1lc.Instance{
+		d1lc.TrivialPalettes(graph.Gnp(600, 0.15, 1)),
+		d1lc.TrivialPalettes(graph.Gnp(400, 0.08, 7)),
+		d1lc.TrivialPalettes(graph.ChungLu(800, 2.5, 40, 3)),
+	}
+}
+
+// TestFusedMatchesSerialOracle pins the fused schedule — parallel
+// restricted bins, counting-sort bucketing, arena extraction — to the
+// retained sequential copy path: identical colorings, identical reports
+// (including the copy counters), identical Lemma 23(a) certificates, for
+// every worker bound.
+func TestFusedMatchesSerialOracle(t *testing.T) {
+	for gi, in := range fusedSuite() {
+		opts := Options{Bins: 4, MidDegree: 12}
+		opts.SerialBins = true
+		opts.Par = par.NewRunner(1)
+		oracleCol, oracleRep, err := ColorReduce(context.Background(), in, opts, greedyBase)
+		if err != nil {
+			t.Fatalf("graph %d: oracle: %v", gi, err)
+		}
+		if oracleRep.Partitions == 0 {
+			t.Fatalf("graph %d: oracle never partitioned — suite too sparse", gi)
+		}
+		if oracleRep.CopiedNodes == 0 || oracleRep.CopiedArcs == 0 {
+			t.Fatalf("graph %d: oracle copy counters empty: %+v", gi, oracleRep)
+		}
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			for _, serial := range []bool{false, true} {
+				fo := Options{Bins: 4, MidDegree: 12, SerialBins: serial}
+				fo.Par = par.NewRunner(workers)
+				col, rep, err := ColorReduce(context.Background(), in, fo, greedyBase)
+				if err != nil {
+					t.Fatalf("graph %d workers=%d serial=%v: %v", gi, workers, serial, err)
+				}
+				for v := range oracleCol.Colors {
+					if col.Colors[v] != oracleCol.Colors[v] {
+						t.Fatalf("graph %d workers=%d serial=%v: color[%d] = %d, oracle %d",
+							gi, workers, serial, v, col.Colors[v], oracleCol.Colors[v])
+					}
+				}
+				if *rep != *oracleRep {
+					t.Fatalf("graph %d workers=%d serial=%v: report %+v, oracle %+v",
+						gi, workers, serial, *rep, *oracleRep)
+				}
+				if rep.MaxDegreeRatio >= 1 {
+					t.Fatalf("graph %d: Lemma 23(a) certificate broken: ratio %v", gi, rep.MaxDegreeRatio)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedShardOffsetsInvariant pins that shard-aware chunking is a pure
+// scheduling hint: handing the top level whole degree-shards changes
+// nothing about the result.
+func TestFusedShardOffsetsInvariant(t *testing.T) {
+	in := d1lc.TrivialPalettes(graph.Gnp(600, 0.15, 1))
+	base := Options{Bins: 4, MidDegree: 12}
+	base.Par = par.NewRunner(4)
+	wantCol, wantRep, err := ColorReduce(context.Background(), in, base, greedyBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.ShardOffsets = []int32{0, 100, 350, 600}
+	col, rep, err := ColorReduce(context.Background(), in, sharded, greedyBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range wantCol.Colors {
+		if col.Colors[v] != wantCol.Colors[v] {
+			t.Fatalf("sharded color[%d] = %d, want %d", v, col.Colors[v], wantCol.Colors[v])
+		}
+	}
+	if *rep != *wantRep {
+		t.Fatalf("sharded report %+v, want %+v", *rep, *wantRep)
+	}
+}
+
+// TestFusedEmitsBinSpans pins the per-bin trace spans: phase "bin" under
+// engine "sparsify", one span per non-empty bin per partition level, on
+// both schedules.
+func TestFusedEmitsBinSpans(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		in := d1lc.TrivialPalettes(graph.Gnp(600, 0.15, 1))
+		tc := trace.NewCollector()
+		o := Options{Bins: 4, MidDegree: 12, SerialBins: serial, Trace: tc}
+		if _, _, err := ColorReduce(context.Background(), in, o, greedyBase); err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, s := range tc.Summary() {
+			if s.Engine == "sparsify" && s.Phase == "bin" {
+				found = true
+				if s.Count == 0 || s.Participants == 0 {
+					t.Fatalf("serial=%v: empty bin summary %+v", serial, s)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("serial=%v: no sparsify/bin spans observed", serial)
+		}
+	}
+}
+
+// TestColorReduceCancelMidFanOut cancels the context from inside a base
+// solve — i.e. while the restricted-bin fan-out is in flight — and
+// expects a clean context.Canceled return with no coloring, on both
+// schedules.
+func TestColorReduceCancelMidFanOut(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		in := d1lc.TrivialPalettes(graph.Gnp(600, 0.15, 1))
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var calls atomic.Int64
+		base := func(sub *d1lc.Instance) (*d1lc.Coloring, error) {
+			if calls.Add(1) == 1 {
+				cancel() // first base solve pulls the plug mid-schedule
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return greedyBase(sub)
+		}
+		o := Options{Bins: 4, MidDegree: 12, SerialBins: serial}
+		col, _, err := ColorReduce(ctx, in, o, base)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("serial=%v: err = %v, want context.Canceled", serial, err)
+		}
+		if col != nil {
+			t.Fatalf("serial=%v: got a coloring alongside the error", serial)
+		}
+	}
+}

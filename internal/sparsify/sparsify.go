@@ -14,6 +14,37 @@
 // selection (see DESIGN.md "Substitutions"). The GF2 strategy additionally
 // demonstrates the exactly-computable bit-by-bit conditional expectation
 // on the monochromatic-edge estimator.
+//
+// # Parallel bin schedule (Algorithm 11 line 2)
+//
+// Restricted bins 0..Bins−2 are solved concurrently: their palettes are
+// disjoint color classes (ColorBin partitions the color space), so two
+// nodes in different restricted bins can never conflict no matter how
+// their sub-solves interleave, and no restricted bin reads the shared
+// coloring — each writes only its own nodes' entries. The solve's worker
+// budget is divided across the bins with par.Runner.Split, the catch-all
+// bin and G_mid retain their sequential ordering after a barrier (they
+// self-reduce against committed colors), and per-bin reports are merged
+// in bin-index order, so the fused schedule is bit-identical to the
+// sequential one (Options.SerialBins retains it as the differential
+// oracle).
+//
+// # One-pass bucketing and arena extraction
+//
+// Each level buckets all nodes by NodeBin with one counting-sort pass
+// (ascending, duplicate-free per-bin lists) instead of one O(n) scan per
+// bin, and extracts sub-instances through reused arenas: the bin CSR
+// comes from a graph.SubgraphArena (stamp-array relabeling, no per-arc
+// binary search) and restricted palettes are carved from one flat slab
+// with per-node upper-bound slots, so the parallel fill writes disjoint
+// ranges and allocates nothing per node. d′(v) is computed once per
+// partition in a parallel neighbor pass (shard-aware when the caller
+// provides Options.ShardOffsets) and reused across the color-seed
+// search, property enforcement and the Lemma 23(a) certificate, instead
+// of being recomputed per seed try. Property enforcement is itself
+// parallel and uses the pre-move d′: it flags a (deterministic) superset
+// of the nodes a live sequential sweep would move, and every kept node's
+// certificate still holds because moves only ever decrease d′.
 package sparsify
 
 import (
@@ -76,9 +107,22 @@ type Options struct {
 	// argument, and checks it between bins and recursion levels. nil means
 	// the process default.
 	Par *par.Runner
-	// Trace observes one phase per partition computed. nil disables
-	// tracing.
+	// Trace observes one phase per partition computed plus one span per
+	// bin solved (phase "bin", round = bin id, participants = sub-instance
+	// size). nil disables tracing.
 	Trace trace.Tracer
+	// ShardOffsets, when non-empty, describes the degree-sorted shard
+	// boundaries of the top-level instance (shard s = nodes
+	// [ShardOffsets[s], ShardOffsets[s+1])): the per-node neighbor passes
+	// hand whole cache-resident shards to workers instead of arbitrary
+	// contiguous index splits. Only the top partition level uses it —
+	// sub-instances are relabeled and carry no shard structure.
+	ShardOffsets []int32
+	// SerialBins forces the sequential restricted-bin schedule and the
+	// copy-based extraction path (InducedSubgraphPar + per-node palette
+	// allocations): the retained oracle the fused parallel path is
+	// differentially tested against. Results are bit-identical either way.
+	SerialBins bool
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -119,6 +163,11 @@ type Partition struct {
 	// NodeSeed/ColorSeed record the selected hash seeds.
 	NodeSeed, ColorSeed uint64
 	Strategy            Strategy
+	// SameBinDeg[v] is d′(v) under the final bins (property violators
+	// already moved), computed in one parallel neighbor pass and reused by
+	// the Lemma 23(a) certificate and the solve schedule. SameBinDegree
+	// recomputes the same value from scratch; tests pin them equal.
+	SameBinDeg []int32
 }
 
 // SameBinDegree returns d′(v): v's neighbors in the same bin.
@@ -152,6 +201,40 @@ func (p *Partition) restrictedPalette(in *d1lc.Instance, v int32) []int32 {
 		}
 	}
 	return out
+}
+
+// restrictedPaletteLen returns p′(v) = len(restrictedPalette) without
+// allocating: the property checks only need the count.
+func (p *Partition) restrictedPaletteLen(in *d1lc.Instance, v int32) int {
+	b := p.NodeBin[v]
+	if b < 0 || int(b) == p.Bins-1 {
+		return len(in.Palettes[v])
+	}
+	n := 0
+	for _, c := range in.Palettes[v] {
+		if p.ColorBin(c) == int(b) {
+			n++
+		}
+	}
+	return n
+}
+
+// appendRestrictedPalette appends p′(v)'s colors to dst and returns it:
+// the slab-backed extraction path fills preallocated slots with it
+// instead of allocating one slice per node. For G_mid and catch-all
+// members the full palette is appended (callers on those paths alias the
+// parent palette instead).
+func (p *Partition) appendRestrictedPalette(dst []int32, in *d1lc.Instance, v int32) []int32 {
+	b := p.NodeBin[v]
+	if b < 0 || int(b) == p.Bins-1 {
+		return append(dst, in.Palettes[v]...)
+	}
+	for _, c := range in.Palettes[v] {
+		if p.ColorBin(c) == int(b) {
+			dst = append(dst, c)
+		}
+	}
+	return dst
 }
 
 // Compute runs LowSpacePartition (Algorithm 12) with deterministic hash
@@ -192,39 +275,83 @@ func Compute(in *d1lc.Instance, o Options) (*Partition, error) {
 		}
 	}
 
+	// d′ under the chosen node bins: one parallel neighbor pass, reused by
+	// the color-seed search and property enforcement below instead of
+	// being recomputed per node per seed try.
+	sbd := sameBinDegrees(g, part.NodeBin, o)
+
 	// Color bins: pairwise polynomial hash over colors, seed chosen to
 	// maximize the number of nodes keeping p′(v) > d′(v). (GF2 may have
 	// rounded Bins up to a power of two; use the effective count.)
-	part.ColorSeed = searchColorSeed(in, part, highDeg, o)
+	part.ColorSeed = searchColorSeed(in, part, highDeg, sbd, o)
 	ch := hashfam.NewPoly(seedWords(part.ColorSeed, 2))
 	colorBins := part.Bins - 1
 	part.ColorBin = func(c int32) int { return ch.Bin(uint64(c)+1, colorBins) }
 
-	// Enforce Lemma 23 per-node properties; violators move to G_mid.
-	for _, v := range highDeg {
+	// Enforce Lemma 23 per-node properties in parallel; violators move to
+	// G_mid. Every node is checked against its pre-move d′, so the pass is
+	// independent of iteration order: it moves a deterministic superset of
+	// the nodes a live sequential sweep would move, and once the moves
+	// land each kept node's certificate holds a fortiori (removing
+	// neighbors from a bin only decreases d′). Workers write disjoint
+	// NodeBin entries and the violation count folds in chunk order.
+	part.MovedToMid = int(o.Par.ReduceInt(len(highDeg), func(i int) int64 {
+		v := highDeg[i]
 		if part.NodeBin[v] < 0 {
-			continue
+			return 0
 		}
-		if !propertiesHold(in, part, v) {
+		if !propertiesHoldPre(in, part, v, int(sbd[v])) {
 			part.NodeBin[v] = -1
-			part.MovedToMid++
+			return 1
 		}
-	}
+		return 0
+	}))
+	// Publish the post-move d′ for the certificate and the bin schedule.
+	part.SameBinDeg = sameBinDegrees(g, part.NodeBin, o)
 	return part, nil
 }
 
-// propertiesHold checks Lemma 23 for one node under the current hashes:
-// d′(v) < max(2·d(v)/bins, 1)+slackRound and d′(v) < p′(v).
-func propertiesHold(in *d1lc.Instance, part *Partition, v int32) bool {
-	g := in.G
-	d := g.Degree(v)
-	dPrime := part.SameBinDegree(g, v)
+// sameBinDegrees computes d′(v) for every node in one parallel neighbor
+// pass (G_mid members get 0). When the caller supplied shard offsets,
+// whole degree-sorted shards become the work units — each worker walks
+// cache-resident adjacency storage — otherwise the index space is split
+// into contiguous chunks.
+func sameBinDegrees(g *graph.Graph, nodeBin []int32, o Options) []int32 {
+	n := g.N()
+	out := make([]int32, n)
+	body := func(lo, hi int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			b := nodeBin[v]
+			if b < 0 {
+				continue
+			}
+			d := int32(0)
+			for _, u := range g.Neighbors(v) {
+				if nodeBin[u] == b {
+					d++
+				}
+			}
+			out[v] = d
+		}
+	}
+	if len(o.ShardOffsets) >= 2 && int(o.ShardOffsets[len(o.ShardOffsets)-1]) == n {
+		o.Par.ForRanges(o.ShardOffsets, body)
+	} else {
+		o.Par.ForChunked(n, body)
+	}
+	return out
+}
+
+// propertiesHoldPre checks Lemma 23 for one node against a precomputed
+// d′: d′(v) < max(2·d(v)/bins, 1) and d′(v) < p′(v). The palette side
+// counts the restricted palette without materializing it.
+func propertiesHoldPre(in *d1lc.Instance, part *Partition, v int32, dPrime int) bool {
+	d := in.G.Degree(v)
 	bound := 2 * float64(d) / float64(part.Bins)
 	if float64(dPrime) >= math.Max(bound, 1) {
 		return false
 	}
-	pPrime := len(part.restrictedPalette(in, v))
-	return dPrime < pPrime
+	return dPrime < part.restrictedPaletteLen(in, v)
 }
 
 // searchNodeSeed tries seeds in order and keeps the one minimizing the
@@ -267,8 +394,11 @@ func searchNodeSeed(part *Partition, g *graph.Graph, highDeg []int32, o Options)
 }
 
 // searchColorSeed picks the color-hash seed minimizing palette-property
-// violations given the node bins already in part.NodeBin.
-func searchColorSeed(in *d1lc.Instance, part *Partition, highDeg []int32, o Options) uint64 {
+// violations given the node bins already in part.NodeBin. sbd carries
+// the precomputed d′ per node — it is seed-invariant (only node bins
+// determine it), so it is hoisted out of the per-seed loop instead of
+// being recomputed up to MaxSeedTries times per node.
+func searchColorSeed(in *d1lc.Instance, part *Partition, highDeg []int32, sbd []int32, o Options) uint64 {
 	colorBins := part.Bins - 1
 	bestSeed, bestViol := uint64(0), math.MaxInt
 	for seed := uint64(0); seed < uint64(o.MaxSeedTries); seed++ {
@@ -282,7 +412,7 @@ func searchColorSeed(in *d1lc.Instance, part *Partition, highDeg []int32, o Opti
 			if b < 0 || int(b) == part.Bins-1 {
 				return 0
 			}
-			dPrime := part.SameBinDegree(in.G, v)
+			dPrime := int(sbd[v])
 			pPrime := 0
 			for _, c := range in.Palettes[v] {
 				if h.Bin(uint64(c)+1, colorBins) == int(b) {

@@ -193,6 +193,12 @@ type Options struct {
 	// regular graphs (identity relabeling) it is bit-identical to the
 	// unsharded solve.
 	DegreeShard bool
+	// SerialBins makes the deterministic solver's sparsification schedule
+	// solve restricted bins sequentially through the copy-based
+	// extraction path instead of the fused parallel schedule. Results are
+	// bit-identical either way — this is the differential oracle and
+	// ablation baseline, not a tuning knob.
+	SerialBins bool
 }
 
 // Result is a Solve outcome.

@@ -162,6 +162,14 @@ func WithDegreeShard(on bool) Option {
 	return func(s *Solver) error { s.o.DegreeShard = on; return nil }
 }
 
+// WithSerialBins makes the deterministic solver's sparsification solve
+// restricted bins sequentially through the copy-based extraction path
+// instead of the fused parallel schedule (ablation/differential oracle;
+// results identical).
+func WithSerialBins(on bool) Option {
+	return func(s *Solver) error { s.o.SerialBins = on; return nil }
+}
+
 // WithBatchConcurrency bounds how many instances SolveBatch streams
 // through the Solver concurrently (0 = min(len(instances), GOMAXPROCS)).
 // Validated by NewSolver.
@@ -273,7 +281,7 @@ func (s *Solver) Solve(ctx context.Context, in *Instance) (*Result, error) {
 	case LubyColoring:
 		res, err = s.solveLuby(ctx, solveIn)
 	default:
-		res, err = s.solveDeterministic(ctx, solveIn)
+		res, err = s.solveDeterministic(ctx, solveIn, rl)
 	}
 	if err != nil {
 		return nil, err
@@ -352,10 +360,13 @@ func (s *Solver) deframeOptions(tr Tracer) deframe.Options {
 // solveDeterministic is Theorem 1: LowSpaceColorReduce over the deframe
 // base solver. Rounds are accounted for parallel composition: base
 // instances at one recursion level run concurrently on disjoint machine
-// groups, so the level cost is the maximum, not the sum.
-func (s *Solver) solveDeterministic(ctx context.Context, in *Instance) (*Result, error) {
+// groups, so the level cost is the maximum, not the sum. rl is the
+// degree-shard relabeling the instance was permuted by (nil when
+// unsharded); its shard cuts feed the partitioner's shard-aware loops.
+func (s *Solver) solveDeterministic(ctx context.Context, in *Instance, rl *graph.Relabeling) (*Result, error) {
 	rounds := 0
 	deferral := 0.0
+	var statMu sync.Mutex // base runs concurrently across restricted bins
 	dopt := s.deframeOptions(s.tracer)
 	// The caller's graph is the one identity that recurs across solves of
 	// the same instance; everything else deframe sees is per-solve.
@@ -365,20 +376,27 @@ func (s *Solver) solveDeterministic(ctx context.Context, in *Instance) (*Result,
 		if err != nil {
 			return nil, err
 		}
+		statMu.Lock()
 		if r := rep.TotalRounds(); r > rounds {
 			rounds = r
 		}
 		if f := rep.MaxDeferralFraction(); f > deferral {
 			deferral = f
 		}
+		statMu.Unlock()
 		return col, nil
 	}
-	col, srep, err := sparsify.ColorReduce(ctx, in, sparsify.Options{
-		Bins:      s.o.Bins,
-		MidDegree: s.o.MidDegree,
-		Par:       s.run,
-		Trace:     s.tracer,
-	}, base)
+	sopt := sparsify.Options{
+		Bins:       s.o.Bins,
+		MidDegree:  s.o.MidDegree,
+		Par:        s.run,
+		Trace:      s.tracer,
+		SerialBins: s.o.SerialBins,
+	}
+	if rl != nil {
+		sopt.ShardOffsets = rl.ShardOffsets
+	}
+	col, srep, err := sparsify.ColorReduce(ctx, in, sopt, base)
 	if err != nil {
 		return nil, err
 	}
